@@ -1,0 +1,24 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pmcf::bench {
+
+double fit_exponent(const std::vector<double>& xs, const std::vector<double>& ys) {
+  // Least-squares slope of log(y) against log(x).
+  const std::size_t n = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace pmcf::bench

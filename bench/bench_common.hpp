@@ -1,0 +1,29 @@
+#pragma once
+// Shared helpers for the benchmark binaries: every bench reports the PRAM
+// work/depth counters as benchmark counters so the sweep output reproduces
+// the *shape* of the paper's complexity table rows (see EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include "parallel/work_depth.hpp"
+
+namespace pmcf::bench {
+
+/// Runs `body` once under a fresh tracker and attaches work/depth counters to
+/// `state`. The wall-time of the body still drives the benchmark timing.
+template <class Body>
+void run_instrumented(benchmark::State& state, Body&& body) {
+  par::Cost last{};
+  for (auto _ : state) {
+    par::Tracker::instance().reset();
+    body();
+    last = par::snapshot();
+  }
+  state.counters["work"] = static_cast<double>(last.work);
+  state.counters["depth"] = static_cast<double>(last.depth);
+}
+
+/// log-log slope helper for EXPERIMENTS.md style reporting.
+double fit_exponent(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace pmcf::bench

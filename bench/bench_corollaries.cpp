@@ -1,0 +1,76 @@
+// Experiments C1.3-1.5 — corollaries via min-cost flow vs combinatorial
+// oracles: bipartite matching (vs Hopcroft-Karp), negative-weight SSSP (vs
+// Bellman-Ford), with work/depth counters for both sides.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/bellman_ford.hpp"
+#include "baselines/hopcroft_karp.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "mcf/bipartite_matching.hpp"
+#include "mcf/sssp.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+
+mcf::SolveOptions fast_opts() {
+  mcf::SolveOptions o;
+  o.ipm.mu_end = 1e-3;
+  o.ipm.leverage.sketch_dim = 8;
+  return o;
+}
+
+void BM_MatchingViaFlow(benchmark::State& state) {
+  const auto nl = static_cast<graph::Vertex>(state.range(0));
+  par::Rng rng(47);
+  const auto g = graph::random_bipartite(nl, nl, 0.2, rng);
+  std::int64_t size = 0;
+  bench::run_instrumented(state, [&] {
+    const auto res = mcf::bipartite_matching(g, nl, nl, fast_opts());
+    size = res.size;
+  });
+  state.counters["matching"] = static_cast<double>(size);
+}
+BENCHMARK(BM_MatchingViaFlow)->Arg(8)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_MatchingHopcroftKarp(benchmark::State& state) {
+  const auto nl = static_cast<graph::Vertex>(state.range(0));
+  par::Rng rng(47);
+  const auto g = graph::random_bipartite(nl, nl, 0.2, rng);
+  std::int64_t size = 0;
+  bench::run_instrumented(state, [&] {
+    const auto res = baselines::hopcroft_karp(g, nl, nl);
+    size = res.size;
+  });
+  state.counters["matching"] = static_cast<double>(size);
+}
+BENCHMARK(BM_MatchingHopcroftKarp)->Arg(8)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SsspViaFlow(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  par::Rng rng(53);
+  const auto g = graph::random_negative_dag(n, 4 * n, 5, 10, rng);
+  bench::run_instrumented(state, [&] {
+    const auto res = mcf::shortest_paths(g, 0, fast_opts());
+    benchmark::DoNotOptimize(res.dist.data());
+  });
+}
+BENCHMARK(BM_SsspViaFlow)->Arg(10)->Arg(14)->Arg(20)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SsspBellmanFord(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  par::Rng rng(53);
+  const auto g = graph::random_negative_dag(n, 4 * n, 5, 10, rng);
+  bench::run_instrumented(state, [&] {
+    const auto res = baselines::bellman_ford(g, 0);
+    benchmark::DoNotOptimize(res.dist.data());
+  });
+}
+BENCHMARK(BM_SsspBellmanFord)->Arg(10)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

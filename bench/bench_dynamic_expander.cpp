@@ -1,0 +1,56 @@
+// Experiment L3.1 — dynamic expander decomposition (Lemma 3.1): amortized
+// work per updated edge and per-batch depth under insert/delete churn.
+// Claim: Õ(|E'|/φ^5) amortized work, Õ(1/φ^4) depth per batch.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "expander/dynamic_decomp.hpp"
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+using expander::DynamicExpanderDecomposition;
+
+void BM_ChurnUpdates(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  par::Rng rng(13);
+  auto g = graph::random_regular_expander(n, 4, rng);
+
+  std::uint64_t updates = 0;
+  bench::run_instrumented(state, [&] {
+    DynamicExpanderDecomposition dec(n, {.phi = 0.1});
+    std::vector<DynamicExpanderDecomposition::EdgeSpec> edges;
+    for (const auto e : g.live_edges()) {
+      const auto ep = g.endpoints(e);
+      edges.push_back({ep.u, ep.v, e});
+    }
+    dec.insert(edges);
+    // Deletion churn in batches.
+    std::int64_t next = 0;
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::int64_t> del;
+      for (std::size_t k = 0; k < batch; ++k) del.push_back(next++);
+      dec.erase(del);
+      updates += del.size();
+    }
+    benchmark::DoNotOptimize(dec.num_edges());
+  });
+  state.counters["updates"] = static_cast<double>(updates);
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_ChurnUpdates)
+    ->Args({100, 4})
+    ->Args({200, 4})
+    ->Args({400, 4})
+    ->Args({200, 16})
+    ->Args({200, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

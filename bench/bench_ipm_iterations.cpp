@@ -1,0 +1,40 @@
+// Experiment F-ITERS — the Õ(√n log(CW)) iteration count (Section 2.2 /
+// Appendix F). Sweep n at fixed density and report iterations: the ratio
+// iters/√n should stay roughly flat while iters/n decays.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+
+void BM_IterationsVsN(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  par::Rng rng(11);
+  const auto g = graph::random_flow_network(n, 6 * n, 4, 4, rng);
+  std::int32_t iters = 0;
+  bench::run_instrumented(state, [&] {
+    mcf::SolveOptions opts;
+    opts.ipm.mu_end = 1e-3;
+    opts.ipm.leverage.sketch_dim = 8;
+    const auto res = mcf::min_cost_max_flow(g, 0, n - 1, opts);
+    iters = res.stats.ipm_iterations;
+    benchmark::DoNotOptimize(res.cost);
+  });
+  state.counters["iters"] = iters;
+  state.counters["iters_per_sqrt_n"] =
+      static_cast<double>(iters) / std::sqrt(static_cast<double>(n));
+  state.counters["iters_per_n"] = static_cast<double>(iters) / static_cast<double>(n);
+}
+BENCHMARK(BM_IterationsVsN)->Arg(12)->Arg(24)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

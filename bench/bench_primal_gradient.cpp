@@ -1,0 +1,56 @@
+// Experiment D.1 — primal/gradient maintenance: total work over T query
+// rounds is Õ(Tn + Σ||h||_0 + T·Σ||v/w||²) — per-query cost driven by the
+// bucket count and the number of triggered coordinates, not by m.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "ds/gradient_maintenance.hpp"
+#include "graph/generators.hpp"
+#include "linalg/incidence.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+
+void BM_PrimalGradientRounds(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  const auto density = static_cast<std::int64_t>(state.range(1));
+  par::Rng rng(37);
+  const auto g = graph::random_flow_network(n, density * n, 4, 4, rng);
+  const linalg::IncidenceOp a(g);
+  const std::size_t m = a.rows();
+  linalg::Vec weights(m), tau(m), z(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    weights[i] = 0.5 + rng.next_double();
+    tau[i] = 0.1 + rng.next_double();
+    z[i] = 2.0 * rng.next_double() - 1.0;
+  }
+
+  const int rounds = 30;
+  std::size_t total_changed = 0;
+  bench::run_instrumented(state, [&] {
+    ds::PrimalGradientMaintenance pg(a, linalg::Vec(m, 1.0), weights, tau, z,
+                                     linalg::Vec(m, 0.05));
+    for (int t = 0; t < rounds; ++t) {
+      (void)pg.query_product();
+      const auto q = pg.query_sum({}, {});
+      total_changed += q.changed.size();
+    }
+  });
+  state.counters["rounds"] = rounds;
+  state.counters["changed_total"] = static_cast<double>(total_changed);
+  state.counters["m"] = static_cast<double>(m);
+}
+BENCHMARK(BM_PrimalGradientRounds)
+    ->Args({50, 6})
+    ->Args({100, 6})
+    ->Args({200, 6})
+    ->Args({100, 12})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

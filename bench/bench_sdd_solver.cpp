@@ -1,0 +1,56 @@
+// Experiment A.1 — SDD solver (Lemma A.1 substitute).
+//
+// Paper claim: (A^T D A) x = b solvable with Õ(nnz(A) log W log 1/eps) work.
+// We sweep dense random networks and report PRAM work/depth and CG iterations
+// for IPM-typical diagonal scalings. Shape check: work grows ~linearly in m
+// for fixed conditioning family.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/sdd_solver.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+
+void BM_SddSolve(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  const auto m = static_cast<std::int64_t>(n) * static_cast<std::int64_t>(state.range(1));
+  par::Rng rng(12345);
+  const graph::Digraph g = graph::random_flow_network(n, m, 100, 100, rng);
+  const linalg::IncidenceOp a(g);
+
+  linalg::Vec d(a.rows());
+  for (auto& x : d) x = 0.5 + rng.next_double();
+  linalg::Vec b(a.cols());
+  for (auto& x : b) x = rng.next_double() - 0.5;
+  b[static_cast<std::size_t>(a.dropped())] = 0.0;
+
+  std::int32_t iters = 0;
+  pmcf::bench::run_instrumented(state, [&] {
+    const linalg::Csr lap = linalg::reduced_laplacian(g, d, a.dropped());
+    const auto res = linalg::solve_sdd(lap, b, {.tolerance = 1e-8, .max_iters = 2000});
+    iters = res.iterations;
+    benchmark::DoNotOptimize(res.x.data());
+  });
+  state.counters["cg_iters"] = iters;
+  state.counters["m"] = static_cast<double>(m);
+}
+
+BENCHMARK(BM_SddSolve)
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Args({256, 8})
+    ->Args({512, 8})
+    ->Args({256, 16})
+    ->Args({256, 32})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

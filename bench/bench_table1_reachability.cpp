@@ -1,0 +1,55 @@
+// Experiment T1-R — Table 1 (right): parallel reachability.
+//
+// Paper rows reproduced: parallel BFS (O(m) work, Õ(n) depth — depth grows
+// with the diameter) versus flow-based reachability through the IPM
+// (Corollary 1.5: Õ(√n) depth). On long-diameter layered digraphs BFS depth
+// scales linearly in the number of layers while the IPM's depth is driven by
+// its Õ(√n) iterations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "mcf/reachability.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+
+void BM_ParallelBfs(benchmark::State& state) {
+  const auto layers = static_cast<graph::Vertex>(state.range(0));
+  par::Rng rng(7);
+  auto g = graph::layered_digraph(layers, 4, 0.3, rng);
+  g.build_csr();
+  std::int32_t rounds = 0;
+  bench::run_instrumented(state, [&] {
+    const auto res = graph::parallel_bfs(g, 0);
+    rounds = res.rounds;
+    benchmark::DoNotOptimize(res.dist.data());
+  });
+  state.counters["bfs_rounds"] = rounds;  // the depth driver: Θ(diameter)
+}
+BENCHMARK(BM_ParallelBfs)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_FlowReachability(benchmark::State& state) {
+  const auto layers = static_cast<graph::Vertex>(state.range(0));
+  par::Rng rng(7);
+  auto g = graph::layered_digraph(layers, 4, 0.3, rng);
+  std::int32_t iters = 0;
+  bench::run_instrumented(state, [&] {
+    mcf::SolveOptions opts;
+    opts.ipm.mu_end = 1e-3;
+    opts.ipm.leverage.sketch_dim = 8;
+    const auto res = mcf::reachability(g, 0, opts);
+    iters = res.stats.ipm_iterations;
+    benchmark::DoNotOptimize(res.reachable.data());
+  });
+  state.counters["ipm_iters"] = iters;  // the depth driver: Õ(√n)
+}
+BENCHMARK(BM_FlowReachability)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

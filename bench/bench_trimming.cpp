@@ -1,0 +1,54 @@
+// Experiment L3.7 — Trimming: work Õ(|E(A, V\A)|/φ^4), depth Õ(1/φ^3).
+// Sweep the boundary size and φ; work should track boundary, not m.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "expander/trimming.hpp"
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+
+void BM_Trimming(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  const auto deletions = static_cast<int>(state.range(1));
+  par::Rng rng(19);
+  auto g = graph::random_regular_expander(n, 4, rng);
+  std::vector<std::int64_t> boundary(static_cast<std::size_t>(n), 0);
+  auto live = g.live_edges();
+  for (int k = 0; k < deletions; ++k) {
+    const auto e = live[rng.next_below(live.size())];
+    if (!g.is_live(e)) continue;
+    const auto ep = g.endpoints(e);
+    boundary[static_cast<std::size_t>(ep.u)] += 1;
+    boundary[static_cast<std::size_t>(ep.v)] += 1;
+    g.delete_edge(e);
+  }
+  std::int64_t removed_vol = 0;
+  std::uint64_t scans = 0;
+  bench::run_instrumented(state, [&] {
+    std::vector<char> in_a(static_cast<std::size_t>(n), 1);
+    const auto r = expander::trimming(g, in_a, boundary, {.phi = 0.1});
+    removed_vol = r.removed_volume;
+    scans = r.edge_scans;
+    benchmark::DoNotOptimize(r.flow.data());
+  });
+  state.counters["removed_volume"] = static_cast<double>(removed_vol);
+  state.counters["edge_scans"] = static_cast<double>(scans);
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_Trimming)
+    ->Args({200, 2})
+    ->Args({200, 8})
+    ->Args({200, 32})
+    ->Args({800, 8})
+    ->Args({3200, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Experiment L3.11 — ParallelUnitFlow: work scales with ||Δ||_0 (the source
+// support) and the height/capacity parameters, not with m.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "expander/unit_flow.hpp"
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace pmcf;
+
+void BM_UnitFlow(benchmark::State& state) {
+  const auto n = static_cast<graph::Vertex>(state.range(0));
+  const auto sources = static_cast<std::size_t>(state.range(1));
+  par::Rng rng(17);
+  auto g = graph::random_regular_expander(n, 4, rng);
+  expander::UnitFlowProblem p;
+  p.g = &g;
+  p.cap.assign(g.edge_slots(), 8);
+  p.source.assign(static_cast<std::size_t>(n), 0);
+  p.sink.assign(static_cast<std::size_t>(n), 0);
+  // Concentrated sources (several times the local sink capacity) force the
+  // push-relabel dynamics to spread flow; sinks absorb half a degree each.
+  for (std::size_t k = 0; k < sources; ++k)
+    p.source[rng.next_below(static_cast<std::uint64_t>(n))] += 6 * 8;
+  for (graph::Vertex v = 0; v < n; ++v)
+    p.sink[static_cast<std::size_t>(v)] = g.degree(v) / 2;
+  p.height = 24;
+
+  std::uint64_t scans = 0;
+  std::int64_t excess = 0;
+  bench::run_instrumented(state, [&] {
+    const auto r = expander::parallel_unit_flow(p);
+    scans = r.edge_scans;
+    excess = r.total_excess;
+    benchmark::DoNotOptimize(r.flow.data());
+  });
+  state.counters["edge_scans"] = static_cast<double>(scans);
+  state.counters["leftover_excess"] = static_cast<double>(excess);
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_UnitFlow)
+    ->Args({500, 2})
+    ->Args({2000, 2})
+    ->Args({8000, 2})
+    ->Args({2000, 8})
+    ->Args({2000, 32})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

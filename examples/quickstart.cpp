@@ -1,0 +1,41 @@
+// Quickstart: exact min-cost max-flow with the parallel IPM solver.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "graph/digraph.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/work_depth.hpp"
+
+int main() {
+  using namespace pmcf;
+
+  // A small network: 0 = source, 5 = sink. add_arc(from, to, capacity, cost).
+  graph::Digraph g(6);
+  g.add_arc(0, 1, 10, 2);
+  g.add_arc(0, 2, 8, 4);
+  g.add_arc(1, 2, 5, 1);
+  g.add_arc(1, 3, 5, 6);
+  g.add_arc(2, 4, 10, 2);
+  g.add_arc(3, 5, 10, 1);
+  g.add_arc(4, 3, 4, 1);
+  g.add_arc(4, 5, 10, 3);
+
+  par::Tracker::instance().reset();
+  const auto res = mcf::min_cost_max_flow(g, /*s=*/0, /*t=*/5);
+
+  std::printf("max flow value : %lld\n", static_cast<long long>(res.flow_value));
+  std::printf("min cost       : %lld\n", static_cast<long long>(res.cost));
+  std::printf("IPM iterations : %d (Õ(√n) — the paper's depth driver)\n",
+              res.stats.ipm_iterations);
+  std::printf("repair work    : %lld imbalance, %lld cycles (0 = IPM already optimal)\n",
+              static_cast<long long>(res.stats.imbalance_routed),
+              static_cast<long long>(res.stats.cycles_canceled));
+  std::printf("per-arc flows  :");
+  for (std::size_t e = 0; e < res.arc_flow.size(); ++e)
+    std::printf(" %lld", static_cast<long long>(res.arc_flow[e]));
+  std::printf("\nPRAM cost      : %s\n", par::to_string(par::snapshot()).c_str());
+  return 0;
+}

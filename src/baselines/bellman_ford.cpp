@@ -1,0 +1,30 @@
+#include "baselines/bellman_ford.hpp"
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::baselines {
+
+SsspResult bellman_ford(const graph::Digraph& g, graph::Vertex source) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  SsspResult res;
+  res.dist.assign(n, SsspResult::kUnreachable);
+  res.dist[static_cast<std::size_t>(source)] = 0;
+  bool changed = true;
+  for (std::size_t round = 0; round < n && changed; ++round) {
+    changed = false;
+    for (const auto& a : g.arcs()) {
+      const auto u = static_cast<std::size_t>(a.from);
+      const auto v = static_cast<std::size_t>(a.to);
+      if (res.dist[u] >= SsspResult::kUnreachable) continue;
+      if (res.dist[u] + a.cost < res.dist[v]) {
+        res.dist[v] = res.dist[u] + a.cost;
+        changed = true;
+      }
+    }
+  }
+  res.has_negative_cycle = changed;
+  par::charge(static_cast<std::uint64_t>(g.num_arcs()) * n, n);
+  return res;
+}
+
+}  // namespace pmcf::baselines

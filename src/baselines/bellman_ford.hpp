@@ -1,0 +1,21 @@
+#pragma once
+// Bellman-Ford single-source shortest paths with negative arc support — the
+// oracle for Corollary 1.4.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcf::baselines {
+
+struct SsspResult {
+  /// dist[v] or kUnreachable.
+  std::vector<std::int64_t> dist;
+  bool has_negative_cycle = false;
+  static constexpr std::int64_t kUnreachable = std::int64_t{1} << 60;
+};
+
+SsspResult bellman_ford(const graph::Digraph& g, graph::Vertex source);
+
+}  // namespace pmcf::baselines

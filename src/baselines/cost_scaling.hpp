@@ -1,0 +1,34 @@
+#pragma once
+// Goldberg-Tarjan cost-scaling min-cost flow — the classical ε-scaling
+// comparator (the scaling framework the paper's related-work section cites
+// via [GT89]). Solves min-cost b-flow by successive refinement: ε starts at
+// C and halves; REFINE converts an ε-optimal pseudoflow into an
+// (ε/2)-optimal flow with push/relabel on the admissible network.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcf::baselines {
+
+struct CostScalingResult {
+  bool feasible = false;
+  std::int64_t flow_value = 0;  ///< max-flow variant only
+  std::int64_t cost = 0;
+  std::vector<std::int64_t> arc_flow;  ///< per original arc
+  std::int64_t refine_phases = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t relabels = 0;
+};
+
+/// Min-cost b-flow (b[v] = required net inflow, Σb = 0). Costs may be
+/// negative; capacities non-negative integers.
+CostScalingResult cost_scaling_b_flow(const graph::Digraph& g,
+                                      const std::vector<std::int64_t>& b);
+
+/// Min-cost max-flow via the return-arc reduction.
+CostScalingResult cost_scaling_max_flow(const graph::Digraph& g, graph::Vertex s,
+                                        graph::Vertex t);
+
+}  // namespace pmcf::baselines

@@ -1,0 +1,84 @@
+#include "baselines/dinic.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::baselines {
+
+namespace {
+using graph::Vertex;
+}
+
+MaxFlowResult dinic_max_flow(const graph::Digraph& g, Vertex s, Vertex t) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto m = static_cast<std::size_t>(g.num_arcs());
+  std::vector<std::int32_t> head(2 * m);
+  std::vector<std::int64_t> cap(2 * m);
+  std::vector<std::vector<std::int32_t>> out(n);
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto& a = g.arc(static_cast<graph::EdgeId>(k));
+    head[2 * k] = a.to;
+    cap[2 * k] = a.cap;
+    head[2 * k + 1] = a.from;
+    cap[2 * k + 1] = 0;
+    out[static_cast<std::size_t>(a.from)].push_back(static_cast<std::int32_t>(2 * k));
+    out[static_cast<std::size_t>(a.to)].push_back(static_cast<std::int32_t>(2 * k + 1));
+  }
+
+  std::vector<std::int32_t> level(n);
+  std::vector<std::size_t> iter(n);
+  auto bfs = [&] {
+    std::fill(level.begin(), level.end(), -1);
+    std::queue<Vertex> q;
+    q.push(s);
+    level[static_cast<std::size_t>(s)] = 0;
+    while (!q.empty()) {
+      const Vertex v = q.front();
+      q.pop();
+      for (const std::int32_t a : out[static_cast<std::size_t>(v)]) {
+        if (cap[static_cast<std::size_t>(a)] <= 0) continue;
+        const auto w = static_cast<std::size_t>(head[static_cast<std::size_t>(a)]);
+        if (level[w] < 0) {
+          level[w] = level[static_cast<std::size_t>(v)] + 1;
+          q.push(static_cast<Vertex>(w));
+        }
+      }
+    }
+    return level[static_cast<std::size_t>(t)] >= 0;
+  };
+  std::function<std::int64_t(Vertex, std::int64_t)> dfs = [&](Vertex v,
+                                                              std::int64_t limit) -> std::int64_t {
+    if (v == t) return limit;
+    const auto vi = static_cast<std::size_t>(v);
+    for (; iter[vi] < out[vi].size(); ++iter[vi]) {
+      const std::int32_t a = out[vi][iter[vi]];
+      const auto w = head[static_cast<std::size_t>(a)];
+      if (cap[static_cast<std::size_t>(a)] <= 0 ||
+          level[static_cast<std::size_t>(w)] != level[vi] + 1)
+        continue;
+      const std::int64_t pushed =
+          dfs(w, std::min(limit, cap[static_cast<std::size_t>(a)]));
+      if (pushed > 0) {
+        cap[static_cast<std::size_t>(a)] -= pushed;
+        cap[static_cast<std::size_t>(a ^ 1)] += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  };
+
+  MaxFlowResult res;
+  while (bfs()) {
+    std::fill(iter.begin(), iter.end(), 0);
+    while (const std::int64_t pushed = dfs(s, std::int64_t{1} << 60)) res.flow += pushed;
+  }
+  res.arc_flow.assign(m, 0);
+  for (std::size_t k = 0; k < m; ++k) res.arc_flow[k] = cap[2 * k + 1];
+  par::charge(2 * m * (n + 1), n);
+  return res;
+}
+
+}  // namespace pmcf::baselines

@@ -1,0 +1,18 @@
+#pragma once
+// Dinic max-flow: the combinatorial max-flow oracle.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcf::baselines {
+
+struct MaxFlowResult {
+  std::int64_t flow = 0;
+  std::vector<std::int64_t> arc_flow;  ///< per original arc
+};
+
+MaxFlowResult dinic_max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t);
+
+}  // namespace pmcf::baselines

@@ -1,0 +1,75 @@
+#include "baselines/hopcroft_karp.hpp"
+
+#include <limits>
+#include <functional>
+#include <queue>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::baselines {
+
+namespace {
+using graph::Vertex;
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+}  // namespace
+
+MatchingResult hopcroft_karp(const graph::Digraph& g, Vertex nl, Vertex nr) {
+  std::vector<std::vector<std::int32_t>> adj(static_cast<std::size_t>(nl));
+  for (const auto& a : g.arcs())
+    adj[static_cast<std::size_t>(a.from)].push_back(a.to - nl);
+
+  std::vector<std::int32_t> match_l(static_cast<std::size_t>(nl), -1);
+  std::vector<std::int32_t> match_r(static_cast<std::size_t>(nr), -1);
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(nl));
+
+  auto bfs = [&] {
+    std::queue<std::int32_t> q;
+    bool found = false;
+    for (std::int32_t l = 0; l < nl; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] < 0) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        q.push(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      const std::int32_t l = q.front();
+      q.pop();
+      for (const std::int32_t r : adj[static_cast<std::size_t>(l)]) {
+        const std::int32_t l2 = match_r[static_cast<std::size_t>(r)];
+        if (l2 < 0) {
+          found = true;
+        } else if (dist[static_cast<std::size_t>(l2)] == kInf) {
+          dist[static_cast<std::size_t>(l2)] = dist[static_cast<std::size_t>(l)] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return found;
+  };
+  std::function<bool(std::int32_t)> dfs = [&](std::int32_t l) {
+    for (const std::int32_t r : adj[static_cast<std::size_t>(l)]) {
+      const std::int32_t l2 = match_r[static_cast<std::size_t>(r)];
+      if (l2 < 0 ||
+          (dist[static_cast<std::size_t>(l2)] == dist[static_cast<std::size_t>(l)] + 1 && dfs(l2))) {
+        match_l[static_cast<std::size_t>(l)] = r;
+        match_r[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  };
+
+  MatchingResult res;
+  while (bfs()) {
+    for (std::int32_t l = 0; l < nl; ++l)
+      if (match_l[static_cast<std::size_t>(l)] < 0 && dfs(l)) ++res.size;
+  }
+  res.match_left = std::move(match_l);
+  par::charge(static_cast<std::uint64_t>(g.num_arcs() + nl + nr), static_cast<std::uint64_t>(nl) + 1);
+  return res;
+}
+
+}  // namespace pmcf::baselines

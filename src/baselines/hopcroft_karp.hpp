@@ -1,0 +1,22 @@
+#pragma once
+// Hopcroft-Karp bipartite maximum matching — the combinatorial oracle for
+// Corollary 1.3.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcf::baselines {
+
+struct MatchingResult {
+  std::int64_t size = 0;
+  /// match_left[l] = right vertex (in 0..nr-1) or -1.
+  std::vector<std::int32_t> match_left;
+};
+
+/// `g` must be a bipartite digraph with arcs l -> (nl + r) as produced by
+/// graph::random_bipartite.
+MatchingResult hopcroft_karp(const graph::Digraph& g, graph::Vertex nl, graph::Vertex nr);
+
+}  // namespace pmcf::baselines

@@ -1,0 +1,164 @@
+#include "baselines/ssp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::baselines {
+
+namespace {
+
+using graph::Vertex;
+
+constexpr std::int64_t kInfCost = std::numeric_limits<std::int64_t>::max() / 4;
+
+struct Residual {
+  // Forward/backward residual arcs: arc 2k is arc k of g, arc 2k+1 its reverse.
+  std::vector<std::int32_t> head;
+  std::vector<std::int64_t> cap;
+  std::vector<std::int64_t> cost;
+  std::vector<std::vector<std::int32_t>> out;  // per-vertex arc ids
+
+  explicit Residual(const graph::Digraph& g) : out(static_cast<std::size_t>(g.num_vertices())) {
+    const auto m = static_cast<std::size_t>(g.num_arcs());
+    head.resize(2 * m);
+    cap.resize(2 * m);
+    cost.resize(2 * m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto& a = g.arc(static_cast<graph::EdgeId>(k));
+      head[2 * k] = a.to;
+      cap[2 * k] = a.cap;
+      cost[2 * k] = a.cost;
+      head[2 * k + 1] = a.from;
+      cap[2 * k + 1] = 0;
+      cost[2 * k + 1] = -a.cost;
+      out[static_cast<std::size_t>(a.from)].push_back(static_cast<std::int32_t>(2 * k));
+      out[static_cast<std::size_t>(a.to)].push_back(static_cast<std::int32_t>(2 * k + 1));
+    }
+  }
+};
+
+/// Bellman-Ford on the residual graph; returns false on a reachable
+/// negative cycle.
+bool bellman_ford_residual(const Residual& r, std::size_t n, const std::vector<Vertex>& sources,
+                           std::vector<std::int64_t>& dist) {
+  dist.assign(n, kInfCost);
+  for (const Vertex s : sources) dist[static_cast<std::size_t>(s)] = 0;
+  for (std::size_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] >= kInfCost) continue;
+      for (const std::int32_t a : r.out[v]) {
+        if (r.cap[static_cast<std::size_t>(a)] <= 0) continue;
+        const auto w = static_cast<std::size_t>(r.head[static_cast<std::size_t>(a)]);
+        const std::int64_t nd = dist[v] + r.cost[static_cast<std::size_t>(a)];
+        if (nd < dist[w]) {
+          dist[w] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;  // still changing after n rounds => negative cycle
+}
+
+}  // namespace
+
+McmfResult ssp_min_cost_max_flow(const graph::Digraph& g, Vertex s, Vertex t,
+                                 std::int64_t flow_limit) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Residual r(g);
+  McmfResult res;
+  res.arc_flow.assign(static_cast<std::size_t>(g.num_arcs()), 0);
+
+  // Initial potentials via Bellman-Ford (handles negative costs).
+  std::vector<std::int64_t> pot;
+  if (!bellman_ford_residual(r, n, {s}, pot)) {
+    res.has_negative_cycle = true;
+    return res;
+  }
+  for (auto& p : pot)
+    if (p >= kInfCost) p = 0;  // unreachable: any finite potential works
+
+  std::vector<std::int64_t> dist(n);
+  std::vector<std::int32_t> pre_arc(n);
+  while (res.flow < flow_limit) {
+    // Dijkstra with reduced costs.
+    dist.assign(n, kInfCost);
+    pre_arc.assign(n, -1);
+    using Item = std::pair<std::int64_t, Vertex>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(s)] = 0;
+    pq.push({0, s});
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(v)]) continue;
+      for (const std::int32_t a : r.out[static_cast<std::size_t>(v)]) {
+        if (r.cap[static_cast<std::size_t>(a)] <= 0) continue;
+        const Vertex w = r.head[static_cast<std::size_t>(a)];
+        const std::int64_t rc = r.cost[static_cast<std::size_t>(a)] +
+                                pot[static_cast<std::size_t>(v)] - pot[static_cast<std::size_t>(w)];
+        if (d + rc < dist[static_cast<std::size_t>(w)]) {
+          dist[static_cast<std::size_t>(w)] = d + rc;
+          pre_arc[static_cast<std::size_t>(w)] = a;
+          pq.push({d + rc, w});
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(t)] >= kInfCost) break;  // t unreachable: max flow reached
+    for (std::size_t v = 0; v < n; ++v)
+      if (dist[v] < kInfCost) pot[v] += dist[v];
+    // Bottleneck along the path.
+    std::int64_t push = flow_limit - res.flow;
+    for (Vertex v = t; v != s;) {
+      const std::int32_t a = pre_arc[static_cast<std::size_t>(v)];
+      push = std::min(push, r.cap[static_cast<std::size_t>(a)]);
+      v = r.head[static_cast<std::size_t>(a ^ 1)];
+    }
+    for (Vertex v = t; v != s;) {
+      const std::int32_t a = pre_arc[static_cast<std::size_t>(v)];
+      r.cap[static_cast<std::size_t>(a)] -= push;
+      r.cap[static_cast<std::size_t>(a ^ 1)] += push;
+      v = r.head[static_cast<std::size_t>(a ^ 1)];
+    }
+    res.flow += push;
+  }
+  for (std::size_t k = 0; k < static_cast<std::size_t>(g.num_arcs()); ++k) {
+    res.arc_flow[k] = r.cap[2 * k + 1];  // reverse capacity == flow sent
+    res.cost += res.arc_flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
+  }
+  par::charge(static_cast<std::uint64_t>(g.num_arcs()) * (static_cast<std::uint64_t>(res.flow) + 1),
+              static_cast<std::uint64_t>(res.flow) + 1);
+  return res;
+}
+
+McmfResult ssp_min_cost_b_flow(const graph::Digraph& g, const std::vector<std::int64_t>& b) {
+  // Super-source / super-sink reduction.
+  const Vertex n = g.num_vertices();
+  graph::Digraph aug(n + 2);
+  for (const auto& a : g.arcs()) aug.add_arc(a.from, a.to, a.cap, a.cost);
+  const Vertex ss = n;
+  const Vertex tt = n + 1;
+  std::int64_t supply = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (b[static_cast<std::size_t>(v)] > 0) {
+      aug.add_arc(ss, v, b[static_cast<std::size_t>(v)], 0);
+      supply += b[static_cast<std::size_t>(v)];
+    } else if (b[static_cast<std::size_t>(v)] < 0) {
+      aug.add_arc(v, tt, -b[static_cast<std::size_t>(v)], 0);
+    }
+  }
+  McmfResult res = ssp_min_cost_max_flow(aug, ss, tt);
+  res.arc_flow.resize(static_cast<std::size_t>(g.num_arcs()));
+  res.cost = 0;
+  for (std::size_t k = 0; k < static_cast<std::size_t>(g.num_arcs()); ++k)
+    res.cost += res.arc_flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
+  (void)supply;
+  return res;
+}
+
+}  // namespace pmcf::baselines

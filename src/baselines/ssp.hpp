@@ -1,0 +1,33 @@
+#pragma once
+// Successive shortest path min-cost max-flow with Johnson potentials — the
+// exact sequential oracle every pmcf solver is validated against, and the
+// combinatorial baseline row of Table 1 (left).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcf::baselines {
+
+struct McmfResult {
+  std::int64_t flow = 0;
+  std::int64_t cost = 0;
+  std::vector<std::int64_t> arc_flow;  ///< per original arc id
+  bool has_negative_cycle = false;     ///< input had a negative cost cycle
+};
+
+inline constexpr std::int64_t kInfFlow = std::int64_t{1} << 60;
+
+/// Min-cost max-flow from s to t (send at most `flow_limit`). Costs may be
+/// negative as long as the residual graph has no negative cycle reachable in
+/// the augmentation process (plain negative arcs are fine).
+McmfResult ssp_min_cost_max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t,
+                                 std::int64_t flow_limit = kInfFlow);
+
+/// Min-cost circulation/b-flow: route demands b (sum zero; b[v] > 0 means v
+/// supplies). Returns flow=total routed supply; cost of the routing.
+/// Feasibility required (checked: flow == total supply).
+McmfResult ssp_min_cost_b_flow(const graph::Digraph& g, const std::vector<std::int64_t>& b);
+
+}  // namespace pmcf::baselines

@@ -1,0 +1,115 @@
+#include "ds/dual_maintenance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::ds {
+
+namespace {
+using linalg::Vec;
+}
+
+DualMaintenance::DualMaintenance(const graph::Digraph& g, Vec v_init, Vec w,
+                                 DualMaintenanceOptions opts)
+    : g_(&g), a_(g), opts_(opts), w_(std::move(w)) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  period_ = opts_.period > 0
+                ? opts_.period
+                : static_cast<std::int32_t>(std::uint64_t{1}
+                                            << par::ceil_log2(static_cast<std::uint64_t>(
+                                                   std::ceil(std::sqrt(static_cast<double>(n)))) + 1));
+  levels_ = static_cast<std::int32_t>(par::ceil_log2(static_cast<std::uint64_t>(period_))) + 1;
+  reinitialize(std::move(v_init));
+}
+
+void DualMaintenance::reinitialize(Vec v_init) {
+  const auto n = static_cast<std::size_t>(g_->num_vertices());
+  v_init_ = std::move(v_init);
+  v_bar_ = v_init_;
+  f_hat_.assign(n, 0.0);
+  f_level_.assign(static_cast<std::size_t>(levels_), Vec(n, 0.0));
+  pending_.assign(static_cast<std::size_t>(levels_), {});
+  t_ = 0;
+  // HeavyHitter rows weighted by 1/w: a drift of 0.2 w_i ε shows up as a
+  // weighted magnitude of 0.2 ε.
+  Vec inv_w(w_.size());
+  for (std::size_t i = 0; i < w_.size(); ++i) inv_w[i] = w_[i] > 0.0 ? 1.0 / w_[i] : 0.0;
+  hh_ = std::make_unique<HeavyHitter>(*g_, std::move(inv_w), opts_.hh);
+}
+
+std::vector<std::size_t> DualMaintenance::verify(const std::vector<std::size_t>& idx) {
+  std::vector<std::size_t> changed;
+  const double tol = 0.2 * opts_.eps / static_cast<double>(std::max(levels_, 1));
+  for (const std::size_t i : idx) {
+    const auto& arc = g_->arc(static_cast<graph::EdgeId>(i));
+    const auto u = static_cast<std::size_t>(arc.from);
+    const auto v = static_cast<std::size_t>(arc.to);
+    const double fu = u == static_cast<std::size_t>(a_.dropped()) ? 0.0 : f_hat_[u];
+    const double fv = v == static_cast<std::size_t>(a_.dropped()) ? 0.0 : f_hat_[v];
+    const double exact = v_init_[i] + (fv - fu);
+    if (std::abs(v_bar_[i] - exact) >= tol * w_[i]) {
+      v_bar_[i] = exact;
+      changed.push_back(i);
+    }
+  }
+  par::charge(idx.size() + 1, par::ceil_log2(idx.size() + 2));
+  return changed;
+}
+
+DualMaintenance::AddResult DualMaintenance::add(const Vec& h) {
+  if (t_ == period_) {
+    // Periodic rebuild from the exact current vector.
+    reinitialize(compute_exact());
+  }
+  ++t_;
+  par::parallel_for(0, f_hat_.size(), [&](std::size_t i) { f_hat_[i] += h[i]; });
+
+  // Dyadic windows: add h to every level; levels j with 2^j | t fire a
+  // heavy query against their window sum and then reset.
+  std::vector<std::size_t> candidates;
+  const double threshold = 0.2 * opts_.eps / static_cast<double>(std::max(levels_, 1));
+  for (std::int32_t j = 0; j < levels_; ++j) {
+    auto& fj = f_level_[static_cast<std::size_t>(j)];
+    par::parallel_for(0, fj.size(), [&](std::size_t i) { fj[i] += h[i]; });
+    if (t_ % (std::int32_t{1} << j) == 0) {
+      const auto heavy = hh_->heavy_query(fj, threshold);
+      candidates.insert(candidates.end(), heavy.begin(), heavy.end());
+      fj.assign(fj.size(), 0.0);
+      // Deferred accuracy-change re-checks scheduled on this level.
+      auto& pend = pending_[static_cast<std::size_t>(j)];
+      candidates.insert(candidates.end(), pend.begin(), pend.end());
+      pend.clear();
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  AddResult res;
+  res.changed = verify(candidates);
+  res.approx = &v_bar_;
+  return res;
+}
+
+void DualMaintenance::set_accuracy(const std::vector<std::size_t>& idx, const Vec& delta) {
+  Vec inv(idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    w_[idx[k]] = delta[k];
+    inv[k] = delta[k] > 0.0 ? 1.0 / delta[k] : 0.0;
+  }
+  hh_->scale(idx, inv);
+  // Re-check the touched indices immediately and at every dyadic boundary.
+  (void)verify(idx);
+  for (auto& pend : pending_) pend.insert(pend.end(), idx.begin(), idx.end());
+  par::charge(idx.size() + 1, par::ceil_log2(idx.size() + 2));
+}
+
+Vec DualMaintenance::compute_exact() const {
+  Vec out(v_init_.size());
+  const Vec af = a_.apply(f_hat_);
+  par::parallel_for(0, out.size(), [&](std::size_t i) { out[i] = v_init_[i] + af[i]; });
+  return out;
+}
+
+}  // namespace pmcf::ds

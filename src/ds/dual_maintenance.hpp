@@ -1,0 +1,71 @@
+#pragma once
+// Dual maintenance (Theorem E.1, Algorithm 9).
+//
+// Maintains v^(t) = v_init + A Σ_k h^(k) implicitly and an explicit
+// approximation v̄ with ||w^{-1}(v̄ - v^(t))||_∞ <= ε, returning after each
+// ADD the set of indices whose v̄ changed. Drift detection uses log T dyadic
+// accumulators f^(j) = Σ of the last 2^j step vectors, each checked by a
+// HeavyHitter (Lemma B.1) with row weights 1/w every 2^j steps — so an entry
+// is re-read as soon as any dyadic window moved it by > 0.2 w_i ε / log T.
+// Every T = Θ(√n) steps the structure reinitializes (amortized Õ(m/√n)).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ds/heavy_hitter.hpp"
+#include "graph/digraph.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace pmcf::ds {
+
+struct DualMaintenanceOptions {
+  double eps = 0.05;
+  std::int32_t period = 0;  ///< T; 0 => 2^ceil(log2(sqrt(n)))
+  HeavyHitterOptions hh;
+};
+
+class DualMaintenance {
+ public:
+  DualMaintenance(const graph::Digraph& g, linalg::Vec v_init, linalg::Vec w,
+                  DualMaintenanceOptions opts = {});
+
+  struct AddResult {
+    const linalg::Vec* approx;          ///< pointer to v̄
+    std::vector<std::size_t> changed;   ///< indices updated this call
+  };
+
+  /// Accumulate one step h ∈ R^n (the dropped coordinate must be 0).
+  AddResult add(const linalg::Vec& h);
+
+  /// w_i <- delta_i for i in idx (accuracy change forces re-verification).
+  void set_accuracy(const std::vector<std::size_t>& idx, const linalg::Vec& delta);
+
+  /// The exact v^(t) (O(m) work).
+  [[nodiscard]] linalg::Vec compute_exact() const;
+
+  [[nodiscard]] const linalg::Vec& approx() const { return v_bar_; }
+  [[nodiscard]] std::int32_t steps() const { return t_; }
+
+ private:
+  void reinitialize(linalg::Vec v_init);
+  std::vector<std::size_t> verify(const std::vector<std::size_t>& idx);
+
+  const graph::Digraph* g_;
+  linalg::IncidenceOp a_;
+  DualMaintenanceOptions opts_;
+  std::int32_t period_ = 0;
+  std::int32_t levels_ = 0;
+
+  linalg::Vec v_init_;
+  linalg::Vec w_;
+  linalg::Vec v_bar_;
+  linalg::Vec f_hat_;                       // Σ h since reinit
+  std::vector<linalg::Vec> f_level_;        // dyadic window sums
+  std::vector<std::vector<std::size_t>> pending_;  // F_j: deferred re-checks
+  std::unique_ptr<HeavyHitter> hh_;
+  std::int32_t t_ = 0;
+};
+
+}  // namespace pmcf::ds

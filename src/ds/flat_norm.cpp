@@ -1,0 +1,83 @@
+#include "ds/flat_norm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::ds {
+
+namespace {
+
+using linalg::Vec;
+
+/// Best objective for a fixed ||w||_∞ budget beta (and the induced
+/// ||w||_τ budget r); fills `w` if non-null.
+double inner_value(const Vec& v, const Vec& tau, double beta, double r, Vec* w) {
+  const std::size_t m = v.size();
+  if (beta <= 0.0 || r <= 0.0) {
+    if (w != nullptr) w->assign(m, 0.0);
+    return 0.0;
+  }
+  // Find λ with Σ τ_i min(β, λ|v_i|/τ_i)² = r² (monotone in λ).
+  auto tau_norm_sq = [&](double lambda) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double wi = std::min(beta, lambda * std::abs(v[i]) / tau[i]);
+      acc += tau[i] * wi * wi;
+    }
+    return acc;
+  };
+  // Upper bound for λ: everything clipped at β.
+  double lo = 0.0, hi = 1.0;
+  while (tau_norm_sq(hi) < r * r) {
+    hi *= 2.0;
+    if (hi > 1e30) break;  // all entries clipped; the cap β binds everywhere
+  }
+  for (int it = 0; it < 44; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (tau_norm_sq(mid) < r * r) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double lambda = 0.5 * (lo + hi);
+  double val = 0.0;
+  if (w != nullptr) w->assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double wi = std::min(beta, lambda * std::abs(v[i]) / tau[i]);
+    const double signed_wi = v[i] >= 0.0 ? wi : -wi;
+    val += v[i] * signed_wi;
+    if (w != nullptr) (*w)[i] = signed_wi;
+  }
+  par::charge(46 * m, 46 + par::ceil_log2(std::max<std::size_t>(m, 2)));
+  return val;
+}
+
+}  // namespace
+
+FlatNormResult flat_norm_argmax(const Vec& v, const Vec& tau, double c_norm) {
+  // Outer ternary search over beta in [0, 1]; objective is unimodal in the
+  // budget split (it is the support function of a convex body sliced along
+  // a line of feasible splits).
+  auto value_at = [&](double beta) {
+    return inner_value(v, tau, beta, (1.0 - beta) / c_norm, nullptr);
+  };
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 32; ++it) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (value_at(m1) < value_at(m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  const double beta = 0.5 * (lo + hi);
+  FlatNormResult res;
+  res.value = inner_value(v, tau, beta, (1.0 - beta) / c_norm, &res.w);
+  return res;
+}
+
+}  // namespace pmcf::ds

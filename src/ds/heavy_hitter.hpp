@@ -1,0 +1,90 @@
+#pragma once
+// HeavyHitter data structure (Lemma B.1 / Corollary B.2).
+//
+// Rows of Diag(g)·A (A the incidence matrix of a digraph) are grouped into
+// weight buckets g_e ∈ [2^i, 2^{i+1}); each bucket maintains a dynamic
+// expander decomposition of its (undirected view) edge set (Lemma 3.1).
+// Because each cluster is an expander, an edge with |g_e (Ah)_e| >= ε must
+// have an endpoint whose degree-shifted potential h'_v is >= ε/2^{i+2}, so
+// HEAVYQUERY only scans the incident edges of those few vertices — work
+// Õ(||Diag(g)Ah||² ε^{-2} + n log W) instead of O(m).
+//
+// SAMPLE / PROBABILITY / LEVERAGESCORESAMPLE implement the ℓ2-proportional
+// and leverage-score-overestimate sampling of Lemma B.1 with work
+// proportional to the expected output size.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "expander/dynamic_decomp.hpp"
+#include "graph/digraph.hpp"
+#include "linalg/vec_ops.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::ds {
+
+/// Options for HeavyHitter.
+struct HeavyHitterOptions {
+  double phi = 0.125;
+  std::uint64_t seed = 17;
+  expander::DynamicDecompOptions decomp;  ///< phi overwritten with `phi`
+};
+
+class HeavyHitter {
+ public:
+  using Options = HeavyHitterOptions;
+
+  /// Rows indexed by arc id of `g` (held by reference; topology must outlive
+  /// this object). `weights` = the diagonal g (non-negative).
+  HeavyHitter(const graph::Digraph& g, linalg::Vec weights, Options opts = {});
+
+  /// weights[idx[k]] <- vals[k]; moves rows between weight buckets.
+  void scale(const std::vector<std::size_t>& idx, const linalg::Vec& vals);
+
+  /// All arcs e with |g_e (Ah)_e| >= eps. `h` has one entry per vertex (set
+  /// the dropped coordinate to 0 to model the reduced incidence matrix).
+  [[nodiscard]] std::vector<std::size_t> heavy_query(const linalg::Vec& h, double eps);
+
+  /// ℓ2-proportional sampling of Diag(g)Ah (Lemma B.1 SAMPLE).
+  [[nodiscard]] std::vector<std::size_t> sample(const linalg::Vec& h, double big_k);
+
+  /// Per-arc inclusion probabilities matching sample().
+  [[nodiscard]] linalg::Vec probability(const std::vector<std::size_t>& idx, const linalg::Vec& h,
+                                        double big_k) const;
+
+  /// Leverage-score-overestimate sampling (Lemma B.1 LEVERAGESCORESAMPLE).
+  [[nodiscard]] std::vector<std::size_t> leverage_sample(double k_prime);
+
+  /// Per-arc inclusion probabilities matching leverage_sample().
+  [[nodiscard]] linalg::Vec leverage_bound(const std::vector<std::size_t>& idx,
+                                           double k_prime) const;
+
+  [[nodiscard]] double weight(std::size_t e) const { return weights_[e]; }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t last_query_scans() const { return last_query_scans_; }
+
+ private:
+  struct Bucket {
+    std::int32_t exponent = 0;
+    std::unique_ptr<expander::DynamicExpanderDecomposition> decomp;
+    std::size_t count = 0;
+  };
+  static std::int32_t exponent_of(double w);
+  Bucket& bucket_for(std::int32_t exp);
+  /// Normalization Σ_{clusters} 2^{2i} Σ_v h'_v² deg(v) used by sample().
+  [[nodiscard]] double sample_mass(const linalg::Vec& h) const;
+  [[nodiscard]] double vertex_sample_prob(const linalg::Vec& h, double big_k, std::size_t arc,
+                                          double mass) const;
+
+  const graph::Digraph* g_;
+  linalg::Vec weights_;
+  Options opts_;
+  std::unordered_map<std::int32_t, std::size_t> bucket_index_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::int32_t> row_bucket_;  ///< exponent per arc; INT32_MIN = zero weight
+  par::Rng rng_;
+  std::uint64_t last_query_scans_ = 0;
+};
+
+}  // namespace pmcf::ds

@@ -1,0 +1,56 @@
+#pragma once
+// HeavySampler (Theorem E.2, Algorithm 10): the random diagonal matrix R
+// used to sparsify the primal step (eq. (5)). Each row i is kept with
+// probability at least
+//   min{1, C1 (m/√n) (GAh)_i² / ||GAh||² + C2/√n + C3 n τ_i/||τ||_1},
+// and R_{i,i} = 1/p_i so that E[R] = I. Composes three samplers:
+// HeavyHitter ℓ2-sampling, a uniform m/√n Bernoulli, and the τ-sampler.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ds/heavy_hitter.hpp"
+#include "ds/tau_sampler.hpp"
+#include "graph/digraph.hpp"
+#include "linalg/vec_ops.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::ds {
+
+struct HeavySamplerOptions {
+  double c1 = 1.0;
+  double c2 = 1.0;
+  double c3 = 1.0;
+  std::uint64_t seed = 23;
+  HeavyHitterOptions hh;
+};
+
+class HeavySampler {
+ public:
+  /// One entry of the sampled diagonal.
+  struct Entry {
+    std::size_t index;
+    double inv_prob;  ///< R_{i,i} = 1/p_i
+  };
+
+  HeavySampler(const graph::Digraph& g, linalg::Vec weights, linalg::Vec tau,
+               HeavySamplerOptions opts = {});
+
+  /// g_i <- a_i, tau_i <- b_i for i in idx.
+  void scale(const std::vector<std::size_t>& idx, const linalg::Vec& a, const linalg::Vec& b);
+
+  /// Draw R for direction h (vertex potentials; dropped coordinate 0).
+  [[nodiscard]] std::vector<Entry> sample(const linalg::Vec& h);
+
+ private:
+  const graph::Digraph* g_;
+  HeavySamplerOptions opts_;
+  HeavyHitter hh_;
+  TauSampler tau_sampler_;
+  par::Rng rng_;
+  std::size_t m_;
+  std::size_t n_;
+};
+
+}  // namespace pmcf::ds

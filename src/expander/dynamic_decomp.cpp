@@ -1,0 +1,201 @@
+#include "expander/dynamic_decomp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::expander {
+
+namespace {
+using graph::EdgeId;
+using graph::UndirectedGraph;
+using graph::Vertex;
+}  // namespace
+
+DynamicExpanderDecomposition::DynamicExpanderDecomposition(Vertex n, Options opts)
+    : n_(n), opts_(opts), rng_(opts.seed) {
+  opts_.engine.phi = opts_.phi;
+  opts_.static_opts.phi = opts_.phi;
+}
+
+void DynamicExpanderDecomposition::insert(const std::vector<EdgeSpec>& edges) {
+  if (edges.empty()) return;
+  // Find the smallest level i whose capacity 2^i fits the new edges plus
+  // everything currently stored at levels <= i.
+  std::int64_t carried = static_cast<std::int64_t>(edges.size());
+  std::int32_t target = 0;
+  for (;; ++target) {
+    if (target < num_levels()) carried += levels_[static_cast<std::size_t>(target)].edge_count;
+    if ((std::int64_t{1} << target) >= carried) break;
+  }
+  while (num_levels() <= target) levels_.emplace_back();
+
+  // Gather everything at levels <= target (ids + endpoints), then clear.
+  std::vector<EdgeSpec> unioned = edges;
+  unioned.reserve(static_cast<std::size_t>(carried));
+  for (std::int32_t l = 0; l <= target; ++l) {
+    Level& level = levels_[static_cast<std::size_t>(l)];
+    for (const auto& cl : level.clusters) {
+      if (!cl) continue;
+      const UndirectedGraph& g = cl->graph();
+      for (const EdgeId e : g.live_edges()) {
+        const auto ep = g.endpoints(e);
+        unioned.push_back({cl->to_global(ep.u), cl->to_global(ep.v), cl->ext_of(e)});
+      }
+    }
+    level.clusters.clear();
+    level.edge_count = 0;
+  }
+  ++rebuilds_;
+  place_into_level(target, std::move(unioned));
+}
+
+void DynamicExpanderDecomposition::place_into_level(std::int32_t level_idx,
+                                                    std::vector<EdgeSpec> edges) {
+  Level& level = levels_[static_cast<std::size_t>(level_idx)];
+  if (edges.empty()) return;
+
+  // Compact the touched vertex set and build the union graph.
+  std::vector<std::int32_t> local_of(static_cast<std::size_t>(n_), -1);
+  std::vector<Vertex> to_global;
+  auto localize = [&](Vertex g) {
+    auto& slot = local_of[static_cast<std::size_t>(g)];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(to_global.size());
+      to_global.push_back(g);
+    }
+    return static_cast<Vertex>(slot);
+  };
+  UndirectedGraph unioned(0);
+  std::vector<EdgeSpec> specs;
+  specs.reserve(edges.size());
+  std::vector<std::pair<Vertex, Vertex>> local_ends;
+  local_ends.reserve(edges.size());
+  for (const EdgeSpec& s : edges) {
+    if (s.u == s.v) continue;  // self-loops never help expansion; drop them
+    local_ends.emplace_back(localize(s.u), localize(s.v));
+    specs.push_back(s);
+  }
+  unioned = UndirectedGraph(static_cast<Vertex>(to_global.size()));
+  for (const auto& [lu, lv] : local_ends) unioned.add_edge(lu, lv);
+  par::charge(edges.size(), par::ceil_log2(edges.size() + 2));
+
+  // Static edge-partitioned decomposition (Lemma 3.4) of the union.
+  const auto parts = edge_expander_decomposition(unioned, rng_, opts_.static_opts);
+
+  for (const EdgeCluster& part : parts) {
+    // Build the cluster-local graph; cluster edge slot k corresponds to
+    // part.edges[k], whose external id is specs[...].id.
+    std::vector<std::int32_t> cl_local(to_global.size(), -1);
+    std::vector<Vertex> cl_to_global;
+    auto cl_localize = [&](Vertex union_local) {
+      auto& slot = cl_local[static_cast<std::size_t>(union_local)];
+      if (slot < 0) {
+        slot = static_cast<std::int32_t>(cl_to_global.size());
+        cl_to_global.push_back(to_global[static_cast<std::size_t>(union_local)]);
+      }
+      return static_cast<Vertex>(slot);
+    };
+    std::vector<ExtId> ext_ids;
+    ext_ids.reserve(part.edges.size());
+    std::vector<std::pair<Vertex, Vertex>> cl_edges;
+    for (const EdgeId ue : part.edges) {
+      const auto& [lu, lv] = local_ends[static_cast<std::size_t>(ue)];
+      cl_edges.emplace_back(cl_localize(lu), cl_localize(lv));
+      ext_ids.push_back(specs[static_cast<std::size_t>(ue)].id);
+    }
+    UndirectedGraph cl_graph(static_cast<Vertex>(cl_to_global.size()));
+    for (const auto& [a, b] : cl_edges) cl_graph.add_edge(a, b);
+
+    auto cluster = std::make_unique<Cluster>(std::move(cl_graph), std::move(cl_to_global),
+                                             std::move(ext_ids), opts_.engine);
+    const auto cidx = static_cast<std::int32_t>(level.clusters.size());
+    // Register edge locations: cluster edge slot k == k-th added edge.
+    for (std::size_t k = 0; k < part.edges.size(); ++k) {
+      loc_[cluster->ext_of(static_cast<EdgeId>(k))] = {level_idx, cidx,
+                                                       static_cast<EdgeId>(k)};
+    }
+    level.edge_count += static_cast<std::int64_t>(part.edges.size());
+    level.clusters.push_back(std::move(cluster));
+  }
+  par::charge(edges.size(), par::ceil_log2(edges.size() + 2));
+}
+
+void DynamicExpanderDecomposition::erase(const std::vector<ExtId>& ids) {
+  // Group deletions by owning cluster.
+  struct Key {
+    std::int32_t level;
+    std::int32_t cluster;
+  };
+  std::vector<std::pair<Loc, ExtId>> found;
+  for (const ExtId id : ids) {
+    const auto it = loc_.find(id);
+    if (it == loc_.end()) continue;
+    found.emplace_back(it->second, id);
+    loc_.erase(it);
+  }
+  std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.level, a.first.cluster) < std::tie(b.first.level, b.first.cluster);
+  });
+  par::charge(found.size(), par::ceil_log2(found.size() + 2));
+
+  std::vector<EdgeSpec> reinsert;
+  for (std::size_t i = 0; i < found.size();) {
+    const std::int32_t lvl = found[i].first.level;
+    const std::int32_t cidx = found[i].first.cluster;
+    std::vector<EdgeId> locals;
+    std::size_t j = i;
+    while (j < found.size() && found[j].first.level == lvl && found[j].first.cluster == cidx)
+      locals.push_back(found[j++].first.local_edge);
+    Level& level = levels_[static_cast<std::size_t>(lvl)];
+    Cluster& cl = *level.clusters[static_cast<std::size_t>(cidx)];
+    level.edge_count -= static_cast<std::int64_t>(locals.size());
+
+    const auto result = cl.pruning().delete_batch(locals);
+    // Evicted edges (incident to pruned vertices) migrate back down and are
+    // re-inserted; endpoints come from the pristine cluster topology.
+    for (const EdgeId e : result.evicted) {
+      const ExtId ext = cl.ext_of(e);
+      const auto it = loc_.find(ext);
+      if (it == loc_.end()) continue;  // was deleted in this very batch
+      loc_.erase(it);
+      level.edge_count -= 1;
+      const auto ep = cl.pruning().pristine_endpoints(e);
+      reinsert.push_back({cl.to_global(ep.u), cl.to_global(ep.v), ext});
+    }
+    i = j;
+  }
+  if (!reinsert.empty()) insert(reinsert);
+}
+
+const DynamicExpanderDecomposition::Cluster* DynamicExpanderDecomposition::find(
+    ExtId id, EdgeId* local_edge) const {
+  const auto it = loc_.find(id);
+  if (it == loc_.end()) return nullptr;
+  if (local_edge != nullptr) *local_edge = it->second.local_edge;
+  return levels_[static_cast<std::size_t>(it->second.level)]
+      .clusters[static_cast<std::size_t>(it->second.cluster)]
+      .get();
+}
+
+std::vector<const DynamicExpanderDecomposition::Cluster*>
+DynamicExpanderDecomposition::clusters() const {
+  std::vector<const Cluster*> out;
+  for (const auto& level : levels_)
+    for (const auto& cl : level.clusters)
+      if (cl && cl->graph().num_edges() > 0) out.push_back(cl.get());
+  return out;
+}
+
+std::int64_t DynamicExpanderDecomposition::total_cluster_vertices() const {
+  std::int64_t total = 0;
+  for (const Cluster* cl : clusters()) {
+    const auto& g = cl->graph();
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      if (g.degree(v) > 0) ++total;
+  }
+  return total;
+}
+
+}  // namespace pmcf::expander

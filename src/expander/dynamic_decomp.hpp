@@ -1,0 +1,123 @@
+#pragma once
+// Fully dynamic edge-partitioned expander decomposition (Lemma 3.1).
+//
+// Structure (following [BvdBG+22] as described in Section 3):
+//   - Edges live in O(log m) levels; level i holds at most 2^i edges.
+//   - Each level is statically decomposed (Lemma 3.4) into expander clusters;
+//     each cluster carries an ExpanderPruning instance (Lemma 3.3).
+//   - insert(E'): find the smallest level i whose capacity 2^i fits E' plus
+//     everything at levels <= i, gather those edges, and statically
+//     re-decompose the union into level i.
+//   - erase(E'): route deletions to their owning clusters' pruning
+//     structures; pruned vertices' surviving edges are evicted and
+//     re-inserted (cascading through insert).
+//
+// Edges are identified by caller-chosen external ids (ExtId) — in the IPM
+// these are matrix row indices (Lemma B.1).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "expander/pruning.hpp"
+#include "expander/static_decomp.hpp"
+#include "graph/ungraph.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::expander {
+
+/// Options for DynamicExpanderDecomposition.
+struct DynamicDecompOptions {
+  double phi = 0.1;
+  EngineOptions engine;             ///< phi is overwritten with `phi`
+  StaticDecompOptions static_opts;  ///< phi is overwritten with `phi`
+  std::uint64_t seed = 1;
+};
+
+class DynamicExpanderDecomposition {
+ public:
+  using ExtId = std::int64_t;
+  using Options = DynamicDecompOptions;
+
+  struct EdgeSpec {
+    graph::Vertex u;
+    graph::Vertex v;
+    ExtId id;
+  };
+
+  /// One expander cluster of the current decomposition.
+  class Cluster {
+   public:
+    Cluster(graph::UndirectedGraph local, std::vector<graph::Vertex> to_global,
+            std::vector<ExtId> ext_ids, const EngineOptions& opts)
+        : pruning_(std::move(local), opts),
+          to_global_(std::move(to_global)),
+          ext_ids_(std::move(ext_ids)) {}
+
+    /// Current cluster graph in local ids (edges already deleted/evicted
+    /// are gone; edge slot ids index ext_of()).
+    [[nodiscard]] const graph::UndirectedGraph& graph() const { return pruning_.current_graph(); }
+    [[nodiscard]] graph::Vertex to_global(graph::Vertex local) const {
+      return to_global_[static_cast<std::size_t>(local)];
+    }
+    [[nodiscard]] const std::vector<graph::Vertex>& global_vertices() const { return to_global_; }
+    [[nodiscard]] ExtId ext_of(graph::EdgeId local) const {
+      return ext_ids_[static_cast<std::size_t>(local)];
+    }
+    [[nodiscard]] ExpanderPruning& pruning() { return pruning_; }
+    [[nodiscard]] const ExpanderPruning& pruning() const { return pruning_; }
+
+   private:
+    ExpanderPruning pruning_;
+    std::vector<graph::Vertex> to_global_;
+    std::vector<ExtId> ext_ids_;  // local edge slot -> external id
+  };
+
+  explicit DynamicExpanderDecomposition(graph::Vertex n, Options opts = {});
+
+  void insert(const std::vector<EdgeSpec>& edges);
+  void erase(const std::vector<ExtId>& ids);
+
+  [[nodiscard]] std::size_t num_edges() const { return loc_.size(); }
+  [[nodiscard]] bool contains(ExtId id) const { return loc_.contains(id); }
+
+  /// Cluster currently owning `id` (nullptr if absent); optionally reports
+  /// the edge's local slot id within that cluster.
+  [[nodiscard]] const Cluster* find(ExtId id, graph::EdgeId* local_edge = nullptr) const;
+
+  /// All live clusters across all levels.
+  [[nodiscard]] std::vector<const Cluster*> clusters() const;
+
+  /// Sum over clusters of their (non-pruned, non-isolated) vertex counts —
+  /// the Õ(n) quantity of Lemma 3.1.
+  [[nodiscard]] std::int64_t total_cluster_vertices() const;
+
+  [[nodiscard]] std::int32_t num_levels() const { return static_cast<std::int32_t>(levels_.size()); }
+  [[nodiscard]] std::int64_t level_edge_count(std::int32_t i) const {
+    return levels_[static_cast<std::size_t>(i)].edge_count;
+  }
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  struct Loc {
+    std::int32_t level;
+    std::int32_t cluster;
+    graph::EdgeId local_edge;
+  };
+  struct Level {
+    std::vector<std::unique_ptr<Cluster>> clusters;
+    std::int64_t edge_count = 0;
+  };
+
+  void place_into_level(std::int32_t level, std::vector<EdgeSpec> edges);
+
+  graph::Vertex n_;
+  Options opts_;
+  par::Rng rng_;
+  std::vector<Level> levels_;
+  std::unordered_map<ExtId, Loc> loc_;
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace pmcf::expander

@@ -1,0 +1,64 @@
+#include "expander/pruning.hpp"
+
+#include <algorithm>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::expander {
+
+namespace {
+using graph::EdgeId;
+using graph::UndirectedGraph;
+using graph::Vertex;
+}  // namespace
+
+ExpanderPruning::ExpanderPruning(UndirectedGraph cluster_graph, EngineOptions opts)
+    : pristine_(std::move(cluster_graph)), opts_(opts) {
+  engine_ = std::make_unique<TrimmingEngine>(pristine_, opts_);
+  pruned_.assign(static_cast<std::size_t>(pristine_.num_vertices()), 0);
+  gone_.assign(pristine_.edge_slots(), 0);
+}
+
+std::uint64_t ExpanderPruning::edge_scans() const {
+  return retired_scans_ + engine_->edge_scans();
+}
+
+ExpanderPruning::BatchResult ExpanderPruning::delete_batch(const std::vector<EdgeId>& batch) {
+  BatchResult out;
+  std::vector<EdgeId> engine_batch;
+  if (engine_->batches_processed() >= opts_.batch_limit) {
+    // Lemma 3.5 rollback: rebuild from the pristine graph and replay the
+    // whole history plus the new batch as one combined deletion.
+    out.rolled_back = true;
+    ++rollbacks_;
+    retired_scans_ += engine_->edge_scans();
+    engine_ = std::make_unique<TrimmingEngine>(pristine_, opts_);
+    engine_batch = gone_list_;
+  }
+  for (const EdgeId e : batch) {
+    if (e >= 0 && static_cast<std::size_t>(e) < gone_.size() && !gone_[static_cast<std::size_t>(e)]) {
+      gone_[static_cast<std::size_t>(e)] = 1;
+      gone_list_.push_back(e);
+      engine_batch.push_back(e);
+    }
+  }
+  std::vector<EdgeId> evicted;
+  const std::vector<Vertex> newly = engine_->delete_batch(engine_batch, &evicted);
+  for (const Vertex v : newly) {
+    if (pruned_[static_cast<std::size_t>(v)]) continue;  // re-pruned after rollback
+    pruned_[static_cast<std::size_t>(v)] = 1;
+    pruned_volume_ += pristine_.degree(v);
+    out.pruned.push_back(v);
+  }
+  for (const EdgeId e : evicted) {
+    if (gone_[static_cast<std::size_t>(e)]) continue;  // already reported
+    gone_[static_cast<std::size_t>(e)] = 1;
+    gone_list_.push_back(e);
+    out.evicted.push_back(e);
+  }
+  par::charge(batch.size() + out.pruned.size() + out.evicted.size() + 1,
+              par::ceil_log2(batch.size() + 2));
+  return out;
+}
+
+}  // namespace pmcf::expander

@@ -1,0 +1,67 @@
+#pragma once
+// Expander pruning (Lemma 3.3) = bounded-batch trimming engine (Lemma 3.6)
+// + batch-number boosting (Lemma 3.5).
+//
+// The TrimmingEngine supports only `batch_limit` deletion batches before its
+// guarantees decay (capacities grow 2i/φ, sink budgets approach deg). The
+// boosting wrapper restores unbounded batch support by rolling back: once the
+// inner engine exhausts its batch budget, it is rebuilt from the pristine
+// cluster graph and all historical deletions are replayed as one combined
+// batch (the binary-counter special case of Lemma 3.5's D_k schedule — same
+// guarantee, amortized work |history|/batch_limit per batch at our scales).
+//
+// The maintained pruned set P is monotone (P_i ⊆ P_{i+1}, Lemma 3.3 point 1):
+// vertices pruned before a rollback stay pruned; their edges are part of the
+// replayed deletions, so the rebuilt engine sees them as isolated.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "expander/trimming_engine.hpp"
+#include "graph/ungraph.hpp"
+
+namespace pmcf::expander {
+
+class ExpanderPruning {
+ public:
+  /// Takes the pristine cluster graph (a copy is kept for rollbacks).
+  ExpanderPruning(graph::UndirectedGraph cluster_graph, EngineOptions opts);
+
+  struct BatchResult {
+    std::vector<graph::Vertex> pruned;   ///< vertices newly added to P
+    std::vector<graph::EdgeId> evicted;  ///< live edges removed alongside them
+    bool rolled_back = false;            ///< a Lemma 3.5 rollback happened
+  };
+
+  /// Delete a batch of (pristine-graph) edge ids.
+  BatchResult delete_batch(const std::vector<graph::EdgeId>& batch);
+
+  [[nodiscard]] bool vertex_pruned(graph::Vertex v) const {
+    return pruned_[static_cast<std::size_t>(v)] != 0;
+  }
+  [[nodiscard]] const std::vector<char>& pruned_flags() const { return pruned_; }
+  /// Current working graph: the cluster minus deleted edges and minus pruned
+  /// vertices' edges. Edge ids match the pristine graph.
+  [[nodiscard]] const graph::UndirectedGraph& current_graph() const { return engine_->graph(); }
+  [[nodiscard]] std::int64_t pruned_volume() const { return pruned_volume_; }
+  /// Endpoints in the pristine cluster topology (valid for any ever-live id).
+  [[nodiscard]] graph::UndirectedGraph::Endpoints pristine_endpoints(graph::EdgeId e) const {
+    return pristine_.endpoints(e);
+  }
+  [[nodiscard]] std::int32_t rollbacks() const { return rollbacks_; }
+  [[nodiscard]] std::uint64_t edge_scans() const;
+
+ private:
+  graph::UndirectedGraph pristine_;
+  EngineOptions opts_;
+  std::unique_ptr<TrimmingEngine> engine_;
+  std::vector<char> pruned_;
+  std::vector<char> gone_;  ///< edge ids already deleted or evicted
+  std::vector<graph::EdgeId> gone_list_;
+  std::int64_t pruned_volume_ = 0;
+  std::int32_t rollbacks_ = 0;
+  std::uint64_t retired_scans_ = 0;  ///< scans of rolled-back engines
+};
+
+}  // namespace pmcf::expander

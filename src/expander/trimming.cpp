@@ -1,0 +1,224 @@
+#include "expander/trimming.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "expander/unit_flow.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace pmcf::expander {
+
+namespace {
+using graph::UndirectedGraph;
+using graph::Vertex;
+}  // namespace
+
+TrimmingResult trimming(const UndirectedGraph& g, std::vector<char> in_a,
+                        const std::vector<std::int64_t>& boundary_count,
+                        const TrimmingOptions& opts) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const std::size_t slots = g.edge_slots();
+  assert(in_a.size() == n && boundary_count.size() == n);
+
+  const auto cap = static_cast<std::int64_t>(std::ceil(2.0 / opts.phi));
+  const std::uint64_t lg = std::max<std::uint64_t>(par::ceil_log2(n), 1);
+  const std::int32_t h =
+      opts.height > 0
+          ? opts.height
+          : static_cast<std::int32_t>(
+                std::ceil(opts.height_multiplier * static_cast<double>(lg) / opts.phi));
+  const std::int32_t max_outer =
+      opts.max_outer > 0 ? opts.max_outer : static_cast<std::int32_t>(2 * lg + 4);
+
+  TrimmingResult res;
+  res.in_a_prime = std::move(in_a);
+  res.flow.assign(slots, 0);
+  res.absorbed.assign(n, 0);
+
+  // Per-edge capacities: `cap` inside A, 0 on masked edges.
+  std::vector<std::int64_t> caps(slots, 0);
+  for (const graph::EdgeId e : g.live_edges()) {
+    const auto ep = g.endpoints(e);
+    if (res.in_a_prime[static_cast<std::size_t>(ep.u)] &&
+        res.in_a_prime[static_cast<std::size_t>(ep.v)])
+      caps[static_cast<std::size_t>(e)] = cap;
+  }
+
+  // inj[v] = source already injected; req[v]/cap = boundary edges accounted.
+  std::vector<std::int64_t> inj(n, 0);
+  std::vector<std::int64_t> req(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    if (res.in_a_prime[v]) req[v] = cap * boundary_count[v];
+  // Live edges with exactly one endpoint in A are boundary edges too.
+  for (const graph::EdgeId e : g.live_edges()) {
+    const auto ep = g.endpoints(e);
+    const bool iu = res.in_a_prime[static_cast<std::size_t>(ep.u)] != 0;
+    const bool iv = res.in_a_prime[static_cast<std::size_t>(ep.v)] != 0;
+    if (iu != iv) req[static_cast<std::size_t>(iu ? ep.u : ep.v)] += cap;
+  }
+
+  // Sink budget per vertex across outer iterations, granted by floor-diffs.
+  std::vector<std::int64_t> sink_budget(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    if (res.in_a_prime[v])
+      sink_budget[v] = static_cast<std::int64_t>(
+          std::floor(opts.sink_budget_fraction * static_cast<double>(g.degree(static_cast<Vertex>(v)))));
+
+  std::vector<std::int64_t> pending_excess(n, 0);  // returned flow etc.
+  par::charge(slots + n, par::ceil_log2(std::max<std::size_t>(slots + n, 2)));
+
+  for (std::int32_t iter = 1; iter <= max_outer; ++iter) {
+    res.outer_iterations = iter;
+    // Source for this round: unmet boundary demand + returned flow.
+    UnitFlowProblem p;
+    p.g = &g;
+    p.cap = caps;
+    p.source.assign(n, 0);
+    p.sink.assign(n, 0);
+    p.height = h;
+    p.rounds = opts.unit_flow_rounds;
+    std::int64_t new_source_total = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!res.in_a_prime[v]) continue;
+      const std::int64_t deficit = std::max<std::int64_t>(req[v] - inj[v], 0);
+      p.source[v] = deficit + pending_excess[v];
+      inj[v] += deficit;
+      res.total_injected += deficit;
+      pending_excess[v] = 0;
+      new_source_total += p.source[v];
+      // Grant the whole remaining sink budget. The paper slices the budget
+      // per outer iteration (∇_i = i·deg/log²n) purely for its potential
+      // argument; granting the remainder routes strictly more demand per
+      // iteration while keeping total absorption <= budget < deg(v), which
+      // is what the certificate (Lemma 3.9) needs.
+      p.sink[v] = std::max<std::int64_t>(sink_budget[v] - res.absorbed[v], 0);
+    }
+    par::charge(n, 1);
+    if (new_source_total == 0) break;
+
+    UnitFlowResult uf = parallel_unit_flow(p, res.flow);
+    res.flow = std::move(uf.flow);
+    res.edge_scans += uf.edge_scans;
+    for (std::size_t v = 0; v < n; ++v) res.absorbed[v] += uf.absorbed[v];
+
+    if (uf.total_excess == 0) {
+      res.leftover_excess = 0;
+      break;
+    }
+
+    // Level cut (the while-loop at Line 11): among S_j = {v : l(v) >= j},
+    // pick the sparsest (cut edges / captured volume).
+    std::vector<std::int64_t> cut_at(static_cast<std::size_t>(h) + 2, 0);
+    std::vector<std::int64_t> vol_at(static_cast<std::size_t>(h) + 2, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!res.in_a_prime[v] || uf.label[v] == 0) continue;
+      vol_at[static_cast<std::size_t>(uf.label[v])] += g.degree(static_cast<Vertex>(v));
+      for (const auto& inc : g.incident(static_cast<Vertex>(v))) {
+        ++res.edge_scans;
+        if (caps[static_cast<std::size_t>(inc.edge)] == 0) continue;
+        const auto lu = uf.label[v];
+        const auto lv = uf.label[static_cast<std::size_t>(inc.neighbor)];
+        if (lu > lv) {
+          // Edge crosses every level cut j in (lv, lu].
+          cut_at[static_cast<std::size_t>(lv) + 1] += 1;
+          if (static_cast<std::size_t>(lu) + 1 < cut_at.size())
+            cut_at[static_cast<std::size_t>(lu) + 1] -= 1;
+        }
+      }
+    }
+    // Prefix-sum the difference array; suffix-sum volumes. Then, following
+    // the paper's level-cut argument, scan from the *top* level down and take
+    // the first (i.e. smallest) S_j whose cut is sparse enough; every S_j
+    // contains all leftover excess (excess lives at label h), so the highest
+    // admissible level removes the least volume. Fall back to the globally
+    // sparsest level if none clears the threshold.
+    std::vector<std::int64_t> cut_prefix(static_cast<std::size_t>(h) + 2, 0);
+    for (std::int32_t j = 1; j <= h; ++j)
+      cut_prefix[static_cast<std::size_t>(j)] =
+          cut_prefix[static_cast<std::size_t>(j) - 1] + cut_at[static_cast<std::size_t>(j)];
+    std::vector<std::int64_t> vol_suffix(static_cast<std::size_t>(h) + 2, 0);
+    for (std::int32_t j = h; j >= 1; --j)
+      vol_suffix[static_cast<std::size_t>(j)] =
+          vol_suffix[static_cast<std::size_t>(j) + 1] + vol_at[static_cast<std::size_t>(j)];
+    const double threshold =
+        std::min(0.5, 5.0 * std::log(static_cast<double>(g.num_edges() + 2)) /
+                          static_cast<double>(h));
+    std::int64_t best_j = -1;
+    std::int64_t fallback_j = -1;
+    double fallback_ratio = 1e300;
+    for (std::int32_t j = h; j >= 1; --j) {
+      const std::int64_t vol = vol_suffix[static_cast<std::size_t>(j)];
+      if (vol == 0) continue;
+      const double ratio = static_cast<double>(cut_prefix[static_cast<std::size_t>(j)]) /
+                           static_cast<double>(vol);
+      if (ratio <= std::max(threshold, opts.phi)) {
+        best_j = j;
+        break;
+      }
+      if (ratio < fallback_ratio) {
+        fallback_ratio = ratio;
+        fallback_j = j;
+      }
+    }
+    if (best_j < 0) best_j = fallback_j;
+    par::charge(static_cast<std::uint64_t>(h) + n, par::ceil_log2(static_cast<std::uint64_t>(h) + 2));
+    if (best_j < 0) {  // nothing labeled: cannot make progress
+      res.leftover_excess = uf.total_excess;
+      break;
+    }
+
+    // Remove S_{best_j}: mask vertices, return/cancel flows on cut edges,
+    // grow the boundary demand of kept endpoints.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!res.in_a_prime[v] || uf.label[v] < best_j) continue;
+      res.in_a_prime[v] = 0;
+      res.removed.push_back(static_cast<Vertex>(v));
+      res.removed_volume += g.degree(static_cast<Vertex>(v));
+      pending_excess[v] = 0;
+    }
+    for (const Vertex w : res.removed) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (uf.label[wi] < best_j) continue;  // removed in an earlier iteration
+      for (const auto& inc : g.incident(w)) {
+        ++res.edge_scans;
+        const auto ei = static_cast<std::size_t>(inc.edge);
+        if (caps[ei] == 0) continue;
+        const auto ui = static_cast<std::size_t>(inc.neighbor);
+        if (res.in_a_prime[ui]) {
+          // Edge (u kept, w removed): new boundary edge for u.
+          req[ui] += cap;
+          const auto ep = g.endpoints(inc.edge);
+          const std::int64_t f = res.flow[ei];
+          const std::int64_t toward_w = (ep.v == w) ? f : -f;  // + if u->w
+          if (toward_w > 0) {
+            // Flow that left u into the removed set returns as excess.
+            pending_excess[ui] += toward_w;
+          } else if (toward_w < 0) {
+            // Inflow from the removed side: keep it, but account it as
+            // injected demand so conservation bookkeeping stays balanced.
+            inj[ui] += -toward_w;
+            res.total_injected += -toward_w;
+          }
+        }
+        caps[ei] = 0;
+        res.flow[ei] = 0;
+      }
+    }
+    // Carry leftover excess of kept vertices into the next iteration.
+    for (std::size_t v = 0; v < n; ++v)
+      if (res.in_a_prime[v] && uf.excess[v] > 0) pending_excess[v] += uf.excess[v];
+    par::charge(n, 1);
+    res.leftover_excess = uf.total_excess;
+  }
+
+  // Residual excess at kept vertices counts as failure-to-certify.
+  res.leftover_excess = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    if (res.in_a_prime[v]) res.leftover_excess += pending_excess[v];
+  par::charge(n, par::ceil_log2(std::max<std::size_t>(n, 2)));
+  return res;
+}
+
+}  // namespace pmcf::expander

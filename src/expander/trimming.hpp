@@ -1,0 +1,60 @@
+#pragma once
+// Trimming (Algorithm 3, Lemma 3.7), adapted from [CMGS25].
+//
+// Given a cluster graph H whose vertex set A has lost some edges to the
+// outside (quantified per-vertex by `boundary_count`), trimming finds
+// A' ⊆ A such that H[A'] is still an expander, by repeatedly:
+//   1. injecting source demand ceil(2/φ) per boundary edge,
+//   2. routing it with ParallelUnitFlow into per-vertex sinks proportional
+//      to degree (fresh slice per outer iteration),
+//   3. if excess survives, cutting the sparsest level set S_j = {l(v) >= j}
+//      out of A and re-injecting demand along the new boundary.
+// The accumulated flow is the expansion certificate (Lemma 3.9); the removed
+// volume is Õ(boundary/φ) (Lemma 3.7 point 2).
+//
+// Vertices removed by earlier iterations (or never in A) are masked by
+// zeroing the capacities of their incident edges, so ids stay stable and
+// unit-flow work remains proportional to the active set.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ungraph.hpp"
+
+namespace pmcf::expander {
+
+struct TrimmingOptions {
+  double phi = 0.1;
+  /// Push-relabel height; 0 => ceil(height_multiplier * log2(n) / phi).
+  std::int32_t height = 0;
+  double height_multiplier = 2.0;
+  /// Max outer iterations; 0 => 2*ceil(log2 n) + 4.
+  std::int32_t max_outer = 0;
+  /// Total sink budget per vertex as a fraction of its degree. The paper's
+  /// certificate (Lemma 3.9) allows sinks up to deg(v); we keep a margin.
+  double sink_budget_fraction = 0.75;
+  /// Rounds handed to each inner ParallelUnitFlow call (0 = its default).
+  std::int32_t unit_flow_rounds = 0;
+};
+
+struct TrimmingResult {
+  std::vector<char> in_a_prime;        ///< per-vertex membership after trimming
+  std::vector<graph::Vertex> removed;  ///< A \ A'
+  std::vector<std::int64_t> flow;      ///< certificate flow (edge slots)
+  std::vector<std::int64_t> absorbed;  ///< per-vertex absorbed demand
+  std::int64_t removed_volume = 0;     ///< deg_H(A \ A')
+  std::int64_t total_injected = 0;
+  std::int64_t leftover_excess = 0;    ///< 0 on success
+  std::int32_t outer_iterations = 0;
+  std::uint64_t edge_scans = 0;
+};
+
+/// Run trimming on `g` restricted to A = {v : in_a[v]}. `boundary_count[v]`
+/// counts edges at v that were *deleted from g* (no longer live) and still
+/// generate source demand; live edges from A to V \ A are detected and
+/// charged automatically, and carry no flow (capacity 0).
+TrimmingResult trimming(const graph::UndirectedGraph& g, std::vector<char> in_a,
+                        const std::vector<std::int64_t>& boundary_count,
+                        const TrimmingOptions& opts = {});
+
+}  // namespace pmcf::expander

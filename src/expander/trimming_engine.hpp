@@ -1,0 +1,81 @@
+#pragma once
+// Stateful trimming engine — the incremental core of expander pruning
+// (Lemma 3.6). One engine instance owns a working copy of a cluster graph
+// and processes an online sequence of edge-deletion batches, reusing the
+// accumulated certificate flow f_0 + ... + f_i across batches exactly as in
+// Section 3.1 (edge capacities grow by 2/φ per batch, matching Lemma 3.8's
+// 2i/φ bound; per-batch sink budgets accumulate toward deg(v)).
+//
+// The engine supports only a bounded number of batches before its
+// guarantees decay (the paper's "batch number"); ExpanderPruning wraps it
+// with batch-number boosting (Lemma 3.5).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ungraph.hpp"
+
+namespace pmcf::expander {
+
+struct EngineOptions {
+  double phi = 0.1;
+  std::int32_t height = 0;          ///< 0 => ceil(height_multiplier*log2(n)/phi)
+  double height_multiplier = 2.0;
+  std::int32_t max_outer = 0;       ///< outer trimming iterations per batch
+  double sink_budget_fraction = 0.75;  ///< total sink budget / deg across batches
+  std::int32_t batch_limit = 8;     ///< batches before guarantees decay
+  std::int32_t unit_flow_rounds = 0;
+};
+
+class TrimmingEngine {
+ public:
+  /// Takes a working copy of the cluster graph. All vertices start in A.
+  TrimmingEngine(graph::UndirectedGraph g, EngineOptions opts);
+
+  /// Delete a batch of live edge ids, then re-trim. Returns the newly pruned
+  /// vertices (their incident edges are removed from the working graph; the
+  /// ids of those collateral edges are appended to `evicted_edges`).
+  std::vector<graph::Vertex> delete_batch(const std::vector<graph::EdgeId>& batch,
+                                          std::vector<graph::EdgeId>* evicted_edges);
+
+  [[nodiscard]] const graph::UndirectedGraph& graph() const { return g_; }
+  [[nodiscard]] const std::vector<char>& in_a() const { return in_a_; }
+  [[nodiscard]] bool vertex_kept(graph::Vertex v) const {
+    return in_a_[static_cast<std::size_t>(v)] != 0;
+  }
+  [[nodiscard]] std::int64_t removed_volume() const { return removed_volume_; }
+  [[nodiscard]] std::int32_t batches_processed() const { return batches_; }
+  [[nodiscard]] std::uint64_t edge_scans() const { return edge_scans_; }
+  [[nodiscard]] std::int64_t leftover_excess() const;
+  [[nodiscard]] const std::vector<std::int64_t>& certificate_flow() const { return flow_; }
+  [[nodiscard]] const std::vector<std::int64_t>& absorbed() const { return absorbed_; }
+
+ private:
+  void run_outer_loop(std::vector<graph::Vertex>* newly_removed,
+                      std::vector<graph::EdgeId>* evicted_edges);
+  void remove_level_set(std::int32_t best_j, const std::vector<std::int32_t>& label,
+                        std::vector<graph::Vertex>* newly_removed,
+                        std::vector<graph::EdgeId>* evicted_edges);
+  void detach_removed(const std::vector<graph::Vertex>& removed_now,
+                      std::vector<graph::EdgeId>* evicted_edges);
+
+  graph::UndirectedGraph g_;
+  EngineOptions opts_;
+  std::int64_t cap_unit_ = 0;      // ceil(2/phi)
+  std::int32_t height_ = 0;
+  std::int32_t max_outer_ = 0;
+
+  std::vector<char> in_a_;
+  std::vector<std::int64_t> flow_;       // accumulated certificate flow
+  std::vector<std::int64_t> absorbed_;   // accumulated absorbed demand
+  std::vector<std::int64_t> sink_budget_;  // grows per batch, <= frac*deg0
+  std::vector<std::int64_t> deg0_;       // original degrees
+  std::vector<std::int64_t> inj_;        // injected source so far
+  std::vector<std::int64_t> req_;        // required source so far
+  std::vector<std::int64_t> pending_;    // returned / leftover excess
+  std::int64_t removed_volume_ = 0;
+  std::int32_t batches_ = 0;
+  std::uint64_t edge_scans_ = 0;
+};
+
+}  // namespace pmcf::expander

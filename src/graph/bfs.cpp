@@ -1,0 +1,40 @@
+#include "graph/bfs.hpp"
+
+#include <cassert>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::graph {
+
+BfsResult parallel_bfs(const Digraph& g, Vertex source) {
+  assert(g.csr_built());
+  BfsResult res;
+  res.dist.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<Vertex> frontier{source};
+  res.dist[static_cast<std::size_t>(source)] = 0;
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    ++res.rounds;
+    ++level;
+    std::vector<Vertex> next;
+    // Frontier expansion: parallel over frontier vertices and their arcs;
+    // work = sum of frontier out-degrees, depth = O(log n) per round.
+    std::uint64_t round_work = 0;
+    for (const Vertex u : frontier) {
+      for (const EdgeId e : g.out_arcs(u)) {
+        ++round_work;
+        const Vertex v = g.arc(e).to;
+        if (res.dist[static_cast<std::size_t>(v)] < 0) {
+          res.dist[static_cast<std::size_t>(v)] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    par::charge(round_work + frontier.size(),
+                par::ceil_log2(std::max<std::uint64_t>(round_work + frontier.size(), 2)));
+    frontier = std::move(next);
+  }
+  return res;
+}
+
+}  // namespace pmcf::graph

@@ -1,0 +1,23 @@
+#pragma once
+// Parallel breadth-first search — the folklore O(m)-work, Õ(diameter)-depth
+// reachability baseline (Table 1 right). Each BFS round is a parallel
+// frontier expansion; the number of rounds equals the eccentricity of the
+// source, which is Θ(n) on long-diameter instances — exactly the regime where
+// the paper's Õ(√n)-depth algorithm wins.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcf::graph {
+
+struct BfsResult {
+  std::vector<std::int32_t> dist;  // -1 if unreachable
+  std::int32_t rounds = 0;         // number of frontier expansions (= depth driver)
+};
+
+/// BFS from `source`; `g` must have its CSR built.
+BfsResult parallel_bfs(const Digraph& g, Vertex source);
+
+}  // namespace pmcf::graph

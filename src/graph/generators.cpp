@@ -1,0 +1,136 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace pmcf::graph {
+
+namespace {
+std::vector<Vertex> random_permutation(Vertex n, par::Rng& rng) {
+  std::vector<Vertex> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  for (std::size_t i = p.size(); i > 1; --i)
+    std::swap(p[i - 1], p[rng.next_below(i)]);
+  return p;
+}
+}  // namespace
+
+Digraph random_flow_network(Vertex n, std::int64_t m, std::int64_t max_cap,
+                            std::int64_t max_cost, par::Rng& rng) {
+  Digraph g(n);
+  // Backbone path through a random permutation that starts at s and ends at t.
+  std::vector<Vertex> perm = random_permutation(n, rng);
+  std::swap(perm.front(), *std::find(perm.begin(), perm.end(), Vertex{0}));
+  std::swap(perm.back(), *std::find(perm.begin() + 1, perm.end(), n - 1));
+  for (Vertex i = 0; i + 1 < n; ++i)
+    g.add_arc(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(i) + 1],
+              rng.uniform_int(1, max_cap), rng.uniform_int(0, max_cost));
+  while (g.num_arcs() < m) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    g.add_arc(u, v, rng.uniform_int(1, max_cap), rng.uniform_int(0, max_cost));
+  }
+  return g;
+}
+
+Digraph random_feasible_network(Vertex n, std::int64_t m, std::int64_t max_cap,
+                                std::int64_t max_cost, par::Rng& rng) {
+  Digraph g = random_flow_network(n, m, max_cap, max_cost, rng);
+  return g;
+}
+
+UndirectedGraph random_regular_expander(Vertex n, std::int32_t d, par::Rng& rng) {
+  UndirectedGraph g(n);
+  for (std::int32_t c = 0; c < d; ++c) {
+    const std::vector<Vertex> perm = random_permutation(n, rng);
+    for (Vertex i = 0; i < n; ++i) {
+      const Vertex u = perm[static_cast<std::size_t>(i)];
+      const Vertex v = perm[static_cast<std::size_t>((i + 1) % n)];
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+UndirectedGraph gnp_undirected(Vertex n, double p, par::Rng& rng) {
+  UndirectedGraph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+  return g;
+}
+
+Digraph layered_digraph(Vertex layers, Vertex width, double p, par::Rng& rng) {
+  const Vertex n = layers * width;
+  Digraph g(n);
+  auto id = [width](Vertex layer, Vertex i) { return layer * width + i; };
+  for (Vertex l = 0; l + 1 < layers; ++l) {
+    for (Vertex i = 0; i < width; ++i) {
+      // One guaranteed forward arc keeps every vertex reachable.
+      const auto j = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(width)));
+      g.add_arc(id(l, i), id(l + 1, j), 1, 0);
+      for (Vertex k = 0; k < width; ++k)
+        if (k != j && rng.bernoulli(p)) g.add_arc(id(l, i), id(l + 1, k), 1, 0);
+    }
+  }
+  return g;
+}
+
+Digraph random_bipartite(Vertex nl, Vertex nr, double p, par::Rng& rng) {
+  Digraph g(nl + nr);
+  for (Vertex u = 0; u < nl; ++u) {
+    bool any = false;
+    for (Vertex v = 0; v < nr; ++v) {
+      if (rng.bernoulli(p)) {
+        g.add_arc(u, nl + v, 1, 0);
+        any = true;
+      }
+    }
+    if (!any) {  // avoid isolated left vertices (keeps instances interesting)
+      const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(nr)));
+      g.add_arc(u, nl + v, 1, 0);
+    }
+  }
+  return g;
+}
+
+Digraph random_negative_dag(Vertex n, std::int64_t m, std::int64_t neg_range,
+                            std::int64_t pos_range, par::Rng& rng) {
+  Digraph g(n);
+  // Backbone 0 -> 1 -> ... -> n-1 keeps everything reachable from source 0.
+  for (Vertex i = 0; i + 1 < n; ++i)
+    g.add_arc(i, i + 1, 1, rng.uniform_int(-neg_range, pos_range));
+  while (g.num_arcs() < m) {
+    auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);  // forward arcs only => acyclic
+    g.add_arc(u, v, 1, rng.uniform_int(-neg_range, pos_range));
+  }
+  return g;
+}
+
+Digraph transportation_instance(Vertex ns, Vertex nt, std::int64_t supply_per_node,
+                                std::int64_t max_unit_cost, par::Rng& rng) {
+  // Vertices: 0 = super-source, 1..ns supply, ns+1..ns+nt demand,
+  // ns+nt+1 = super-sink.
+  const Vertex n = ns + nt + 2;
+  Digraph g(n);
+  const Vertex sink = n - 1;
+  for (Vertex i = 0; i < ns; ++i) g.add_arc(0, 1 + i, supply_per_node, 0);
+  for (Vertex j = 0; j < nt; ++j) {
+    // Total demand matches total supply (balanced transportation problem).
+    const std::int64_t total = supply_per_node * ns;
+    const std::int64_t base = total / nt;
+    const std::int64_t extra = (j < total % nt) ? 1 : 0;
+    g.add_arc(ns + 1 + j, sink, base + extra, 0);
+  }
+  for (Vertex i = 0; i < ns; ++i)
+    for (Vertex j = 0; j < nt; ++j)
+      g.add_arc(1 + i, ns + 1 + j, supply_per_node, rng.uniform_int(1, max_unit_cost));
+  return g;
+}
+
+}  // namespace pmcf::graph

@@ -1,0 +1,59 @@
+#pragma once
+// Instance generators for tests, examples and benchmarks.
+//
+// The paper has no dataset: its claims are over worst-case integer-capacity
+// instances with polynomially bounded C, W. We generate the standard families
+// used to exercise each claim: dense random flow networks (Table 1 left),
+// layered long-diameter digraphs (Table 1 right, where BFS needs Θ(n) depth),
+// regular expander multigraphs (Section 3 stack), bipartite graphs
+// (Corollary 1.3), negative-cost DAGs (Corollary 1.4) and transportation
+// instances (examples).
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "graph/ungraph.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::graph {
+
+/// Random s-t flow network: s=0, t=n-1. A random Hamiltonian-order path
+/// guarantees an s-t path; the remaining m-(n-1) arcs are uniform random.
+/// Capacities in [1, max_cap], costs in [0, max_cost].
+Digraph random_flow_network(Vertex n, std::int64_t m, std::int64_t max_cap,
+                            std::int64_t max_cost, par::Rng& rng);
+
+/// Random circulation-style MCF instance that is always feasible for demand
+/// `flow_value` from s=0 to t=n-1 (plants `flow_value` units of disjoint-ish
+/// path capacity).
+Digraph random_feasible_network(Vertex n, std::int64_t m, std::int64_t max_cap,
+                                std::int64_t max_cost, par::Rng& rng);
+
+/// Union of `d` random Hamiltonian cycles => 2d-regular multigraph, an
+/// expander w.h.p. (no self-loops, n >= 3).
+UndirectedGraph random_regular_expander(Vertex n, std::int32_t d, par::Rng& rng);
+
+/// Erdos-Renyi G(n, p) undirected (no self loops, no parallel edges).
+UndirectedGraph gnp_undirected(Vertex n, double p, par::Rng& rng);
+
+/// Layered DAG with `layers` layers of `width` vertices, arcs between
+/// consecutive layers (each with probability p, plus one guaranteed arc per
+/// vertex) — diameter Θ(layers); BFS needs that many rounds.
+Digraph layered_digraph(Vertex layers, Vertex width, double p, par::Rng& rng);
+
+/// Random bipartite graph on (nl, nr) as a Digraph arcs l->r (unit caps, zero
+/// cost); vertices 0..nl-1 left, nl..nl+nr-1 right.
+Digraph random_bipartite(Vertex nl, Vertex nr, double p, par::Rng& rng);
+
+/// DAG (arcs i->j only for i<j) with costs in [-neg_range, pos_range];
+/// negative-weight SSSP instances with no negative cycles.
+Digraph random_negative_dag(Vertex n, std::int64_t m, std::int64_t neg_range,
+                            std::int64_t pos_range, par::Rng& rng);
+
+/// Transportation problem: `ns` supply nodes, `nt` demand nodes, complete
+/// bipartite cost matrix with random unit costs; returns network with
+/// super-source 0 and super-sink ns+nt+1.
+Digraph transportation_instance(Vertex ns, Vertex nt, std::int64_t supply_per_node,
+                                std::int64_t max_unit_cost, par::Rng& rng);
+
+}  // namespace pmcf::graph

@@ -1,0 +1,36 @@
+#pragma once
+// Two-sided logarithmic barrier (eq. (2) / Appendix F):
+//   φ(x)_i = -log(x_i) - log(u_i - x_i)
+// with derivatives φ', φ''. All functions are elementwise over the m arcs.
+
+#include <cmath>
+
+#include "linalg/vec_ops.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::ipm {
+
+/// φ'(x)_i = -1/x_i + 1/(u_i - x_i)
+inline linalg::Vec barrier_grad(const linalg::Vec& x, const linalg::Vec& u) {
+  return par::tabulate<double>(x.size(),
+                               [&](std::size_t i) { return -1.0 / x[i] + 1.0 / (u[i] - x[i]); });
+}
+
+/// φ''(x)_i = 1/x_i^2 + 1/(u_i - x_i)^2  (always positive on the interior)
+inline linalg::Vec barrier_hess(const linalg::Vec& x, const linalg::Vec& u) {
+  return par::tabulate<double>(x.size(), [&](std::size_t i) {
+    const double a = 1.0 / x[i];
+    const double b = 1.0 / (u[i] - x[i]);
+    return a * a + b * b;
+  });
+}
+
+/// True iff x is strictly interior: 0 < x < u.
+inline bool is_interior(const linalg::Vec& x, const linalg::Vec& u) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (!(x[i] > 0.0 && x[i] < u[i])) return false;
+  par::charge(x.size(), par::ceil_log2(std::max<std::size_t>(x.size(), 2)));
+  return true;
+}
+
+}  // namespace pmcf::ipm

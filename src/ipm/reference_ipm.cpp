@@ -1,0 +1,131 @@
+#include "ipm/reference_ipm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ipm/barrier.hpp"
+#include "linalg/laplacian.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::ipm {
+
+namespace {
+using linalg::Vec;
+}  // namespace
+
+double initial_mu(const IpmLp& lp, double target_centrality) {
+  // At x0 = u/2 we have φ'(x0) = 0 and √φ''(x0) = 2√2/u, so the centrality
+  // vector is z_e = s_e / (μ τ_e √φ''_e) with s = c (y0 = 0) and τ_e >= n/m.
+  // Choosing μ >= max_e |c_e| u_e m / (2√2 n ε) gives ||z||_inf <= ε.
+  const std::size_t m = lp.cost.size();
+  const auto n = static_cast<double>(lp.graph->num_vertices());
+  double max_cu = 0.0;
+  for (std::size_t e = 0; e < m; ++e) max_cu = std::max(max_cu, std::abs(lp.cost[e]) * lp.cap[e]);
+  par::charge(m, par::ceil_log2(std::max<std::size_t>(m, 2)));
+  return max_cu * static_cast<double>(m) / (2.0 * std::sqrt(2.0) * n * target_centrality) + 1.0;
+}
+
+IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOptions& opts) {
+  const graph::Digraph& g = *lp.graph;
+  const linalg::IncidenceOp a(g, lp.dropped);
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  par::Rng rng(opts.seed);
+
+  IpmResult res;
+  res.x = std::move(x0);
+  res.y = std::move(y0);
+  res.mu = mu0;
+
+  // Warm-started Lewis weights: keep τ between iterations, refresh with a
+  // few fixed-point rounds against the current scaling.
+  Vec tau(m, static_cast<double>(n) / static_cast<double>(m) + 0.5);
+  const double p = linalg::lewis_p(m, n);
+  const double expo = 0.5 - 1.0 / p;
+  const double reg = static_cast<double>(n) / static_cast<double>(m);
+
+  for (std::int32_t it = 0; it < opts.max_iters; ++it) {
+    res.iterations = it + 1;
+    const Vec hess = barrier_hess(res.x, lp.cap);
+    const Vec grad = barrier_grad(res.x, lp.cap);
+    const Vec v = linalg::map(hess, [](double h) { return 1.0 / std::sqrt(h); });
+
+    // Refresh τ (Lewis fixed point, warm start) every lewis_every iterations;
+    // Lewis weights drift slowly along the path (Theorem C.1's premise).
+    const bool refresh_tau = (it % std::max<std::int32_t>(opts.lewis_every, 1)) == 0;
+    for (std::int32_t round = 0; refresh_tau && round < opts.lewis_rounds; ++round) {
+      Vec scaled(m);
+      par::parallel_for(0, m, [&](std::size_t i) { scaled[i] = std::pow(tau[i], expo) * v[i]; });
+      Vec sigma = opts.exact_leverage ? linalg::leverage_scores_exact(a, scaled)
+                                      : linalg::leverage_scores(a, scaled, rng, opts.leverage);
+      par::parallel_for(0, m, [&](std::size_t i) { tau[i] = sigma[i] + reg; });
+    }
+    const double tau_sum = linalg::sum(tau);
+
+    // Dual slack and centrality.
+    const Vec s = linalg::sub(lp.cost, a.apply(res.y));
+    Vec z(m);
+    par::parallel_for(0, m, [&](std::size_t i) {
+      z[i] = (s[i] + res.mu * tau[i] * grad[i]) / (res.mu * tau[i] * std::sqrt(hess[i]));
+    });
+    const double centrality = linalg::norm_inf(z);
+    res.final_centrality = centrality;
+
+    // Primal residual r_p = b - A^T x.
+    Vec rp = linalg::sub(lp.b, a.apply_transpose(res.x));
+    rp[static_cast<std::size_t>(a.dropped())] = 0.0;
+    res.max_primal_residual = std::max(res.max_primal_residual, linalg::norm_inf(rp));
+
+    // Only shrink mu when sufficiently centered; otherwise re-center first.
+    if (centrality < opts.centrality_slack) {
+      if (res.mu <= opts.mu_end) {
+        res.converged = true;
+        break;
+      }
+      res.mu *= 1.0 - opts.step_fraction / std::sqrt(std::max(tau_sum, 1.0));
+      res.mu = std::max(res.mu, opts.mu_end * 0.5);
+    }
+
+    // Newton step for: s + A δy + μτ(φ' + Φ'' δx) = 0, A^T δx = r_p.
+    // D = (μ τ Φ'')^{-1};  L δy = -r_p - A^T D (s + μτφ').
+    Vec d(m);
+    par::parallel_for(0, m, [&](std::size_t i) { d[i] = 1.0 / (res.mu * tau[i] * hess[i]); });
+    Vec resid(m);
+    par::parallel_for(0, m,
+                      [&](std::size_t i) { resid[i] = s[i] + res.mu * tau[i] * grad[i]; });
+    Vec rhs = a.apply_transpose(linalg::mul(d, resid));
+    par::parallel_for(0, n, [&](std::size_t i) { rhs[i] = -rp[i] - rhs[i]; });
+    rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
+    // Normalize the weight scale so the dropped row's unit pin is
+    // commensurate with the Laplacian diagonal (keeps CG well conditioned).
+    const double dmax = linalg::norm_inf(d);
+    const Vec dn = linalg::scale(d, 1.0 / dmax);
+    const Vec rhsn = linalg::scale(rhs, 1.0 / dmax);
+    const linalg::Csr lap = linalg::reduced_laplacian(g, dn, a.dropped());
+    const auto sol = linalg::solve_sdd(lap, rhsn, opts.solve);
+    Vec dy = sol.x;
+    dy[static_cast<std::size_t>(a.dropped())] = 0.0;
+    const Vec a_dy = a.apply(dy);
+    Vec dx(m);
+    par::parallel_for(0, m, [&](std::size_t i) { dx[i] = -d[i] * (resid[i] + a_dy[i]); });
+
+    // Damping: stay `boundary_margin` away from the walls multiplicatively.
+    double alpha = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dx[i] < 0.0) {
+        alpha = std::min(alpha, (1.0 - opts.boundary_margin) * res.x[i] / -dx[i]);
+      } else if (dx[i] > 0.0) {
+        alpha = std::min(alpha, (1.0 - opts.boundary_margin) * (lp.cap[i] - res.x[i]) / dx[i]);
+      }
+    }
+    par::charge(m, par::ceil_log2(std::max<std::size_t>(m, 2)));
+    par::parallel_for(0, m, [&](std::size_t i) { res.x[i] += alpha * dx[i]; });
+    // With s = c - Ay the solved system's direction enters the dual with a
+    // minus sign: y_new = y - δy (while δx above is already consistent).
+    par::parallel_for(0, n, [&](std::size_t i) { res.y[i] -= alpha * dy[i]; });
+    res.y[static_cast<std::size_t>(a.dropped())] = 0.0;
+  }
+  return res;
+}
+
+}  // namespace pmcf::ipm

@@ -1,0 +1,65 @@
+#pragma once
+// Robust interior point method (Section 2.2 steps (4)-(5), Algorithms 11/12).
+//
+// The reference IPM recomputes all m coordinates of x, s, τ and the exact
+// Laplacian every iteration — Θ(m) work per step. This solver replaces each
+// of those with the paper's sublinear data structures:
+//
+//   s̄  — DualMaintenance (Theorem E.1): dyadic HeavyHitter drift detection,
+//         only coordinates that moved are re-read;
+//   τ̄  — LewisMaintenance (Theorem C.1): warm-started sketched leverage
+//         scores, entries refreshed on scaling changes;
+//   x̄, gradient — PrimalGradientMaintenance (Theorem D.1): the centrality
+//         vector z̄ is bucketed, the steepest-descent step ∇Ψ(z̄)^♭(τ̄) is
+//         computed over O(ε⁻² log n) buckets, and x̄ accumulates per-bucket
+//         steps lazily;
+//   Newton system — solved on a leverage-score spectral sparsifier with
+//         Õ(n) edges sampled through the HeavyHitter (Lemma B.1);
+//   primal sparsification — HeavySampler (Theorem E.2) draws R so that only
+//         Õ(m/√n + n) coordinates of the dense part of δx are touched.
+//
+// Every `resync_every` ≈ √n iterations the structures are rebuilt from the
+// exact state and one exact Newton re-centering step is taken (the paper's
+// periodic re-initialization; amortized Õ(m/√n) per iteration). Work is
+// measured by the PRAM tracker; bench_table1_mincostflow compares the
+// per-iteration work of this solver against the reference IPM.
+
+#include <cstdint>
+
+#include "ipm/reference_ipm.hpp"
+
+namespace pmcf::ipm {
+
+struct RobustIpmOptions {
+  double mu_end = 1e-4;
+  double step_fraction = 0.4;     ///< r in mu <- mu(1 - r/sqrt(Στ))
+  double gamma = 0.5;             ///< steepest-descent step scale
+  double bucket_eps = 0.1;        ///< bucketing granularity (ds stack)
+  double dual_eps = 0.05;         ///< s̄ accuracy (relative to μτ√φ'')
+  double primal_eps = 0.02;       ///< x̄ accuracy (relative to capacity)
+  std::int32_t resync_every = 0;  ///< 0 => 4*ceil(sqrt(n))
+  std::int32_t max_iters = 20000;
+  double sparsifier_k = 1.0;      ///< leverage oversampling K'
+  linalg::SolveOptions solve;
+  std::uint64_t seed = 37;
+};
+
+struct RobustIpmResult {
+  linalg::Vec x;
+  linalg::Vec y;
+  double mu = 0.0;
+  std::int32_t iterations = 0;
+  std::int32_t resyncs = 0;
+  bool converged = false;
+  double final_centrality = 0.0;
+  /// Work charged during non-resync iterations / their count — the
+  /// sublinear-per-iteration quantity of the paper.
+  std::uint64_t robust_step_work = 0;
+  std::int32_t robust_steps = 0;
+  std::uint64_t sparsifier_edges = 0;  ///< avg sampled edges per solve
+};
+
+RobustIpmResult robust_ipm(const IpmLp& lp, linalg::Vec x0, linalg::Vec y0, double mu0,
+                           const RobustIpmOptions& opts = {});
+
+}  // namespace pmcf::ipm

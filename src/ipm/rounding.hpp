@@ -1,0 +1,34 @@
+#pragma once
+// Exact rounding of the IPM's near-optimal fractional flow (Section 2.2:
+// "the optimal solution is guaranteed to be integral, so we can round").
+//
+// Pipeline: round x entrywise to integers, restore A^T x = b by routing the
+// (small) imbalance through the residual graph with successive shortest
+// paths, then cancel any remaining negative residual cycles. The result is
+// an exactly optimal integral b-flow regardless of how crude the fractional
+// input was — the input quality only controls how much repair work is done
+// (reported, and benchmarked in bench_table1_mincostflow).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace pmcf::ipm {
+
+struct RoundRepairResult {
+  std::vector<std::int64_t> flow;  ///< per arc, integral, 0 <= f <= u
+  std::int64_t cost = 0;
+  std::int64_t imbalance_routed = 0;   ///< L1 imbalance after entry rounding
+  std::int64_t cycles_canceled = 0;    ///< negative-cycle repairs
+  bool feasible = false;
+};
+
+/// Round `x_frac` to the exact optimal integral solution of
+/// min c^T x, A^T x = b, 0 <= x <= u (data taken from g; b over all rows).
+RoundRepairResult round_and_repair(const graph::Digraph& g,
+                                   const std::vector<std::int64_t>& b,
+                                   const linalg::Vec& x_frac);
+
+}  // namespace pmcf::ipm

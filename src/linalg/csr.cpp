@@ -1,0 +1,67 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::linalg {
+
+Vec Csr::apply(const Vec& x) const {
+  assert(x.size() == n_);
+  Vec y(n_);
+  par::parallel_for(0, n_, [&](std::size_t r) {
+    double acc = 0.0;
+    for (std::int64_t k = off_[r]; k < off_[r + 1]; ++k)
+      acc += val_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
+    y[r] = acc;
+    const auto row_nnz = static_cast<std::uint64_t>(off_[r + 1] - off_[r]);
+    par::charge(row_nnz, par::ceil_log2(std::max<std::uint64_t>(row_nnz, 1)));
+  });
+  return y;
+}
+
+Vec Csr::diagonal() const {
+  Vec d(n_, 0.0);
+  par::parallel_for(0, n_, [&](std::size_t r) {
+    for (std::int64_t k = off_[r]; k < off_[r + 1]; ++k)
+      if (static_cast<std::size_t>(col_[static_cast<std::size_t>(k)]) == r)
+        d[r] += val_[static_cast<std::size_t>(k)];
+    par::charge(static_cast<std::uint64_t>(off_[r + 1] - off_[r]), 1);
+  });
+  return d;
+}
+
+Csr Csr::from_triplets(std::size_t n, const std::vector<std::int32_t>& rows,
+                       const std::vector<std::int32_t>& cols,
+                       const std::vector<double>& vals) {
+  assert(rows.size() == cols.size() && cols.size() == vals.size());
+  const std::size_t k = rows.size();
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  par::parallel_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rows[a] != rows[b] ? rows[a] < rows[b] : cols[a] < cols[b];
+  });
+
+  std::vector<std::int64_t> off(n + 1, 0);
+  std::vector<std::int32_t> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(k);
+  out_vals.reserve(k);
+  for (std::size_t idx = 0; idx < k;) {
+    const std::int32_t r = rows[order[idx]];
+    const std::int32_t c = cols[order[idx]];
+    double acc = 0.0;
+    while (idx < k && rows[order[idx]] == r && cols[order[idx]] == c)
+      acc += vals[order[idx++]];
+    out_cols.push_back(c);
+    out_vals.push_back(acc);
+    ++off[static_cast<std::size_t>(r) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) off[i + 1] += off[i];
+  par::charge(k + n, 2 * par::ceil_log2(std::max<std::size_t>(k + n, 1)));
+  return Csr(n, std::move(off), std::move(out_cols), std::move(out_vals));
+}
+
+}  // namespace pmcf::linalg

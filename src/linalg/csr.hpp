@@ -1,0 +1,46 @@
+#pragma once
+// Compressed sparse row matrix — used for the reduced Laplacians A^T D A that
+// the IPM's Newton steps solve against (Lemma A.1).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vec_ops.hpp"
+
+namespace pmcf::linalg {
+
+class Csr {
+ public:
+  Csr() = default;
+  Csr(std::size_t n, std::vector<std::int64_t> offsets, std::vector<std::int32_t> cols,
+      std::vector<double> vals)
+      : n_(n), off_(std::move(offsets)), col_(std::move(cols)), val_(std::move(vals)) {}
+
+  [[nodiscard]] std::size_t dim() const { return n_; }
+  [[nodiscard]] std::size_t nnz() const { return val_.size(); }
+
+  /// y = M x. Work O(nnz), depth O(log n).
+  [[nodiscard]] Vec apply(const Vec& x) const;
+
+  /// Diagonal of M (for the Jacobi preconditioner).
+  [[nodiscard]] Vec diagonal() const;
+
+  [[nodiscard]] const std::vector<std::int64_t>& offsets() const { return off_; }
+  [[nodiscard]] const std::vector<std::int32_t>& cols() const { return col_; }
+  [[nodiscard]] const std::vector<double>& vals() const { return val_; }
+
+  /// Build from coordinate triplets (duplicates are summed).
+  static Csr from_triplets(std::size_t n,
+                           const std::vector<std::int32_t>& rows,
+                           const std::vector<std::int32_t>& cols,
+                           const std::vector<double>& vals);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> off_;
+  std::vector<std::int32_t> col_;
+  std::vector<double> val_;
+};
+
+}  // namespace pmcf::linalg

@@ -1,0 +1,36 @@
+#include "linalg/incidence.hpp"
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::linalg {
+
+Vec IncidenceOp::apply(const Vec& h) const {
+  const auto& arcs = g_->arcs();
+  Vec y(arcs.size());
+  const auto d = static_cast<std::size_t>(dropped_);
+  par::parallel_for(0, arcs.size(), [&](std::size_t e) {
+    const auto& a = arcs[e];
+    const double hu = static_cast<std::size_t>(a.from) == d ? 0.0 : h[static_cast<std::size_t>(a.from)];
+    const double hv = static_cast<std::size_t>(a.to) == d ? 0.0 : h[static_cast<std::size_t>(a.to)];
+    y[e] = hv - hu;
+    par::charge(1, 1);
+  });
+  return y;
+}
+
+Vec IncidenceOp::apply_transpose(const Vec& x) const {
+  const auto& arcs = g_->arcs();
+  Vec y(cols(), 0.0);
+  // Sequential scatter; in the PRAM model this is a segmented reduction with
+  // O(m) work and O(log m) depth, which is what we charge.
+  for (std::size_t e = 0; e < arcs.size(); ++e) {
+    const auto& a = arcs[e];
+    y[static_cast<std::size_t>(a.from)] -= x[e];
+    y[static_cast<std::size_t>(a.to)] += x[e];
+  }
+  y[static_cast<std::size_t>(dropped_)] = 0.0;
+  par::charge(arcs.size(), 2 * par::ceil_log2(std::max<std::size_t>(arcs.size(), 1)));
+  return y;
+}
+
+}  // namespace pmcf::linalg

@@ -1,0 +1,42 @@
+#pragma once
+// Implicit edge-vertex incidence operator A in {-1,0,1}^{m x n}.
+//
+// Following Appendix A: A_{e,u} = -1 and A_{e,v} = +1 for arc e = (u, v). The
+// IPM requires full column rank, achieved by dropping one column (one vertex).
+// We keep vectors at full dimension n and treat the dropped coordinate as
+// identically zero — this keeps indexing uniform across the codebase.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace pmcf::linalg {
+
+class IncidenceOp {
+ public:
+  /// Drop the column of `dropped` (default: last vertex).
+  explicit IncidenceOp(const graph::Digraph& g, graph::Vertex dropped = -1)
+      : g_(&g), dropped_(dropped < 0 ? g.num_vertices() - 1 : dropped) {}
+
+  [[nodiscard]] std::size_t rows() const { return static_cast<std::size_t>(g_->num_arcs()); }
+  [[nodiscard]] std::size_t cols() const { return static_cast<std::size_t>(g_->num_vertices()); }
+  [[nodiscard]] graph::Vertex dropped() const { return dropped_; }
+  [[nodiscard]] const graph::Digraph& graph() const { return *g_; }
+
+  /// y = A h, y in R^m, h in R^n (h[dropped] treated as 0).
+  [[nodiscard]] Vec apply(const Vec& h) const;
+
+  /// y = A^T x, y in R^n with y[dropped] = 0.
+  [[nodiscard]] Vec apply_transpose(const Vec& x) const;
+
+  /// Zero out the dropped coordinate (projection onto the column space basis).
+  void mask_dropped(Vec& h) const { h[static_cast<std::size_t>(dropped_)] = 0.0; }
+
+ private:
+  const graph::Digraph* g_;
+  graph::Vertex dropped_;
+};
+
+}  // namespace pmcf::linalg

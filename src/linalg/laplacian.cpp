@@ -1,0 +1,51 @@
+#include "linalg/laplacian.hpp"
+
+#include <cassert>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::linalg {
+
+Csr reduced_laplacian(const graph::Digraph& g, const Vec& d, graph::Vertex dropped) {
+  assert(d.size() == static_cast<std::size_t>(g.num_arcs()));
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto drop = static_cast<std::size_t>(dropped);
+
+  std::vector<std::int32_t> rows, cols;
+  std::vector<double> vals;
+  rows.reserve(4 * d.size() + n);
+  cols.reserve(4 * d.size() + n);
+  vals.reserve(4 * d.size() + n);
+  for (graph::EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const auto& a = g.arc(e);
+    const auto u = static_cast<std::size_t>(a.from);
+    const auto v = static_cast<std::size_t>(a.to);
+    const double w = d[static_cast<std::size_t>(e)];
+    if (u != drop) {
+      rows.push_back(static_cast<std::int32_t>(u));
+      cols.push_back(static_cast<std::int32_t>(u));
+      vals.push_back(w);
+    }
+    if (v != drop) {
+      rows.push_back(static_cast<std::int32_t>(v));
+      cols.push_back(static_cast<std::int32_t>(v));
+      vals.push_back(w);
+    }
+    if (u != drop && v != drop) {
+      rows.push_back(static_cast<std::int32_t>(u));
+      cols.push_back(static_cast<std::int32_t>(v));
+      vals.push_back(-w);
+      rows.push_back(static_cast<std::int32_t>(v));
+      cols.push_back(static_cast<std::int32_t>(u));
+      vals.push_back(-w);
+    }
+  }
+  // Pin the dropped vertex: row becomes the identity row.
+  rows.push_back(static_cast<std::int32_t>(drop));
+  cols.push_back(static_cast<std::int32_t>(drop));
+  vals.push_back(1.0);
+  par::charge(d.size(), par::ceil_log2(std::max<std::size_t>(d.size(), 1)));
+  return Csr::from_triplets(n, rows, cols, vals);
+}
+
+}  // namespace pmcf::linalg

@@ -1,0 +1,16 @@
+#pragma once
+// Assembly of the reduced (full-rank) Laplacian A^T D A, where A is the
+// incidence matrix with one column dropped and D a positive diagonal.
+// The dropped vertex's row is pinned to the identity so the matrix stays
+// n x n and SPD, matching the "remove one column" convention of Appendix A.
+
+#include "graph/digraph.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace pmcf::linalg {
+
+/// M = A^T Diag(d) A (reduced at `dropped`; its row/col becomes e_dropped).
+Csr reduced_laplacian(const graph::Digraph& g, const Vec& d, graph::Vertex dropped);
+
+}  // namespace pmcf::linalg

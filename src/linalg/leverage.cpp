@@ -1,0 +1,83 @@
+#include "linalg/leverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/laplacian.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::linalg {
+
+Vec leverage_scores_exact(const IncidenceOp& a, const Vec& v) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const auto& g = a.graph();
+  const auto drop = static_cast<std::size_t>(a.dropped());
+
+  // M = A^T V^2 A as dense (with the dropped row/col pinned to identity).
+  Dense mat(n, n);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto& arc = g.arc(static_cast<graph::EdgeId>(e));
+    const auto u = static_cast<std::size_t>(arc.from);
+    const auto w = static_cast<std::size_t>(arc.to);
+    const double d = v[e] * v[e];
+    if (u != drop) mat.at(u, u) += d;
+    if (w != drop) mat.at(w, w) += d;
+    if (u != drop && w != drop) {
+      mat.at(u, w) -= d;
+      mat.at(w, u) -= d;
+    }
+  }
+  mat.at(drop, drop) += 1.0;
+  const Dense minv = mat.inverse();
+
+  Vec sigma(m, 0.0);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto& arc = g.arc(static_cast<graph::EdgeId>(e));
+    const auto u = static_cast<std::size_t>(arc.from);
+    const auto w = static_cast<std::size_t>(arc.to);
+    // b = v_e * (e_w - e_u) restricted away from the dropped column.
+    double quad = 0.0;
+    if (u != drop) quad += minv.at(u, u);
+    if (w != drop) quad += minv.at(w, w);
+    if (u != drop && w != drop) quad -= 2.0 * minv.at(u, w);
+    sigma[e] = v[e] * v[e] * quad;
+  }
+  return sigma;
+}
+
+Vec leverage_scores(const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
+                    const LeverageOptions& opts) {
+  const std::size_t m = a.rows();
+  const auto k = static_cast<std::size_t>(opts.sketch_dim);
+
+  // Leverage scores are invariant under uniform scaling of v; normalize so
+  // the dropped row's unit pin stays commensurate with the weights.
+  const double vmax = std::max(norm_inf(v_in), 1e-300);
+  const Vec v = scale(v_in, 1.0 / vmax);
+  const Csr lap = reduced_laplacian(a.graph(), mul(v, v), a.dropped());
+  Vec sigma(m, 0.0);
+  const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
+  // The k sketch rows are independent; in the PRAM model they run in parallel
+  // (the loop below is the work-sum; depth is one solve + O(log)).
+  for (std::size_t r = 0; r < k; ++r) {
+    // J_r: Rademacher row scaled by 1/sqrt(k).
+    Vec jr(m);
+    for (std::size_t e = 0; e < m; ++e) jr[e] = rng.rademacher() * inv_sqrt_k;
+    par::charge(m, 1);
+    // rhs = B^T J_r = A^T (v .* J_r)
+    Vec rhs = a.apply_transpose(mul(v, jr));
+    rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
+    const SolveResult sol = solve_sdd(lap, rhs, opts.solve);
+    // contribution: (B y)_e^2 = (v_e (A y)_e)^2
+    const Vec z = a.apply(sol.x);
+    par::parallel_for(0, m, [&](std::size_t e) {
+      const double t = v[e] * z[e];
+      sigma[e] += t * t;
+    });
+  }
+  par::parallel_for(0, m, [&](std::size_t e) { sigma[e] = std::clamp(sigma[e], 0.0, 1.0); });
+  return sigma;
+}
+
+}  // namespace pmcf::linalg

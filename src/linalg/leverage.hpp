@@ -1,0 +1,29 @@
+#pragma once
+// Leverage scores sigma(VA)_i = (v_i a_i)^T (A^T V^2 A)^{-1} (v_i a_i).
+//
+// Two implementations:
+//  - exact (dense inverse oracle) for tests and tiny instances,
+//  - sketched: the standard JL estimator [LS13 App. B.2, as cited in C.1] —
+//    O~(1/eps^2) SDD solves plus O(km) work, O~(1) depth per solve batch.
+
+#include "linalg/dense.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/sdd_solver.hpp"
+#include "linalg/vec_ops.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::linalg {
+
+/// Exact leverage scores via dense (A^T V^2 A)^{-1}. O(n^3 + m n) work.
+Vec leverage_scores_exact(const IncidenceOp& a, const Vec& v);
+
+struct LeverageOptions {
+  std::int32_t sketch_dim = 48;   // JL rows; error ~ 1/sqrt(k)
+  SolveOptions solve;
+};
+
+/// JL-sketched leverage scores, clamped to [0, 1].
+Vec leverage_scores(const IncidenceOp& a, const Vec& v, par::Rng& rng,
+                    const LeverageOptions& opts = {});
+
+}  // namespace pmcf::linalg

@@ -1,0 +1,35 @@
+#pragma once
+// Regularized l_p Lewis weights (Appendix A / eq. (2)).
+//
+// The weights tau in R^m_{>0} solve the fixed point
+//     tau = sigma(T^{1/2 - 1/p} V A) + z
+// with p = 1 - 1/(4 log(4m/n)) and regularizer z (the IPM uses z = n/m * 1).
+// For p in (0, 2) the map is a contraction [CP15], so we iterate it.
+
+#include "linalg/incidence.hpp"
+#include "linalg/leverage.hpp"
+#include "linalg/vec_ops.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::linalg {
+
+struct LewisOptions {
+  std::int32_t max_rounds = 40;
+  double fixpoint_tol = 1e-3;     // stop when tau changes by < tol entrywise
+  bool exact_leverage = false;    // dense oracle (tests) vs JL estimator
+  LeverageOptions leverage;
+};
+
+/// The IPM's Lewis-weight exponent p = 1 - 1/(4 log(4m/n)).
+double lewis_p(std::size_t m, std::size_t n);
+
+/// Compute regularized l_p Lewis weights of Diag(v) * A.
+/// `z` is the regularizer added each round (entrywise, z_i >= n/m expected).
+Vec lewis_weights(const IncidenceOp& a, const Vec& v, const Vec& z, double p,
+                  par::Rng& rng, const LewisOptions& opts = {});
+
+/// Convenience: IPM defaults (p from lewis_p, z = n/m).
+Vec ipm_lewis_weights(const IncidenceOp& a, const Vec& v, par::Rng& rng,
+                      const LewisOptions& opts = {});
+
+}  // namespace pmcf::linalg

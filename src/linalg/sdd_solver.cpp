@@ -1,0 +1,49 @@
+#include "linalg/sdd_solver.hpp"
+
+#include <cmath>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::linalg {
+
+SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
+  const std::size_t n = m.dim();
+  SolveResult res;
+  res.x.assign(n, 0.0);
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  Vec dinv = map(m.diagonal(), [](double d) { return d > 0.0 ? 1.0 / d : 1.0; });
+  Vec r = b;                 // residual (x0 = 0)
+  Vec z = mul(dinv, r);      // preconditioned residual
+  Vec p = z;
+  double rz = dot(r, z);
+
+  for (std::int32_t it = 0; it < opts.max_iters; ++it) {
+    const Vec mp = m.apply(p);
+    const double pmp = dot(p, mp);
+    if (pmp <= 0.0) break;  // numerical breakdown; return best iterate
+    const double alpha = rz / pmp;
+    axpy(res.x, alpha, p);
+    axpy(r, -alpha, mp);
+    res.iterations = it + 1;
+    const double rn = norm2(r);
+    if (rn <= opts.tolerance * bnorm) {
+      res.converged = true;
+      res.relative_residual = rn / bnorm;
+      return res;
+    }
+    z = mul(dinv, r);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    par::parallel_for(0, n, [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
+  }
+  res.relative_residual = norm2(r) / bnorm;
+  return res;
+}
+
+}  // namespace pmcf::linalg

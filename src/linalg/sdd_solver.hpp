@@ -1,0 +1,33 @@
+#pragma once
+// SDD / Laplacian system solver (substitute for Lemma A.1).
+//
+// The paper's IPM calls a parallel SDD solver [PS14] as a black box returning
+// an eps-approximate solution to (A^T D A) x = b with near-linear work and
+// polylog depth. We provide the same contract via Jacobi-preconditioned
+// conjugate gradients. CG's iteration count is instance-dependent; the solver
+// reports it so benches can separate the (substituted) inner-solver cost from
+// the outer algorithm's cost. See DESIGN.md §2.
+
+#include <cstdint>
+
+#include "linalg/csr.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace pmcf::linalg {
+
+struct SolveOptions {
+  double tolerance = 1e-10;   // relative residual target ||Mx-b|| <= tol*||b||
+  std::int32_t max_iters = 4000;
+};
+
+struct SolveResult {
+  Vec x;
+  double relative_residual = 0.0;
+  std::int32_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solve M x = b for SPD M by Jacobi-preconditioned CG.
+SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts = {});
+
+}  // namespace pmcf::linalg

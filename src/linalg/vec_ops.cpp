@@ -1,0 +1,21 @@
+#include "linalg/vec_ops.hpp"
+
+namespace pmcf::linalg {
+
+bool approx_eq(const Vec& u, const Vec& v, double eps) {
+  if (u.size() != v.size()) return false;
+  const double lo = std::exp(-eps);
+  const double hi = std::exp(eps);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (v[i] == 0.0) {
+      if (u[i] != 0.0) return false;
+      continue;
+    }
+    const double r = u[i] / v[i];
+    if (!(r >= lo && r <= hi)) return false;
+  }
+  par::charge(u.size(), par::ceil_log2(std::max<std::size_t>(u.size(), 1)));
+  return true;
+}
+
+}  // namespace pmcf::linalg

@@ -1,0 +1,80 @@
+#pragma once
+// Parallel elementwise vector algebra in the PRAM cost model. All operations
+// charge O(n) work and O(log n) depth (reductions) or O(1) depth (maps).
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::linalg {
+
+using Vec = std::vector<double>;
+
+inline Vec constant(std::size_t n, double v) {
+  return par::tabulate<double>(n, [&](std::size_t) { return v; });
+}
+
+template <class F>
+Vec map(const Vec& a, F&& f) {
+  return par::tabulate<double>(a.size(), [&](std::size_t i) { return f(a[i]); });
+}
+
+template <class F>
+Vec zip(const Vec& a, const Vec& b, F&& f) {
+  return par::tabulate<double>(a.size(), [&](std::size_t i) { return f(a[i], b[i]); });
+}
+
+inline Vec add(const Vec& a, const Vec& b) { return zip(a, b, [](double x, double y) { return x + y; }); }
+inline Vec sub(const Vec& a, const Vec& b) { return zip(a, b, [](double x, double y) { return x - y; }); }
+inline Vec mul(const Vec& a, const Vec& b) { return zip(a, b, [](double x, double y) { return x * y; }); }
+inline Vec div(const Vec& a, const Vec& b) { return zip(a, b, [](double x, double y) { return x / y; }); }
+inline Vec scale(const Vec& a, double s) { return map(a, [s](double x) { return x * s; }); }
+inline Vec sqrt(const Vec& a) { return map(a, [](double x) { return std::sqrt(x); }); }
+inline Vec inv(const Vec& a) { return map(a, [](double x) { return 1.0 / x; }); }
+
+inline void add_in_place(Vec& a, const Vec& b) {
+  par::parallel_for(0, a.size(), [&](std::size_t i) { a[i] += b[i]; });
+}
+inline void axpy(Vec& y, double alpha, const Vec& x) {
+  par::parallel_for(0, y.size(), [&](std::size_t i) { y[i] += alpha * x[i]; });
+}
+
+inline double dot(const Vec& a, const Vec& b) {
+  return par::parallel_reduce<double>(
+      0, a.size(), 0.0, [&](std::size_t i) { return a[i] * b[i]; },
+      [](double x, double y) { return x + y; });
+}
+
+inline double sum(const Vec& a) {
+  return par::parallel_reduce<double>(
+      0, a.size(), 0.0, [&](std::size_t i) { return a[i]; },
+      [](double x, double y) { return x + y; });
+}
+
+inline double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+inline double norm_inf(const Vec& a) {
+  return par::parallel_reduce<double>(
+      0, a.size(), 0.0, [&](std::size_t i) { return std::abs(a[i]); },
+      [](double x, double y) { return x > y ? x : y; });
+}
+
+/// ||v||_tau = sqrt(sum tau_i v_i^2)  (Section 2.1).
+inline double norm_tau(const Vec& v, const Vec& tau) {
+  return std::sqrt(par::parallel_reduce<double>(
+      0, v.size(), 0.0, [&](std::size_t i) { return tau[i] * v[i] * v[i]; },
+      [](double x, double y) { return x + y; }));
+}
+
+/// Mixed norm ||v||_{tau+inf} = ||v||_inf + c_norm * ||v||_tau  (Section 2.1).
+inline double norm_tau_inf(const Vec& v, const Vec& tau, double c_norm) {
+  return norm_inf(v) + c_norm * norm_tau(v, tau);
+}
+
+/// Entrywise u ≈_eps v: exp(-eps) v_i <= u_i <= exp(eps) v_i for all i
+/// (requires same strict sign; used for approximation invariants).
+bool approx_eq(const Vec& u, const Vec& v, double eps);
+
+}  // namespace pmcf::linalg

@@ -1,0 +1,34 @@
+#include "mcf/bipartite_matching.hpp"
+
+#include "mcf/max_flow.hpp"
+
+namespace pmcf::mcf {
+
+MatchingResult bipartite_matching(const graph::Digraph& g, graph::Vertex nl, graph::Vertex nr,
+                                  const SolveOptions& opts) {
+  // Standard reduction: s -> left (unit), right -> t (unit), original arcs
+  // unit capacity; matching edges are saturated middle arcs.
+  const graph::Vertex n = nl + nr;
+  graph::Digraph flow_g(n + 2);
+  const graph::Vertex s = n;
+  const graph::Vertex t = n + 1;
+  for (graph::Vertex l = 0; l < nl; ++l) flow_g.add_arc(s, l, 1, 0);
+  for (graph::Vertex r = 0; r < nr; ++r) flow_g.add_arc(nl + r, t, 1, 0);
+  const auto middle_base = static_cast<std::size_t>(flow_g.num_arcs());
+  for (const auto& a : g.arcs()) flow_g.add_arc(a.from, a.to, 1, 0);
+
+  const auto mf = max_flow(flow_g, s, t, opts);
+  MatchingResult res;
+  res.size = mf.flow_value;
+  res.stats = mf.stats;
+  res.match_left.assign(static_cast<std::size_t>(nl), -1);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(g.num_arcs()); ++k) {
+    if (mf.arc_flow[middle_base + k] > 0) {
+      const auto& a = g.arc(static_cast<graph::EdgeId>(k));
+      res.match_left[static_cast<std::size_t>(a.from)] = a.to - nl;
+    }
+  }
+  return res;
+}
+
+}  // namespace pmcf::mcf

@@ -1,0 +1,25 @@
+#pragma once
+// Bipartite maximum matching via min-cost flow (Corollary 1.3):
+// Õ(m + n^1.5) work, Õ(√n) depth.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "mcf/min_cost_flow.hpp"
+
+namespace pmcf::mcf {
+
+struct MatchingResult {
+  std::int64_t size = 0;
+  /// match_left[l] = matched right vertex index in [0, nr) or -1.
+  std::vector<std::int32_t> match_left;
+  SolveStats stats;
+};
+
+/// `g` is a bipartite digraph with arcs l -> (nl + r), unit capacities
+/// (as produced by graph::random_bipartite).
+MatchingResult bipartite_matching(const graph::Digraph& g, graph::Vertex nl, graph::Vertex nr,
+                                  const SolveOptions& opts = {});
+
+}  // namespace pmcf::mcf

@@ -1,0 +1,15 @@
+#include "mcf/max_flow.hpp"
+
+namespace pmcf::mcf {
+
+MaxFlowResult max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t,
+                       const SolveOptions& opts) {
+  // Zero the costs; the min-cost circulation with the -K return arc then
+  // maximizes the s-t flow and any feasible routing of it is optimal.
+  graph::Digraph zero_cost(g.num_vertices());
+  for (const auto& a : g.arcs()) zero_cost.add_arc(a.from, a.to, a.cap, 0);
+  const auto res = min_cost_max_flow(zero_cost, s, t, opts);
+  return {res.flow_value, res.arc_flow, res.stats};
+}
+
+}  // namespace pmcf::mcf

@@ -1,0 +1,22 @@
+#pragma once
+// Maximum s-t flow via min-cost flow (the Theorem 1.2 special case with
+// zero costs).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "mcf/min_cost_flow.hpp"
+
+namespace pmcf::mcf {
+
+struct MaxFlowResult {
+  std::int64_t flow_value = 0;
+  std::vector<std::int64_t> arc_flow;
+  SolveStats stats;
+};
+
+MaxFlowResult max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t,
+                       const SolveOptions& opts = {});
+
+}  // namespace pmcf::mcf

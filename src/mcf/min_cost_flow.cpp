@@ -1,0 +1,182 @@
+#include "mcf/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/ssp.hpp"
+#include "ipm/robust_ipm.hpp"
+#include "ipm/rounding.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::mcf {
+
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+using linalg::Vec;
+
+struct AugmentedLp {
+  Digraph graph;        ///< original arcs [+ ts arc] + auxiliary arcs
+  ipm::IpmLp lp;        ///< views into graph (b, cost, cap, dropped = z)
+  Vec x0;               ///< interior feasible start (u/2 everywhere)
+  std::size_t num_core; ///< arcs that belong to the rounding problem
+};
+
+/// Build the augmented LP: core graph (original arcs, plus the t->s arc for
+/// max-flow instances) + auxiliary vertex z absorbing the imbalance of
+/// x0 = u/2. z is the dropped incidence column, so its conservation row is
+/// free and the auxiliary arcs only fix the real vertices' rows.
+AugmentedLp augment(const Digraph& core, const std::vector<std::int64_t>& b) {
+  const Vertex n = core.num_vertices();
+  AugmentedLp out;
+  out.graph = Digraph(n + 1);
+  const Vertex z = n;
+  for (const auto& a : core.arcs()) out.graph.add_arc(a.from, a.to, a.cap, a.cost);
+  out.num_core = static_cast<std::size_t>(core.num_arcs());
+
+  // Imbalance of x0 = u/2 against the demands, in halves to stay integral:
+  // r2[v] = 2*((A^T x0)_v - b_v).
+  std::vector<std::int64_t> r2(static_cast<std::size_t>(n), 0);
+  for (const auto& a : core.arcs()) {
+    r2[static_cast<std::size_t>(a.to)] += a.cap;
+    r2[static_cast<std::size_t>(a.from)] -= a.cap;
+  }
+  for (Vertex v = 0; v < n; ++v) r2[static_cast<std::size_t>(v)] -= 2 * b[static_cast<std::size_t>(v)];
+
+  std::int64_t cost_mass = 1;
+  for (const auto& a : core.arcs()) cost_mass += std::abs(a.cost) * a.cap;
+  const std::int64_t k_aux = 4 * cost_mass;
+
+  std::vector<double> x0;
+  x0.reserve(out.num_core + static_cast<std::size_t>(n));
+  for (const auto& a : core.arcs()) x0.push_back(static_cast<double>(a.cap) / 2.0);
+  for (Vertex v = 0; v < n; ++v) {
+    const std::int64_t r = r2[static_cast<std::size_t>(v)];
+    if (r == 0) continue;
+    // Excess inflow (r > 0) leaves through v -> z; deficit enters via z -> v.
+    if (r > 0) {
+      out.graph.add_arc(v, z, r, k_aux);
+    } else {
+      out.graph.add_arc(z, v, -r, k_aux);
+    }
+    x0.push_back(static_cast<double>(std::abs(r)) / 2.0);
+  }
+
+  out.lp.graph = &out.graph;
+  out.lp.dropped = z;
+  out.lp.b.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  for (Vertex v = 0; v < n; ++v) out.lp.b[static_cast<std::size_t>(v)] = static_cast<double>(b[static_cast<std::size_t>(v)]);
+  out.lp.cost.assign(static_cast<std::size_t>(out.graph.num_arcs()), 0.0);
+  out.lp.cap.assign(static_cast<std::size_t>(out.graph.num_arcs()), 0.0);
+  for (graph::EdgeId e = 0; e < out.graph.num_arcs(); ++e) {
+    out.lp.cost[static_cast<std::size_t>(e)] = static_cast<double>(out.graph.arc(e).cost);
+    out.lp.cap[static_cast<std::size_t>(e)] = static_cast<double>(out.graph.arc(e).cap);
+  }
+  out.x0 = Vec(x0.begin(), x0.end());
+  par::charge(static_cast<std::uint64_t>(out.graph.num_arcs()) + static_cast<std::uint64_t>(n),
+              par::ceil_log2(static_cast<std::uint64_t>(out.graph.num_arcs()) + 2));
+  return out;
+}
+
+MinCostFlowResult solve_core(const Digraph& core, const std::vector<std::int64_t>& b,
+                             const SolveOptions& opts) {
+  MinCostFlowResult res;
+  AugmentedLp aug = augment(core, b);
+  const double mu0 = ipm::initial_mu(aug.lp);
+  Vec y0(static_cast<std::size_t>(aug.graph.num_vertices()), 0.0);
+
+  Vec x_final;
+  if (opts.method == Method::kRobustIpm) {
+    ipm::RobustIpmOptions ropts;
+    ropts.mu_end = opts.ipm.mu_end;
+    ropts.max_iters = opts.ipm.max_iters;
+    ropts.solve = opts.ipm.solve;
+    const auto r = ipm::robust_ipm(aug.lp, aug.x0, y0, mu0, ropts);
+    res.stats.ipm_iterations = r.iterations;
+    res.stats.final_mu = r.mu;
+    res.stats.final_centrality = r.final_centrality;
+    res.stats.robust_step_work = r.robust_step_work;
+    res.stats.robust_steps = r.robust_steps;
+    x_final = r.x;
+  } else {
+    ipm::IpmResult ipm_res = ipm::reference_ipm(aug.lp, aug.x0, y0, mu0, opts.ipm);
+    res.stats.ipm_iterations = ipm_res.iterations;
+    res.stats.final_mu = ipm_res.mu;
+    res.stats.final_centrality = ipm_res.final_centrality;
+    x_final = std::move(ipm_res.x);
+  }
+
+  // Drop auxiliary arcs and round on the core problem.
+  Vec x_core(x_final.begin(), x_final.begin() + static_cast<std::ptrdiff_t>(aug.num_core));
+  const auto repaired = ipm::round_and_repair(core, b, x_core);
+  res.stats.imbalance_routed = repaired.imbalance_routed;
+  res.stats.cycles_canceled = repaired.cycles_canceled;
+  res.arc_flow = repaired.flow;
+  res.cost = repaired.cost;
+  return res;
+}
+
+}  // namespace
+
+MinCostFlowResult min_cost_max_flow(const Digraph& g, Vertex s, Vertex t,
+                                    const SolveOptions& opts) {
+  if (opts.method == Method::kCombinatorial) {
+    const auto r = baselines::ssp_min_cost_max_flow(g, s, t);
+    return {r.flow, r.cost, r.arc_flow, {}};
+  }
+  // Circulation formulation: add t -> s with reward -K dominating all costs.
+  Digraph core(g.num_vertices());
+  for (const auto& a : g.arcs()) core.add_arc(a.from, a.to, a.cap, a.cost);
+  std::int64_t out_cap = 0;
+  for (const auto& a : g.arcs()) {
+    if (a.from == s) out_cap += a.cap;
+  }
+  std::int64_t cost_mass = 1;
+  for (const auto& a : g.arcs()) cost_mass += std::abs(a.cost) * a.cap;
+  const graph::EdgeId ts = core.add_arc(t, s, std::max<std::int64_t>(out_cap, 1), -cost_mass);
+
+  std::vector<std::int64_t> b(static_cast<std::size_t>(core.num_vertices()), 0);
+  MinCostFlowResult res = solve_core(core, b, opts);
+  res.flow_value = res.arc_flow[static_cast<std::size_t>(ts)];
+  res.arc_flow.resize(static_cast<std::size_t>(g.num_arcs()));
+  res.cost = 0;
+  for (std::size_t k = 0; k < res.arc_flow.size(); ++k)
+    res.cost += res.arc_flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
+  return res;
+}
+
+MinCostFlowResult min_cost_b_flow(const Digraph& g, const std::vector<std::int64_t>& b,
+                                  const SolveOptions& opts) {
+  std::int64_t demand_total = 0;
+  for (const std::int64_t bv : b)
+    if (bv > 0) demand_total += bv;
+  MinCostFlowResult res;
+  if (opts.method == Method::kCombinatorial) {
+    // ssp's convention is supply-positive; ours is net-inflow-positive.
+    std::vector<std::int64_t> supply(b.size());
+    for (std::size_t v = 0; v < b.size(); ++v) supply[v] = -b[v];
+    auto r = baselines::ssp_min_cost_b_flow(g, supply);
+    res.cost = r.cost;
+    res.arc_flow = std::move(r.arc_flow);
+  } else {
+    res = solve_core(g, b, opts);
+  }
+  // Feasibility check: A^T x must equal b exactly.
+  std::vector<std::int64_t> net(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (std::size_t k = 0; k < res.arc_flow.size(); ++k) {
+    const auto& a = g.arc(static_cast<graph::EdgeId>(k));
+    net[static_cast<std::size_t>(a.to)] += res.arc_flow[k];
+    net[static_cast<std::size_t>(a.from)] -= res.arc_flow[k];
+  }
+  res.flow_value = demand_total;
+  for (std::size_t v = 0; v < b.size(); ++v) {
+    if (net[v] != b[v]) {
+      res.flow_value = 0;  // infeasible routing; caller should check
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace pmcf::mcf

@@ -1,0 +1,64 @@
+#pragma once
+// Public API of the paper's headline result (Theorem 1.2): exact minimum
+// cost maximum s-t flow for integer capacities and costs.
+//
+// Construction (Appendix F):
+//  - add the arc (t, s) with capacity >= max possible flow and cost -K where
+//    K exceeds the total cost range, turning min-cost max-flow into a
+//    min-cost circulation;
+//  - add an auxiliary vertex z (the dropped incidence column) with one arc
+//    per imbalanced vertex so that x0 = u/2 is a feasible interior point
+//    with phi'(x0) = 0, giving a closed-form eps-centered start;
+//  - follow the central path (reference or robust IPM) to small mu;
+//  - round to the exact integral optimum (ipm/rounding.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ipm/reference_ipm.hpp"
+
+namespace pmcf::mcf {
+
+enum class Method {
+  kReferenceIpm,   ///< dense per-iteration path following (LS14-style)
+  kRobustIpm,      ///< sublinear-per-iteration robust IPM (the paper)
+  kCombinatorial,  ///< successive shortest path (baseline oracle)
+};
+
+struct SolveOptions {
+  Method method = Method::kReferenceIpm;
+  ipm::IpmOptions ipm;
+};
+
+struct SolveStats {
+  std::int32_t ipm_iterations = 0;
+  double final_mu = 0.0;
+  double final_centrality = 0.0;
+  std::int64_t imbalance_routed = 0;  ///< repair work: rounding imbalance
+  std::int64_t cycles_canceled = 0;   ///< repair work: negative cycles
+  /// Robust IPM only: PRAM work charged inside the incremental steps (the
+  /// paper's Õ(m/√n + n) per-iteration quantity) and their count; epoch
+  /// rebuild costs are excluded (amortized separately).
+  std::uint64_t robust_step_work = 0;
+  std::int32_t robust_steps = 0;
+};
+
+struct MinCostFlowResult {
+  std::int64_t flow_value = 0;
+  std::int64_t cost = 0;
+  std::vector<std::int64_t> arc_flow;  ///< per arc of the input graph
+  SolveStats stats;
+};
+
+/// Exact min-cost max-flow from s to t.
+MinCostFlowResult min_cost_max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t,
+                                    const SolveOptions& opts = {});
+
+/// Exact min-cost b-flow: route integer demands (A^T x = b, sum(b) = 0,
+/// b[v] = net inflow required at v). Returns feasibility via flow_value ==
+/// total positive demand.
+MinCostFlowResult min_cost_b_flow(const graph::Digraph& g, const std::vector<std::int64_t>& b,
+                                  const SolveOptions& opts = {});
+
+}  // namespace pmcf::mcf

@@ -1,0 +1,33 @@
+#include "mcf/reachability.hpp"
+
+#include "mcf/max_flow.hpp"
+
+namespace pmcf::mcf {
+
+ReachabilityResult reachability(const graph::Digraph& g, graph::Vertex source,
+                                const SolveOptions& opts) {
+  const graph::Vertex n = g.num_vertices();
+  graph::Digraph flow_g(n + 1);
+  const graph::Vertex t = n;
+  // Internal capacities n: never the bottleneck for unit sink arcs.
+  for (const auto& a : g.arcs()) flow_g.add_arc(a.from, a.to, n, 0);
+  const auto sink_base = static_cast<std::size_t>(flow_g.num_arcs());
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (v != source) flow_g.add_arc(v, t, 1, 0);
+  }
+  const auto mf = max_flow(flow_g, source, t, opts);
+
+  ReachabilityResult res;
+  res.stats = mf.stats;
+  res.reachable.assign(static_cast<std::size_t>(n), 0);
+  res.reachable[static_cast<std::size_t>(source)] = 1;
+  std::size_t k = sink_base;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (v == source) continue;
+    if (mf.arc_flow[k] > 0) res.reachable[static_cast<std::size_t>(v)] = 1;
+    ++k;
+  }
+  return res;
+}
+
+}  // namespace pmcf::mcf

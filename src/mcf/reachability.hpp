@@ -1,0 +1,22 @@
+#pragma once
+// Reachability via max flow (Corollary 1.5): attach a unit-capacity arc from
+// every vertex to a super-sink; a vertex is reachable iff the maximum flow
+// saturates its sink arc. The flow computation runs through the IPM, so the
+// depth is Õ(√n) instead of BFS's Õ(diameter).
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "mcf/min_cost_flow.hpp"
+
+namespace pmcf::mcf {
+
+struct ReachabilityResult {
+  std::vector<char> reachable;  ///< per vertex (source included)
+  SolveStats stats;
+};
+
+ReachabilityResult reachability(const graph::Digraph& g, graph::Vertex source,
+                                const SolveOptions& opts = {});
+
+}  // namespace pmcf::mcf

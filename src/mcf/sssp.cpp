@@ -1,0 +1,75 @@
+#include "mcf/sssp.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/bfs.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::mcf {
+
+namespace {
+using graph::Vertex;
+}
+
+SsspResult shortest_paths(const graph::Digraph& g, Vertex source, const SolveOptions& opts) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  SsspResult res;
+  res.dist.assign(n, SsspResult::kUnreachable);
+  res.dist[static_cast<std::size_t>(source)] = 0;
+
+  // Reachable set first (unit-cost reachability; negative arcs irrelevant).
+  graph::Digraph reach_g(g.num_vertices());
+  for (const auto& a : g.arcs()) reach_g.add_arc(a.from, a.to, 1, 0);
+  reach_g.build_csr();
+  const auto bfs = graph::parallel_bfs(reach_g, source);
+  std::vector<Vertex> reachable;
+  for (std::size_t v = 0; v < n; ++v)
+    if (bfs.dist[v] >= 0 && v != static_cast<std::size_t>(source))
+      reachable.push_back(static_cast<Vertex>(v));
+  if (reachable.empty()) return res;
+
+  // b-flow: source supplies |reachable| units (net inflow -k), every
+  // reachable vertex demands one unit. Arc capacities k suffice.
+  const auto k = static_cast<std::int64_t>(reachable.size());
+  graph::Digraph flow_g(g.num_vertices());
+  for (const auto& a : g.arcs()) flow_g.add_arc(a.from, a.to, k, a.cost);
+  std::vector<std::int64_t> b(n, 0);
+  b[static_cast<std::size_t>(source)] = -k;
+  for (const Vertex v : reachable) b[static_cast<std::size_t>(v)] = 1;
+
+  const auto flow = min_cost_b_flow(flow_g, b, opts);
+  res.stats = flow.stats;
+  if (flow.flow_value != k) {
+    // Infeasible routing can only stem from a negative cycle making the
+    // "min cost" unbounded in the fractional relaxation.
+    res.has_negative_cycle = true;
+    return res;
+  }
+
+  // Distance extraction: every flow path is a shortest path, so relaxing
+  // only over support arcs converges to the true distances.
+  std::vector<std::size_t> support;
+  for (std::size_t e = 0; e < flow.arc_flow.size(); ++e)
+    if (flow.arc_flow[e] > 0) support.push_back(e);
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed && rounds <= n) {
+    changed = false;
+    ++rounds;
+    for (const std::size_t e : support) {
+      const auto& a = g.arc(static_cast<graph::EdgeId>(e));
+      const auto u = static_cast<std::size_t>(a.from);
+      const auto v = static_cast<std::size_t>(a.to);
+      if (res.dist[u] >= SsspResult::kUnreachable) continue;
+      if (res.dist[u] + a.cost < res.dist[v]) {
+        res.dist[v] = res.dist[u] + a.cost;
+        changed = true;
+      }
+    }
+  }
+  par::charge(support.size() * rounds + n, rounds);
+  return res;
+}
+
+}  // namespace pmcf::mcf

@@ -1,0 +1,27 @@
+#pragma once
+// Negative-weight single-source shortest paths via min-cost flow
+// (Corollary 1.4): route one unit from the source to every reachable vertex;
+// the optimal flow decomposes into shortest paths, from whose support the
+// distance labels are extracted.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "mcf/min_cost_flow.hpp"
+
+namespace pmcf::mcf {
+
+struct SsspResult {
+  std::vector<std::int64_t> dist;  ///< kUnreachable where no path exists
+  bool has_negative_cycle = false;
+  SolveStats stats;
+  static constexpr std::int64_t kUnreachable = std::int64_t{1} << 60;
+};
+
+/// Shortest paths from `source`; arc costs may be negative (no negative
+/// cycle reachable from the source).
+SsspResult shortest_paths(const graph::Digraph& g, graph::Vertex source,
+                          const SolveOptions& opts = {});
+
+}  // namespace pmcf::mcf

@@ -1,0 +1,16 @@
+#include "parallel/rng.hpp"
+
+#include <cmath>
+
+namespace pmcf::par {
+
+double Rng::normal() {
+  // Box–Muller; regenerate on the (measure-zero) log(0) corner.
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double two_pi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+}  // namespace pmcf::par

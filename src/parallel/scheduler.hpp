@@ -1,0 +1,117 @@
+#pragma once
+// Structured fork-join primitives with PRAM work/depth instrumentation.
+//
+// Instrumented execution is deterministic and single-threaded: each iteration
+// of a parallel loop is run with its own span counter and the loop contributes
+// max(iteration spans) + ceil(log2 n) to the caller's span — exactly the
+// binary-forking PRAM accounting the paper uses. When instrumentation is
+// disabled and a thread pool is configured, loops execute on real threads
+// (uninstrumented wall-clock mode).
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace pmcf::par {
+
+/// parallel_for(lo, hi, f): run f(i) for all i in [lo, hi).
+/// Work: sum of per-iteration work (+1/iter loop overhead).
+/// Depth: max per-iteration depth + ceil(log2(#iters)).
+template <class F>
+void parallel_for(std::size_t lo, std::size_t hi, F&& f) {
+  if (lo >= hi) return;
+  const std::size_t n = hi - lo;
+  auto& t = Tracker::instance();
+  if (t.enabled()) {
+    const std::uint64_t d0 = t.depth();
+    std::uint64_t max_d = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      t.set_depth(0);
+      f(i);
+      max_d = std::max(max_d, t.depth());
+    }
+    t.set_depth(d0 + max_d + ceil_log2(n));
+    t.charge(n, 0);  // spawn/loop overhead, no extra span
+    return;
+  }
+  ThreadPool* pool = ThreadPool::global();
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  pool->for_each_chunk(lo, hi, std::forward<F>(f));
+}
+
+/// parallel_reduce over [lo, hi): combine(map(i)...) with identity `init`.
+/// `combine` must be associative. Depth: max map depth + O(log n).
+template <class T, class Map, class Combine>
+T parallel_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& combine) {
+  if (lo >= hi) return init;
+  const std::size_t n = hi - lo;
+  auto& t = Tracker::instance();
+  T acc = init;
+  if (t.enabled()) {
+    const std::uint64_t d0 = t.depth();
+    std::uint64_t max_d = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      t.set_depth(0);
+      acc = combine(std::move(acc), map(i));
+      max_d = std::max(max_d, t.depth());
+    }
+    t.set_depth(d0 + max_d + 2 * ceil_log2(n));
+    t.charge(n, 0);
+    return acc;
+  }
+  for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
+  return acc;
+}
+
+/// Exclusive prefix sum of `in`; returns the vector of partial sums and the
+/// total. Work O(n), depth O(log n).
+template <class T>
+std::pair<std::vector<T>, T> exclusive_scan(const std::vector<T>& in) {
+  std::vector<T> out(in.size());
+  T total{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = total;
+    total += in[i];
+  }
+  charge(in.size(), 2 * ceil_log2(std::max<std::size_t>(in.size(), 1)));
+  return {std::move(out), total};
+}
+
+/// Stable parallel pack: keep indices i in [0, n) with pred(i)==true.
+/// Work O(n), depth O(log n) (scan-based in the model).
+template <class Pred>
+std::vector<std::size_t> pack_indices(std::size_t n, Pred&& pred) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i)
+    if (pred(i)) out.push_back(i);
+  charge(n, 2 * ceil_log2(std::max<std::size_t>(n, 1)));
+  return out;
+}
+
+/// Parallel-model sort: work O(n log n), depth O(log^2 n).
+template <class It, class Less = std::less<>>
+void parallel_sort(It first, It last, Less less = {}) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  std::sort(first, last, less);
+  const auto lg = ceil_log2(std::max<std::size_t>(n, 1));
+  charge(n * std::max<std::uint64_t>(lg, 1), lg * lg + 1);
+}
+
+/// Fill `v` with f(i). Work O(n), depth max f-depth + O(log n).
+template <class T, class F>
+std::vector<T> tabulate(std::size_t n, F&& f) {
+  std::vector<T> v(n);
+  parallel_for(0, n, [&](std::size_t i) { v[i] = f(i); });
+  return v;
+}
+
+}  // namespace pmcf::par

@@ -1,0 +1,83 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace pmcf::par {
+
+namespace {
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_each_chunk(std::size_t lo, std::size_t hi,
+                                const std::function<void(std::size_t)>& f) {
+  const std::size_t n = hi - lo;
+  const std::size_t chunks = std::min(n, num_threads());
+  const std::size_t per = (n + chunks - 1) / chunks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t b = lo + c * per;
+      const std::size_t e = std::min(hi, b + per);
+      if (b >= e) continue;
+      ++in_flight_;
+      queue_.emplace_back([&f, b, e] {
+        for (std::size_t i = b; i < e; ++i) f(i);
+      });
+    }
+  }
+  cv_.notify_all();
+  // Caller thread runs the first chunk.
+  for (std::size_t i = lo; i < std::min(hi, lo + per); ++i) f(i);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool* ThreadPool::global() { return global_slot().get(); }
+
+void ThreadPool::configure(std::size_t num_threads) {
+  if (num_threads <= 1) {
+    global_slot().reset();
+  } else {
+    global_slot() = std::make_unique<ThreadPool>(num_threads);
+  }
+}
+
+}  // namespace pmcf::par

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal fork-join thread pool used only in uninstrumented (wall-clock) mode.
+// Instrumented PRAM runs are single-threaded and deterministic; see
+// scheduler.hpp. The pool exists so the library runs with real parallelism on
+// multicore machines once instrumentation is switched off.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmcf::par {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Splits [lo, hi) into num_threads contiguous chunks and runs f(i) for each
+  /// index, blocking until all chunks finish. f must be safe to call
+  /// concurrently on disjoint indices.
+  void for_each_chunk(std::size_t lo, std::size_t hi,
+                      const std::function<void(std::size_t)>& f);
+
+  /// Process-wide pool; nullptr until configure() is called.
+  static ThreadPool* global();
+  /// (Re)create the global pool with `num_threads` total threads
+  /// (1 disables pooling).
+  static void configure(std::size_t num_threads);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pmcf::par

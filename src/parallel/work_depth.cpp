@@ -1,0 +1,24 @@
+#include "parallel/work_depth.hpp"
+
+#include <sstream>
+
+namespace pmcf::par {
+
+Tracker& Tracker::instance() {
+  static Tracker t;
+  return t;
+}
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t b = 0;
+  while ((std::uint64_t{1} << b) < n) ++b;
+  return b;
+}
+
+std::string to_string(const Cost& c) {
+  std::ostringstream os;
+  os << "work=" << c.work << " depth=" << c.depth;
+  return os.str();
+}
+
+}  // namespace pmcf::par

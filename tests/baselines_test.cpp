@@ -1,0 +1,173 @@
+// Tests for the combinatorial baselines: SSP min-cost flow, Dinic max flow,
+// Hopcroft-Karp matching, Bellman-Ford SSSP — including cross-checks between
+// them (max-flow value agreement, matching = unit-cap flow, etc.).
+
+#include <gtest/gtest.h>
+
+#include "baselines/bellman_ford.hpp"
+#include "baselines/dinic.hpp"
+#include "baselines/hopcroft_karp.hpp"
+#include "baselines/ssp.hpp"
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::baselines {
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+
+Digraph diamond() {
+  // s=0, t=3; two parallel 2-arc routes with different costs.
+  Digraph g(4);
+  g.add_arc(0, 1, 2, 1);
+  g.add_arc(1, 3, 2, 1);
+  g.add_arc(0, 2, 2, 3);
+  g.add_arc(2, 3, 2, 3);
+  return g;
+}
+
+TEST(SspTest, DiamondRoutesCheapPathFirst) {
+  const Digraph g = diamond();
+  const auto r = ssp_min_cost_max_flow(g, 0, 3);
+  EXPECT_EQ(r.flow, 4);
+  EXPECT_EQ(r.cost, 2 * 2 + 2 * 6);  // 2 units at cost 2, 2 units at cost 6
+  EXPECT_EQ(r.arc_flow[0], 2);
+  EXPECT_EQ(r.arc_flow[2], 2);
+}
+
+TEST(SspTest, FlowLimitRespected) {
+  const Digraph g = diamond();
+  const auto r = ssp_min_cost_max_flow(g, 0, 3, 2);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(r.cost, 4);  // only the cheap path used
+}
+
+TEST(SspTest, NegativeCostArcsHandled) {
+  Digraph g(3);
+  g.add_arc(0, 1, 5, -2);
+  g.add_arc(1, 2, 5, -3);
+  const auto r = ssp_min_cost_max_flow(g, 0, 2);
+  EXPECT_EQ(r.flow, 5);
+  EXPECT_EQ(r.cost, -25);
+}
+
+TEST(SspTest, DisconnectedSinkGivesZeroFlow) {
+  Digraph g(3);
+  g.add_arc(0, 1, 4, 1);
+  const auto r = ssp_min_cost_max_flow(g, 0, 2);
+  EXPECT_EQ(r.flow, 0);
+}
+
+TEST(SspTest, FlowConservationOnRandomInstances) {
+  par::Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Digraph g = graph::random_flow_network(25, 120, 9, 9, rng);
+    const auto r = ssp_min_cost_max_flow(g, 0, 24);
+    std::vector<std::int64_t> net(25, 0);
+    for (std::size_t k = 0; k < r.arc_flow.size(); ++k) {
+      const auto& a = g.arc(static_cast<graph::EdgeId>(k));
+      EXPECT_GE(r.arc_flow[k], 0);
+      EXPECT_LE(r.arc_flow[k], a.cap);
+      net[static_cast<std::size_t>(a.from)] -= r.arc_flow[k];
+      net[static_cast<std::size_t>(a.to)] += r.arc_flow[k];
+    }
+    for (Vertex v = 1; v < 24; ++v) EXPECT_EQ(net[static_cast<std::size_t>(v)], 0);
+    EXPECT_EQ(net[0], -r.flow);
+    EXPECT_EQ(net[24], r.flow);
+  }
+}
+
+TEST(SspTest, AgreesWithDinicOnFlowValue) {
+  par::Rng rng(72);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Digraph g = graph::random_flow_network(20, 80, 7, 7, rng);
+    const auto mc = ssp_min_cost_max_flow(g, 0, 19);
+    const auto mf = dinic_max_flow(g, 0, 19);
+    EXPECT_EQ(mc.flow, mf.flow) << "trial " << trial;
+  }
+}
+
+TEST(SspTest, BFlowRoutesBalancedDemands) {
+  // 0 supplies 3, 2 demands 3, line graph 0->1->2.
+  Digraph g(3);
+  g.add_arc(0, 1, 5, 2);
+  g.add_arc(1, 2, 5, 3);
+  const auto r = ssp_min_cost_b_flow(g, {3, 0, -3});
+  EXPECT_EQ(r.flow, 3);
+  EXPECT_EQ(r.cost, 3 * 5);
+  EXPECT_EQ(r.arc_flow[0], 3);
+  EXPECT_EQ(r.arc_flow[1], 3);
+}
+
+TEST(DinicTest, SimpleBottleneck) {
+  Digraph g(4);
+  g.add_arc(0, 1, 10, 0);
+  g.add_arc(1, 2, 3, 0);
+  g.add_arc(2, 3, 10, 0);
+  const auto r = dinic_max_flow(g, 0, 3);
+  EXPECT_EQ(r.flow, 3);
+}
+
+TEST(DinicTest, ParallelPathsAdd) {
+  Digraph g(2);
+  g.add_arc(0, 1, 4, 0);
+  g.add_arc(0, 1, 6, 0);
+  const auto r = dinic_max_flow(g, 0, 1);
+  EXPECT_EQ(r.flow, 10);
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingOnCompleteBipartite) {
+  Digraph g(8);
+  for (Vertex l = 0; l < 4; ++l)
+    for (Vertex r = 0; r < 4; ++r) g.add_arc(l, 4 + r, 1, 0);
+  const auto res = hopcroft_karp(g, 4, 4);
+  EXPECT_EQ(res.size, 4);
+}
+
+TEST(HopcroftKarpTest, MatchesUnitCapacityMaxFlow) {
+  par::Rng rng(73);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Digraph bip = graph::random_bipartite(12, 14, 0.15, rng);
+    const auto hk = hopcroft_karp(bip, 12, 14);
+    // Reduce matching to max flow: s -> left, right -> t, unit caps.
+    Digraph g(12 + 14 + 2);
+    const Vertex s = 26, t = 27;
+    for (Vertex l = 0; l < 12; ++l) g.add_arc(s, l, 1, 0);
+    for (Vertex r = 0; r < 14; ++r) g.add_arc(12 + r, t, 1, 0);
+    for (const auto& a : bip.arcs()) g.add_arc(a.from, a.to, 1, 0);
+    const auto mf = dinic_max_flow(g, s, t);
+    EXPECT_EQ(hk.size, mf.flow) << "trial " << trial;
+  }
+}
+
+TEST(BellmanFordTest, NegativeArcsShortestPath) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1, 5);
+  g.add_arc(0, 2, 1, 2);
+  g.add_arc(2, 1, 1, -4);
+  g.add_arc(1, 3, 1, 1);
+  const auto r = bellman_ford(g, 0);
+  EXPECT_EQ(r.dist[1], -2);
+  EXPECT_EQ(r.dist[3], -1);
+  EXPECT_FALSE(r.has_negative_cycle);
+}
+
+TEST(BellmanFordTest, DetectsNegativeCycle) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1, 1);
+  g.add_arc(1, 2, 1, -5);
+  g.add_arc(2, 1, 1, 2);
+  const auto r = bellman_ford(g, 0);
+  EXPECT_TRUE(r.has_negative_cycle);
+}
+
+TEST(BellmanFordTest, UnreachableStaysInfinite) {
+  Digraph g(3);
+  g.add_arc(1, 2, 1, 1);
+  const auto r = bellman_ford(g, 0);
+  EXPECT_EQ(r.dist[1], SsspResult::kUnreachable);
+}
+
+}  // namespace
+}  // namespace pmcf::baselines

@@ -1,0 +1,123 @@
+// Tests for Corollaries 1.3-1.5: max flow, bipartite matching,
+// negative-weight SSSP, and reachability via the min-cost-flow solver, each
+// cross-checked against its combinatorial oracle on random sweeps.
+
+#include <gtest/gtest.h>
+
+#include "baselines/bellman_ford.hpp"
+#include "baselines/dinic.hpp"
+#include "baselines/hopcroft_karp.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "mcf/bipartite_matching.hpp"
+#include "mcf/max_flow.hpp"
+#include "mcf/reachability.hpp"
+#include "mcf/sssp.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::mcf {
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+
+SolveOptions fast_options() {
+  SolveOptions o;
+  o.ipm.mu_end = 1e-3;
+  o.ipm.max_iters = 4000;
+  o.ipm.leverage.sketch_dim = 8;
+  return o;
+}
+
+class MaxFlowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxFlowSweep, MatchesDinic) {
+  par::Rng rng(1100 + GetParam());
+  const Vertex n = 14;
+  const Digraph g = graph::random_flow_network(n, 56, 6, 0, rng);
+  const auto ours = max_flow(g, 0, n - 1, fast_options());
+  const auto oracle = baselines::dinic_max_flow(g, 0, n - 1);
+  EXPECT_EQ(ours.flow_value, oracle.flow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaxFlowSweep, ::testing::Range(0, 6));
+
+class MatchingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingSweep, MatchesHopcroftKarp) {
+  par::Rng rng(1200 + GetParam());
+  const Digraph bip = graph::random_bipartite(8, 9, 0.25, rng);
+  const auto ours = bipartite_matching(bip, 8, 9, fast_options());
+  const auto oracle = baselines::hopcroft_karp(bip, 8, 9);
+  EXPECT_EQ(ours.size, oracle.size);
+  // Returned matching must be a valid matching.
+  std::vector<int> right_used(9, 0);
+  std::int64_t matched = 0;
+  for (std::int32_t l = 0; l < 8; ++l) {
+    const auto r = ours.match_left[static_cast<std::size_t>(l)];
+    if (r < 0) continue;
+    ++matched;
+    EXPECT_LT(r, 9);
+    EXPECT_EQ(right_used[static_cast<std::size_t>(r)], 0) << "right vertex reused";
+    right_used[static_cast<std::size_t>(r)] = 1;
+  }
+  EXPECT_EQ(matched, ours.size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatchingSweep, ::testing::Range(0, 6));
+
+class SsspSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspSweep, MatchesBellmanFordWithNegativeArcs) {
+  par::Rng rng(1300 + GetParam());
+  const Vertex n = 12;
+  const Digraph g = graph::random_negative_dag(n, 40, 6, 10, rng);
+  const auto ours = shortest_paths(g, 0, fast_options());
+  const auto oracle = baselines::bellman_ford(g, 0);
+  ASSERT_FALSE(oracle.has_negative_cycle);
+  ASSERT_FALSE(ours.has_negative_cycle);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto ov = oracle.dist[static_cast<std::size_t>(v)];
+    const auto mv = ours.dist[static_cast<std::size_t>(v)];
+    if (ov >= baselines::SsspResult::kUnreachable) {
+      EXPECT_GE(mv, SsspResult::kUnreachable);
+    } else {
+      EXPECT_EQ(mv, ov) << "distance mismatch at " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SsspSweep, ::testing::Range(0, 6));
+
+TEST(SsspTest, UnreachableVerticesReported) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1, -3);
+  g.add_arc(1, 2, 1, 5);
+  // vertex 3 unreachable
+  const auto res = shortest_paths(g, 0, fast_options());
+  EXPECT_EQ(res.dist[0], 0);
+  EXPECT_EQ(res.dist[1], -3);
+  EXPECT_EQ(res.dist[2], 2);
+  EXPECT_GE(res.dist[3], SsspResult::kUnreachable);
+}
+
+class ReachabilitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReachabilitySweep, MatchesBfs) {
+  par::Rng rng(1400 + GetParam());
+  Digraph g = graph::layered_digraph(5, 4, 0.25, rng);
+  // Add a disconnected tail so some vertices are unreachable.
+  const auto res = reachability(g, 0, fast_options());
+  g.build_csr();
+  const auto bfs = graph::parallel_bfs(g, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(res.reachable[static_cast<std::size_t>(v)] != 0,
+              bfs.dist[static_cast<std::size_t>(v)] >= 0)
+        << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReachabilitySweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace pmcf::mcf

@@ -1,0 +1,91 @@
+// Tests for the Goldberg-Tarjan cost-scaling baseline, cross-checked against
+// SSP and the IPM solver.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cost_scaling.hpp"
+#include "baselines/ssp.hpp"
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::baselines {
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+
+TEST(CostScalingTest, DiamondMatchesSsp) {
+  Digraph g(4);
+  g.add_arc(0, 1, 2, 1);
+  g.add_arc(1, 3, 2, 1);
+  g.add_arc(0, 2, 2, 3);
+  g.add_arc(2, 3, 2, 3);
+  const auto cs = cost_scaling_max_flow(g, 0, 3);
+  ASSERT_TRUE(cs.feasible);
+  EXPECT_EQ(cs.flow_value, 4);
+  EXPECT_EQ(cs.cost, 16);
+}
+
+TEST(CostScalingTest, InfeasibleDemandsDetected) {
+  Digraph g(3);
+  g.add_arc(0, 1, 2, 1);
+  // Demand 5 at vertex 1 cannot be met through a capacity-2 arc.
+  const auto cs = cost_scaling_b_flow(g, {-5, 5, 0});
+  EXPECT_FALSE(cs.feasible);
+}
+
+TEST(CostScalingTest, BFlowOnLineGraph) {
+  Digraph g(3);
+  g.add_arc(0, 1, 5, 2);
+  g.add_arc(1, 2, 5, 3);
+  const auto cs = cost_scaling_b_flow(g, {-3, 0, 3});
+  ASSERT_TRUE(cs.feasible);
+  EXPECT_EQ(cs.cost, 15);
+  EXPECT_EQ(cs.arc_flow, (std::vector<std::int64_t>{3, 3}));
+}
+
+class CostScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostScalingSweep, MatchesSspOnRandomNetworks) {
+  par::Rng rng(3100 + GetParam());
+  const Vertex n = 20;
+  const Digraph g = graph::random_flow_network(n, 100, 7, 7, rng);
+  const auto oracle = ssp_min_cost_max_flow(g, 0, n - 1);
+  const auto cs = cost_scaling_max_flow(g, 0, n - 1);
+  ASSERT_TRUE(cs.feasible);
+  EXPECT_EQ(cs.flow_value, oracle.flow) << "flow value";
+  EXPECT_EQ(cs.cost, oracle.cost) << "cost";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CostScalingSweep, ::testing::Range(0, 10));
+
+TEST(CostScalingTest, NegativeCostsHandled) {
+  par::Rng rng(3200);
+  Digraph g(5);
+  g.add_arc(0, 1, 4, -3);
+  g.add_arc(1, 2, 4, 2);
+  g.add_arc(2, 4, 4, -1);
+  g.add_arc(0, 3, 2, 5);
+  g.add_arc(3, 4, 2, 5);
+  const auto oracle = ssp_min_cost_max_flow(g, 0, 4);
+  const auto cs = cost_scaling_max_flow(g, 0, 4);
+  ASSERT_TRUE(cs.feasible);
+  EXPECT_EQ(cs.flow_value, oracle.flow);
+  EXPECT_EQ(cs.cost, oracle.cost);
+}
+
+TEST(CostScalingTest, PhaseCountLogarithmicInCostRange) {
+  par::Rng rng(3300);
+  const Digraph g1 = graph::random_flow_network(15, 60, 4, 4, rng);
+  const Digraph g2 = graph::random_flow_network(15, 60, 4, 64, rng);
+  const auto r1 = cost_scaling_max_flow(g1, 0, 14);
+  const auto r2 = cost_scaling_max_flow(g2, 0, 14);
+  ASSERT_TRUE(r1.feasible);
+  ASSERT_TRUE(r2.feasible);
+  // 16x the cost range adds ~4 halving phases (log C scaling framework).
+  EXPECT_GE(r2.refine_phases, r1.refine_phases + 2);
+  EXPECT_LE(r2.refine_phases, r1.refine_phases + 8);
+}
+
+}  // namespace
+}  // namespace pmcf::baselines

@@ -1,0 +1,259 @@
+// Tests for the robust-IPM data structures: flat-norm maximizer (Lemma D.2 /
+// Cor D.3), τ-sampler (Theorem A.3) and HeavyHitter (Lemma B.1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ds/flat_norm.hpp"
+#include "ds/heavy_hitter.hpp"
+#include "ds/tau_sampler.hpp"
+#include "graph/generators.hpp"
+#include "linalg/incidence.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::ds {
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+using linalg::Vec;
+
+// ---------- flat norm ----------
+
+double mixed_norm(const Vec& w, const Vec& tau, double c) {
+  return linalg::norm_inf(w) + c * linalg::norm_tau(w, tau);
+}
+
+TEST(FlatNormTest, ResultIsFeasible) {
+  par::Rng rng(91);
+  const std::size_t m = 40;
+  Vec v(m), tau(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    v[i] = rng.next_double() * 2.0 - 1.0;
+    tau[i] = 0.1 + rng.next_double();
+  }
+  const auto res = flat_norm_argmax(v, tau, 3.0);
+  EXPECT_LE(mixed_norm(res.w, tau, 3.0), 1.0 + 1e-6);
+  EXPECT_NEAR(res.value, linalg::dot(v, res.w), 1e-9);
+}
+
+TEST(FlatNormTest, BeatsRandomFeasiblePoints) {
+  par::Rng rng(92);
+  const std::size_t m = 12;
+  Vec v(m), tau(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    v[i] = rng.next_double() * 2.0 - 1.0;
+    tau[i] = 0.2 + rng.next_double();
+  }
+  const double c = 2.0;
+  const auto res = flat_norm_argmax(v, tau, c);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec w(m);
+    for (auto& wi : w) wi = rng.next_double() * 2.0 - 1.0;
+    const double nrm = mixed_norm(w, tau, c);
+    for (auto& wi : w) wi /= nrm;  // scale onto the unit sphere
+    EXPECT_LE(linalg::dot(v, w), res.value + 1e-6);
+  }
+}
+
+TEST(FlatNormTest, LargeCApproachesWeightedL2Maximizer) {
+  // c -> inf: optimum ~ argmax over the τ-ball alone: w ∝ v/τ scaled.
+  Vec v{1.0, 2.0};
+  Vec tau{1.0, 1.0};
+  const double c = 1e5;
+  const auto res = flat_norm_argmax(v, tau, c);
+  // Optimal value ~ ||v||_2 / c.
+  EXPECT_NEAR(res.value, std::sqrt(5.0) / c, 1e-3 / c + 1e-9);
+}
+
+TEST(FlatNormTest, TinyCApproachesSignVector) {
+  Vec v{1.0, -2.0, 0.5};
+  Vec tau{1.0, 1.0, 1.0};
+  const auto res = flat_norm_argmax(v, tau, 1e-7);
+  // w ~ sign(v): value ~ ||v||_1.
+  EXPECT_NEAR(res.value, 3.5, 1e-3);
+}
+
+// ---------- tau sampler ----------
+
+TEST(TauSamplerTest, ProbabilityLowerBoundHolds) {
+  par::Rng rng(93);
+  const std::size_t m = 200, n = 40;
+  std::vector<double> tau(m);
+  for (auto& t : tau) t = 0.05 + rng.next_double();
+  TauSampler sampler(tau, n, 5);
+  double sum = 0.0;
+  for (const double t : tau) sum += t;
+  for (std::size_t i = 0; i < m; i += 17) {
+    const double p = sampler.probability(i, 0.5);
+    EXPECT_GE(p + 1e-12, std::min(1.0, 0.5 * static_cast<double>(n) * tau[i] / sum));
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(TauSamplerTest, EmpiricalFrequencyMatchesProbability) {
+  const std::size_t m = 50, n = 10;
+  std::vector<double> tau(m, 1.0);
+  tau[7] = 8.0;  // heavy index
+  TauSampler sampler(tau, n, 6);
+  const double k = 0.3;
+  const double p7 = sampler.probability(7, k);
+  int hits = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const auto s = sampler.sample(k);
+    hits += std::count(s.begin(), s.end(), std::size_t{7});
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, p7, 0.05);
+}
+
+TEST(TauSamplerTest, ScaleMovesBuckets) {
+  std::vector<double> tau{1.0, 1.0, 1.0, 1.0};
+  TauSampler sampler(tau, 2, 7);
+  EXPECT_DOUBLE_EQ(sampler.tau_sum(), 4.0);
+  sampler.scale({1, 3}, {16.0, 0.25});
+  EXPECT_DOUBLE_EQ(sampler.tau_sum(), 1.0 + 16.0 + 1.0 + 0.25);
+  // Index 1 is now much likelier than index 0.
+  EXPECT_GT(sampler.probability(1, 0.05), sampler.probability(0, 0.05));
+}
+
+TEST(TauSamplerTest, SampleSizeBounded) {
+  par::Rng rng(94);
+  const std::size_t m = 2000, n = 50;
+  std::vector<double> tau(m);
+  for (auto& t : tau) t = 0.01 + 0.02 * rng.next_double();
+  TauSampler sampler(tau, n, 8);
+  const auto s = sampler.sample(1.0);
+  // E[|S|] <= 2 K n (Theorem A.3); allow slack.
+  EXPECT_LE(s.size(), 8 * n);
+}
+
+// ---------- heavy hitter ----------
+
+struct HhFixture {
+  Digraph g;
+  Vec weights;
+  HhFixture(Vertex n, std::int64_t m, std::uint64_t seed) : g(0) {
+    par::Rng rng(seed);
+    g = graph::random_flow_network(n, m, 5, 5, rng);
+    weights.resize(static_cast<std::size_t>(m));
+    for (auto& w : weights) w = 0.25 + rng.next_double();
+  }
+};
+
+/// Oracle: all arcs with |g_e (Ah)_e| >= eps by brute force.
+std::vector<std::size_t> brute_heavy(const Digraph& g, const Vec& w, const Vec& h, double eps) {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < static_cast<std::size_t>(g.num_arcs()); ++e) {
+    const auto& a = g.arc(static_cast<graph::EdgeId>(e));
+    const double val =
+        w[e] * std::abs(h[static_cast<std::size_t>(a.to)] - h[static_cast<std::size_t>(a.from)]);
+    if (val >= eps) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(HeavyHitterTest, FindsAllHeavyRows) {
+  HhFixture f(30, 150, 95);
+  HeavyHitter hh(f.g, f.weights);
+  par::Rng rng(96);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec h(30);
+    for (auto& x : h) x = rng.next_double() * 2.0 - 1.0;
+    const double eps = 0.4;
+    const auto got = hh.heavy_query(h, eps);
+    const auto expected = brute_heavy(f.g, f.weights, h, eps);
+    // Everything truly heavy must be found (one-sided guarantee); false
+    // positives are filtered by the final exact check, so sets match.
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(HeavyHitterTest, ScaleChangesAnswers) {
+  HhFixture f(20, 80, 97);
+  HeavyHitter hh(f.g, f.weights);
+  Vec h(20);
+  par::Rng rng(98);
+  for (auto& x : h) x = rng.next_double();
+  // Boost one row's weight so it becomes heavy.
+  const std::size_t target = 5;
+  hh.scale({target}, {50.0});
+  Vec w2 = f.weights;
+  w2[target] = 50.0;
+  const auto got = hh.heavy_query(h, 1.0);
+  const auto expected = brute_heavy(f.g, w2, h, 1.0);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(HeavyHitterTest, ZeroWeightRowsNeverReturned) {
+  HhFixture f(15, 50, 99);
+  f.weights[3] = 0.0;
+  HeavyHitter hh(f.g, f.weights);
+  Vec h(15, 0.0);
+  h[0] = 100.0;
+  const auto got = hh.heavy_query(h, 1e-9);
+  EXPECT_TRUE(std::find(got.begin(), got.end(), std::size_t{3}) == got.end());
+}
+
+TEST(HeavyHitterTest, SampleCoversLargeEntries) {
+  // Rows carrying most of ||GAh||² must be sampled with high probability.
+  HhFixture f(25, 100, 100);
+  HeavyHitter hh(f.g, f.weights);
+  Vec h(25, 0.0);
+  par::Rng rng(101);
+  for (auto& x : h) x = 0.05 * rng.next_double();
+  h[3] = 5.0;  // make arcs at vertex 3 dominate
+  const auto probs_all = hh.probability({0, 1, 2, 3, 4}, h, 100.0);
+  for (const double p : probs_all) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // An arc adjacent to the dominating vertex should be near-certain.
+  std::size_t dom = 0;
+  double best = -1.0;
+  for (std::size_t e = 0; e < 100; ++e) {
+    const auto& a = f.g.arc(static_cast<graph::EdgeId>(e));
+    const double val = f.weights[e] * std::abs(h[static_cast<std::size_t>(a.to)] -
+                                               h[static_cast<std::size_t>(a.from)]);
+    if (val > best) {
+      best = val;
+      dom = e;
+    }
+  }
+  const auto p = hh.probability({dom}, h, 100.0);
+  EXPECT_GT(p[0], 0.9);
+  int hits = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto s = hh.sample(h, 100.0);
+    hits += std::count(s.begin(), s.end(), dom);
+  }
+  EXPECT_GE(hits, 40);
+}
+
+TEST(HeavyHitterTest, LeverageSampleBoundsAndCoverage) {
+  HhFixture f(20, 90, 102);
+  HeavyHitter hh(f.g, f.weights);
+  const auto bound = hh.leverage_bound({0, 5, 10}, 0.2);
+  for (const double p : bound) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  const auto s = hh.leverage_sample(0.2);
+  for (const std::size_t e : s) EXPECT_LT(e, 90u);
+}
+
+TEST(HeavyHitterTest, QueryWorkIsOutputSensitive) {
+  // With a localized h, the query must not scan all m arcs.
+  HhFixture f(400, 2400, 103);
+  HeavyHitter hh(f.g, f.weights);
+  Vec h(400, 0.0);  // all-zero: nothing heavy, scans ~ cluster vertex sums
+  const auto got = hh.heavy_query(h, 0.5);
+  EXPECT_TRUE(got.empty());
+  EXPECT_LT(hh.last_query_scans(), 6000u) << "scan count must be Õ(n), not O(m)";
+}
+
+}  // namespace
+}  // namespace pmcf::ds

@@ -1,0 +1,198 @@
+// Tests for the IPM pipeline: barrier, reference path following, rounding
+// repair and the public min-cost flow API (Theorem 1.2), cross-checked
+// against the SSP oracle on random instance sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ssp.hpp"
+#include "graph/generators.hpp"
+#include "ipm/barrier.hpp"
+#include "ipm/reference_ipm.hpp"
+#include "ipm/rounding.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf {
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+using linalg::Vec;
+
+TEST(BarrierTest, DerivativesAtMidpointAndSkew) {
+  const Vec x{2.0, 1.0};
+  const Vec u{4.0, 4.0};
+  const Vec g = ipm::barrier_grad(x, u);
+  const Vec h = ipm::barrier_hess(x, u);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);               // midpoint: -1/2 + 1/2
+  EXPECT_DOUBLE_EQ(g[1], -1.0 + 1.0 / 3.0);  // -1/1 + 1/3
+  EXPECT_DOUBLE_EQ(h[0], 0.25 + 0.25);
+  EXPECT_DOUBLE_EQ(h[1], 1.0 + 1.0 / 9.0);
+  EXPECT_TRUE(ipm::is_interior(x, u));
+  EXPECT_FALSE(ipm::is_interior({0.0, 1.0}, u));
+  EXPECT_FALSE(ipm::is_interior({2.0, 4.0}, u));
+}
+
+TEST(RoundingTest, ExactInputPassesThrough) {
+  // A feasible integral circulation must survive rounding untouched when
+  // no negative cycle exists.
+  Digraph g(3);
+  g.add_arc(0, 1, 4, 1);
+  g.add_arc(1, 2, 4, 1);
+  g.add_arc(2, 0, 4, 1);
+  const Vec x{0.0, 0.0, 0.0};
+  const auto r = ipm::round_and_repair(g, {0, 0, 0}, x);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 0);
+  EXPECT_EQ(r.cycles_canceled, 0);
+}
+
+TEST(RoundingTest, NegativeCycleGetsCanceled) {
+  // Circulation with total negative cost must be saturated by the repair.
+  Digraph g(3);
+  g.add_arc(0, 1, 4, -2);
+  g.add_arc(1, 2, 4, -2);
+  g.add_arc(2, 0, 4, 1);
+  const Vec x{0.0, 0.0, 0.0};
+  const auto r = ipm::round_and_repair(g, {0, 0, 0}, x);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.flow, (std::vector<std::int64_t>{4, 4, 4}));
+  EXPECT_EQ(r.cost, -12);
+  EXPECT_GE(r.cycles_canceled, 1);
+}
+
+TEST(RoundingTest, ImbalanceIsRepaired) {
+  // Fractional x that rounds to an infeasible circulation: the repair must
+  // restore A^T x = b.
+  Digraph g(3);
+  g.add_arc(0, 1, 4, 1);
+  g.add_arc(1, 2, 4, 1);
+  g.add_arc(2, 0, 4, 1);
+  const Vec x{2.4, 1.6, 2.0};  // rounds to {2, 2, 2}: feasible by luck; use skew
+  const Vec x2{2.6, 1.4, 2.0};  // rounds to {3, 1, 2}: imbalanced
+  const auto r = ipm::round_and_repair(g, {0, 0, 0}, x2);
+  EXPECT_TRUE(r.feasible);
+  std::vector<std::int64_t> net(3, 0);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto& arc = g.arc(static_cast<graph::EdgeId>(k));
+    net[static_cast<std::size_t>(arc.to)] += r.flow[k];
+    net[static_cast<std::size_t>(arc.from)] -= r.flow[k];
+  }
+  EXPECT_EQ(net, (std::vector<std::int64_t>{0, 0, 0}));
+  (void)x;
+}
+
+ipm::IpmOptions fast_ipm_options() {
+  ipm::IpmOptions o;
+  o.mu_end = 1e-3;
+  o.max_iters = 4000;
+  o.leverage.sketch_dim = 12;
+  o.leverage.solve.tolerance = 1e-8;
+  o.solve.tolerance = 1e-10;
+  return o;
+}
+
+TEST(ReferenceIpmTest, StaysFeasibleAndCentered) {
+  par::Rng rng(81);
+  const Digraph g = graph::random_flow_network(16, 60, 8, 8, rng);
+  mcf::SolveOptions opts;
+  opts.ipm = fast_ipm_options();
+  const auto res = mcf::min_cost_max_flow(g, 0, 15, opts);
+  EXPECT_LT(res.stats.final_centrality, 1.0);
+  EXPECT_GT(res.stats.ipm_iterations, 10);
+}
+
+TEST(MinCostFlowTest, MatchesSspOnDiamond) {
+  Digraph g(4);
+  g.add_arc(0, 1, 2, 1);
+  g.add_arc(1, 3, 2, 1);
+  g.add_arc(0, 2, 2, 3);
+  g.add_arc(2, 3, 2, 3);
+  mcf::SolveOptions opts;
+  opts.ipm = fast_ipm_options();
+  const auto res = mcf::min_cost_max_flow(g, 0, 3, opts);
+  EXPECT_EQ(res.flow_value, 4);
+  EXPECT_EQ(res.cost, 16);
+}
+
+class MinCostFlowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinCostFlowSweep, ExactlyMatchesSspOracle) {
+  par::Rng rng(900 + GetParam());
+  const Vertex n = 12 + static_cast<Vertex>(GetParam());
+  const std::int64_t m = 4 * n;
+  const Digraph g = graph::random_flow_network(n, m, 6, 6, rng);
+  const auto oracle = baselines::ssp_min_cost_max_flow(g, 0, n - 1);
+
+  mcf::SolveOptions opts;
+  opts.ipm = fast_ipm_options();
+  const auto res = mcf::min_cost_max_flow(g, 0, n - 1, opts);
+  EXPECT_EQ(res.flow_value, oracle.flow) << "flow value mismatch";
+  EXPECT_EQ(res.cost, oracle.cost) << "cost mismatch";
+  // Result must be a genuine feasible flow.
+  std::vector<std::int64_t> net(static_cast<std::size_t>(n), 0);
+  for (std::size_t k = 0; k < res.arc_flow.size(); ++k) {
+    const auto& a = g.arc(static_cast<graph::EdgeId>(k));
+    EXPECT_GE(res.arc_flow[k], 0);
+    EXPECT_LE(res.arc_flow[k], a.cap);
+    net[static_cast<std::size_t>(a.to)] += res.arc_flow[k];
+    net[static_cast<std::size_t>(a.from)] -= res.arc_flow[k];
+  }
+  for (Vertex v = 1; v + 1 < n; ++v) EXPECT_EQ(net[static_cast<std::size_t>(v)], 0);
+  EXPECT_EQ(net[0], -res.flow_value);
+  EXPECT_EQ(net[static_cast<std::size_t>(n - 1)], res.flow_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinCostFlowSweep, ::testing::Range(0, 8));
+
+TEST(MinCostFlowTest, CombinatorialMethodDelegates) {
+  par::Rng rng(82);
+  const Digraph g = graph::random_flow_network(15, 60, 5, 5, rng);
+  mcf::SolveOptions opts;
+  opts.method = mcf::Method::kCombinatorial;
+  const auto res = mcf::min_cost_max_flow(g, 0, 14, opts);
+  const auto oracle = baselines::ssp_min_cost_max_flow(g, 0, 14);
+  EXPECT_EQ(res.flow_value, oracle.flow);
+  EXPECT_EQ(res.cost, oracle.cost);
+}
+
+TEST(MinCostFlowTest, BFlowRoutesDemands) {
+  // 0 supplies 3 units (net inflow -3), 4 demands 3 (net inflow +3).
+  par::Rng rng(83);
+  Digraph g(5);
+  for (Vertex i = 0; i + 1 < 5; ++i) g.add_arc(i, i + 1, 5, 2);
+  g.add_arc(0, 4, 2, 20);
+  std::vector<std::int64_t> b{-3, 0, 0, 0, 3};
+  mcf::SolveOptions opts;
+  opts.ipm = fast_ipm_options();
+  const auto res = mcf::min_cost_b_flow(g, b, opts);
+  EXPECT_EQ(res.flow_value, 3);
+  const auto comb = mcf::min_cost_b_flow(g, b, {.method = mcf::Method::kCombinatorial});
+  EXPECT_EQ(comb.flow_value, 3);
+  EXPECT_EQ(res.cost, comb.cost);
+}
+
+TEST(IpmIterationScalingTest, IterationsGrowSlowlyWithN) {
+  // The headline claim: Õ(√n) iterations. Verify the iteration count grows
+  // clearly sublinearly when n quadruples.
+  auto iters_for = [](Vertex n, std::uint64_t seed) {
+    par::Rng rng(seed);
+    const Digraph g = graph::random_flow_network(n, 4 * n, 4, 4, rng);
+    mcf::SolveOptions opts;
+    opts.ipm = fast_ipm_options();
+    opts.ipm.leverage.sketch_dim = 8;
+    const auto res = mcf::min_cost_max_flow(g, 0, n - 1, opts);
+    return res.stats.ipm_iterations;
+  };
+  const auto small = iters_for(12, 84);
+  const auto big = iters_for(48, 85);
+  // 4x vertices => ~2x iterations for sqrt scaling; allow generous slack
+  // but reject linear growth.
+  EXPECT_LT(big, 3 * small) << "iterations should scale ~sqrt(n), small=" << small
+                            << " big=" << big;
+}
+
+}  // namespace
+}  // namespace pmcf

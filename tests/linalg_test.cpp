@@ -1,0 +1,238 @@
+// Tests for vectors, CSR, incidence operator, Laplacians, the SDD solver,
+// dense oracle, leverage scores and Lewis weights.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/leverage.hpp"
+#include "linalg/lewis.hpp"
+#include "linalg/sdd_solver.hpp"
+#include "linalg/vec_ops.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::linalg {
+namespace {
+
+TEST(VecOpsTest, ElementwiseAlgebra) {
+  const Vec a{1, 2, 3};
+  const Vec b{4, 5, 6};
+  EXPECT_EQ(add(a, b), (Vec{5, 7, 9}));
+  EXPECT_EQ(sub(b, a), (Vec{3, 3, 3}));
+  EXPECT_EQ(mul(a, b), (Vec{4, 10, 18}));
+  EXPECT_EQ(scale(a, 2.0), (Vec{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(sum(a), 6.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vec{-7, 3}), 7.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec{3, 4}), 5.0);
+}
+
+TEST(VecOpsTest, TauNorms) {
+  const Vec v{1, 2};
+  const Vec tau{0.25, 1.0};
+  EXPECT_DOUBLE_EQ(norm_tau(v, tau), std::sqrt(0.25 + 4.0));
+  EXPECT_DOUBLE_EQ(norm_tau_inf(v, tau, 2.0), 2.0 + 2.0 * std::sqrt(4.25));
+}
+
+TEST(VecOpsTest, ApproxEq) {
+  EXPECT_TRUE(approx_eq({1.0, 2.0}, {1.01, 1.99}, 0.02));
+  EXPECT_FALSE(approx_eq({1.0, 2.0}, {1.5, 2.0}, 0.02));
+  EXPECT_TRUE(approx_eq({0.0}, {0.0}, 0.1));
+  EXPECT_FALSE(approx_eq({1.0}, {0.0}, 0.1));
+}
+
+TEST(CsrTest, FromTripletsSumsDuplicates) {
+  const Csr m = Csr::from_triplets(2, {0, 0, 1, 0}, {0, 1, 1, 0}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m.nnz(), 3u);
+  const Vec y = m.apply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 7.0);  // (1+4) + 2
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(CsrTest, DiagonalExtraction) {
+  const Csr m = Csr::from_triplets(3, {0, 1, 1, 2}, {0, 1, 2, 2}, {5.0, 6.0, 1.0, 7.0});
+  EXPECT_EQ(m.diagonal(), (Vec{5.0, 6.0, 7.0}));
+}
+
+graph::Digraph triangle() {
+  graph::Digraph g(3);
+  g.add_arc(0, 1, 1, 0);
+  g.add_arc(1, 2, 1, 0);
+  g.add_arc(2, 0, 1, 0);
+  return g;
+}
+
+TEST(IncidenceTest, ApplyMatchesDefinition) {
+  const graph::Digraph g = triangle();
+  const IncidenceOp a(g);  // drops vertex 2
+  const Vec h{3.0, 5.0, 100.0};  // h[2] ignored (dropped)
+  const Vec y = a.apply(h);
+  EXPECT_DOUBLE_EQ(y[0], 5.0 - 3.0);   // arc 0->1
+  EXPECT_DOUBLE_EQ(y[1], 0.0 - 5.0);   // arc 1->2, column 2 dropped
+  EXPECT_DOUBLE_EQ(y[2], 3.0 - 0.0);   // arc 2->0
+}
+
+TEST(IncidenceTest, TransposeAdjoint) {
+  // <Ah, x> == <h, A^T x> for random vectors.
+  par::Rng rng(3);
+  const graph::Digraph g = graph::random_flow_network(20, 80, 5, 5, rng);
+  const IncidenceOp a(g);
+  Vec h(a.cols()), x(a.rows());
+  for (auto& v : h) v = rng.next_double();
+  h[static_cast<std::size_t>(a.dropped())] = 0.0;
+  for (auto& v : x) v = rng.next_double();
+  const double lhs = dot(a.apply(h), x);
+  const double rhs = dot(h, a.apply_transpose(x));
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(LaplacianTest, MatchesOperatorComposition) {
+  // A^T D A h computed via CSR equals apply_transpose(d .* apply(h)).
+  par::Rng rng(4);
+  const graph::Digraph g = graph::random_flow_network(15, 60, 5, 5, rng);
+  const IncidenceOp a(g);
+  Vec d(a.rows());
+  for (auto& v : d) v = 0.1 + rng.next_double();
+  const Csr lap = reduced_laplacian(g, d, a.dropped());
+  Vec h(a.cols());
+  for (auto& v : h) v = rng.next_double() - 0.5;
+  h[static_cast<std::size_t>(a.dropped())] = 0.0;
+  const Vec lhs = lap.apply(h);
+  const Vec rhs = a.apply_transpose(mul(d, a.apply(h)));
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (i == static_cast<std::size_t>(a.dropped())) continue;
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-9);
+  }
+}
+
+TEST(SddSolverTest, SolvesRandomLaplacianSystems) {
+  par::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::Digraph g = graph::random_flow_network(30, 120, 5, 5, rng);
+    const IncidenceOp a(g);
+    Vec d(a.rows());
+    for (auto& v : d) v = 0.1 + rng.next_double();
+    const Csr lap = reduced_laplacian(g, d, a.dropped());
+    Vec xtrue(a.cols());
+    for (auto& v : xtrue) v = rng.next_double() - 0.5;
+    const Vec b = lap.apply(xtrue);
+    const auto res = solve_sdd(lap, b, {.tolerance = 1e-12, .max_iters = 5000});
+    EXPECT_TRUE(res.converged);
+    for (std::size_t i = 0; i < xtrue.size(); ++i) EXPECT_NEAR(res.x[i], xtrue[i], 1e-6);
+  }
+}
+
+TEST(SddSolverTest, ZeroRhsReturnsZero) {
+  const graph::Digraph g = triangle();
+  const IncidenceOp a(g);
+  const Csr lap = reduced_laplacian(g, {1.0, 1.0, 1.0}, a.dropped());
+  const auto res = solve_sdd(lap, Vec(3, 0.0));
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.x, Vec(3, 0.0));
+}
+
+TEST(DenseTest, SolveAndInverse) {
+  Dense m(2, 2);
+  m.at(0, 0) = 4;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 3;
+  const Vec x = m.solve({9.0, 7.0});
+  EXPECT_NEAR(x[0], 20.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x[1], 19.0 / 11.0, 1e-12);
+  const Dense inv = m.inverse();
+  const Dense id = m.matmul(inv);
+  EXPECT_NEAR(id.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(id.at(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(id.at(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(id.at(1, 1), 1.0, 1e-12);
+}
+
+TEST(DenseTest, SingularThrows) {
+  Dense m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;
+  EXPECT_THROW((void)m.solve({1.0, 1.0}), std::runtime_error);
+}
+
+TEST(LeverageTest, SumsToRankAndBounded) {
+  // sum of leverage scores = rank(A) = n-1 (one column dropped);
+  // each score in [0, 1].
+  par::Rng rng(6);
+  const graph::Digraph g = graph::random_flow_network(12, 50, 5, 5, rng);
+  const IncidenceOp a(g);
+  Vec v(a.rows());
+  for (auto& x : v) x = 0.2 + rng.next_double();
+  const Vec sigma = leverage_scores_exact(a, v);
+  double total = 0.0;
+  for (const double s : sigma) {
+    EXPECT_GE(s, -1e-9);
+    EXPECT_LE(s, 1.0 + 1e-9);
+    total += s;
+  }
+  EXPECT_NEAR(total, static_cast<double>(a.cols() - 1), 1e-6);
+}
+
+TEST(LeverageTest, SketchedApproximatesExact) {
+  par::Rng rng(7);
+  const graph::Digraph g = graph::random_flow_network(12, 60, 5, 5, rng);
+  const IncidenceOp a(g);
+  Vec v(a.rows());
+  for (auto& x : v) x = 0.2 + rng.next_double();
+  const Vec exact = leverage_scores_exact(a, v);
+  par::Rng rng2(77);
+  const Vec approx = leverage_scores(a, v, rng2, {.sketch_dim = 400, .solve = {}});
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    EXPECT_NEAR(approx[i], exact[i], 0.25 * std::max(exact[i], 0.05));
+}
+
+TEST(LewisTest, ExponentFormula) {
+  EXPECT_NEAR(lewis_p(400, 100), 1.0 - 1.0 / (4.0 * std::log(16.0)), 1e-12);
+}
+
+TEST(LewisTest, FixedPointResidualSmall) {
+  // tau should satisfy tau ~= sigma(T^{1/2-1/p} V A) + z after convergence.
+  par::Rng rng(8);
+  const graph::Digraph g = graph::random_flow_network(12, 60, 5, 5, rng);
+  const IncidenceOp a(g);
+  Vec v(a.rows());
+  for (auto& x : v) x = 0.2 + rng.next_double();
+  par::Rng r2(9);
+  LewisOptions opts;
+  opts.exact_leverage = true;
+  opts.max_rounds = 200;
+  opts.fixpoint_tol = 1e-10;
+  const Vec tau = ipm_lewis_weights(a, v, r2, opts);
+  // Recompute one fixed-point application and compare.
+  const double p = lewis_p(a.rows(), a.cols());
+  const double expo = 0.5 - 1.0 / p;
+  Vec scaled(a.rows());
+  for (std::size_t i = 0; i < tau.size(); ++i) scaled[i] = std::pow(tau[i], expo) * v[i];
+  const Vec sigma = leverage_scores_exact(a, scaled);
+  const double reg = static_cast<double>(a.cols()) / static_cast<double>(a.rows());
+  for (std::size_t i = 0; i < tau.size(); ++i)
+    EXPECT_NEAR(tau[i], sigma[i] + reg, 1e-6 + 1e-4 * tau[i]);
+}
+
+TEST(LewisTest, WeightsAboveRegularizer) {
+  par::Rng rng(10);
+  const graph::Digraph g = graph::random_flow_network(10, 40, 5, 5, rng);
+  const IncidenceOp a(g);
+  Vec v(a.rows(), 1.0);
+  par::Rng r2(11);
+  LewisOptions opts;
+  opts.exact_leverage = true;
+  const Vec tau = ipm_lewis_weights(a, v, r2, opts);
+  const double reg = static_cast<double>(a.cols()) / static_cast<double>(a.rows());
+  for (const double t : tau) EXPECT_GE(t, reg - 1e-9);
+}
+
+}  // namespace
+}  // namespace pmcf::linalg

