@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corollaries.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_corollaries.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_corollaries.dir/bench_corollaries.cpp.o"
+  "CMakeFiles/bench_corollaries.dir/bench_corollaries.cpp.o.d"
+  "bench_corollaries"
+  "bench_corollaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corollaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dual_maintenance.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_dual_maintenance.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_dual_maintenance.dir/bench_dual_maintenance.cpp.o"
+  "CMakeFiles/bench_dual_maintenance.dir/bench_dual_maintenance.cpp.o.d"
+  "bench_dual_maintenance"
+  "bench_dual_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dual_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

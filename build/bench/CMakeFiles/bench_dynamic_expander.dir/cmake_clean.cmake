@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_expander.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_dynamic_expander.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_dynamic_expander.dir/bench_dynamic_expander.cpp.o"
+  "CMakeFiles/bench_dynamic_expander.dir/bench_dynamic_expander.cpp.o.d"
+  "bench_dynamic_expander"
+  "bench_dynamic_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heavy_hitter.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_heavy_hitter.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_heavy_hitter.dir/bench_heavy_hitter.cpp.o"
+  "CMakeFiles/bench_heavy_hitter.dir/bench_heavy_hitter.cpp.o.d"
+  "bench_heavy_hitter"
+  "bench_heavy_hitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heavy_hitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

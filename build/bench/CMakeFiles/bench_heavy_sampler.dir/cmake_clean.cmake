@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heavy_sampler.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_heavy_sampler.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_heavy_sampler.dir/bench_heavy_sampler.cpp.o"
+  "CMakeFiles/bench_heavy_sampler.dir/bench_heavy_sampler.cpp.o.d"
+  "bench_heavy_sampler"
+  "bench_heavy_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heavy_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipm_iterations.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ipm_iterations.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_ipm_iterations.dir/bench_ipm_iterations.cpp.o"
+  "CMakeFiles/bench_ipm_iterations.dir/bench_ipm_iterations.cpp.o.d"
+  "bench_ipm_iterations"
+  "bench_ipm_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipm_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

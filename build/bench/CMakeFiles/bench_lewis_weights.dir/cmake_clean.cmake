@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lewis_weights.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_lewis_weights.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_lewis_weights.dir/bench_lewis_weights.cpp.o"
+  "CMakeFiles/bench_lewis_weights.dir/bench_lewis_weights.cpp.o.d"
+  "bench_lewis_weights"
+  "bench_lewis_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lewis_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

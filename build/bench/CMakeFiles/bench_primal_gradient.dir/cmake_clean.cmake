@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_primal_gradient.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_primal_gradient.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_primal_gradient.dir/bench_primal_gradient.cpp.o"
+  "CMakeFiles/bench_primal_gradient.dir/bench_primal_gradient.cpp.o.d"
+  "bench_primal_gradient"
+  "bench_primal_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_primal_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdd_solver.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_sdd_solver.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_sdd_solver.dir/bench_sdd_solver.cpp.o"
+  "CMakeFiles/bench_sdd_solver.dir/bench_sdd_solver.cpp.o.d"
+  "bench_sdd_solver"
+  "bench_sdd_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdd_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

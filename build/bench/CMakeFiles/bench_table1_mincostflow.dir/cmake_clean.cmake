@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mincostflow.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_mincostflow.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table1_mincostflow.dir/bench_table1_mincostflow.cpp.o"
+  "CMakeFiles/bench_table1_mincostflow.dir/bench_table1_mincostflow.cpp.o.d"
+  "bench_table1_mincostflow"
+  "bench_table1_mincostflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mincostflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

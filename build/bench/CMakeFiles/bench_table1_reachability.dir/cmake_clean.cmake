@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reachability.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_reachability.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table1_reachability.dir/bench_table1_reachability.cpp.o"
+  "CMakeFiles/bench_table1_reachability.dir/bench_table1_reachability.cpp.o.d"
+  "bench_table1_reachability"
+  "bench_table1_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unit_flow.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_unit_flow.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_unit_flow.dir/bench_unit_flow.cpp.o"
+  "CMakeFiles/bench_unit_flow.dir/bench_unit_flow.cpp.o.d"
+  "bench_unit_flow"
+  "bench_unit_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unit_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

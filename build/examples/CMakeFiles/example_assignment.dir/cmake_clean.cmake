@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_assignment.dir/assignment.cpp.o"
+  "CMakeFiles/example_assignment.dir/assignment.cpp.o.d"
+  "example_assignment"
+  "example_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_expanders.dir/dynamic_expanders.cpp.o"
+  "CMakeFiles/example_dynamic_expanders.dir/dynamic_expanders.cpp.o.d"
+  "example_dynamic_expanders"
+  "example_dynamic_expanders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_expanders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_negative_sssp.dir/negative_sssp.cpp.o"
+  "CMakeFiles/example_negative_sssp.dir/negative_sssp.cpp.o.d"
+  "example_negative_sssp"
+  "example_negative_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_negative_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

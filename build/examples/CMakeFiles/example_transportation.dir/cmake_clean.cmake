@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transportation.dir/transportation.cpp.o"
+  "CMakeFiles/example_transportation.dir/transportation.cpp.o.d"
+  "example_transportation"
+  "example_transportation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transportation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bellman_ford.cpp" "src/CMakeFiles/pmcf.dir/baselines/bellman_ford.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/baselines/bellman_ford.cpp.o.d"
+  "/root/repo/src/baselines/cost_scaling.cpp" "src/CMakeFiles/pmcf.dir/baselines/cost_scaling.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/baselines/cost_scaling.cpp.o.d"
+  "/root/repo/src/baselines/dinic.cpp" "src/CMakeFiles/pmcf.dir/baselines/dinic.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/baselines/dinic.cpp.o.d"
+  "/root/repo/src/baselines/hopcroft_karp.cpp" "src/CMakeFiles/pmcf.dir/baselines/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/baselines/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/baselines/ssp.cpp" "src/CMakeFiles/pmcf.dir/baselines/ssp.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/baselines/ssp.cpp.o.d"
+  "/root/repo/src/ds/dual_maintenance.cpp" "src/CMakeFiles/pmcf.dir/ds/dual_maintenance.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ds/dual_maintenance.cpp.o.d"
+  "/root/repo/src/ds/flat_norm.cpp" "src/CMakeFiles/pmcf.dir/ds/flat_norm.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ds/flat_norm.cpp.o.d"
+  "/root/repo/src/ds/gradient_maintenance.cpp" "src/CMakeFiles/pmcf.dir/ds/gradient_maintenance.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ds/gradient_maintenance.cpp.o.d"
+  "/root/repo/src/ds/heavy_hitter.cpp" "src/CMakeFiles/pmcf.dir/ds/heavy_hitter.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ds/heavy_hitter.cpp.o.d"
+  "/root/repo/src/ds/heavy_sampler.cpp" "src/CMakeFiles/pmcf.dir/ds/heavy_sampler.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ds/heavy_sampler.cpp.o.d"
+  "/root/repo/src/ds/lewis_maintenance.cpp" "src/CMakeFiles/pmcf.dir/ds/lewis_maintenance.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ds/lewis_maintenance.cpp.o.d"
+  "/root/repo/src/ds/tau_sampler.cpp" "src/CMakeFiles/pmcf.dir/ds/tau_sampler.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ds/tau_sampler.cpp.o.d"
+  "/root/repo/src/expander/defs.cpp" "src/CMakeFiles/pmcf.dir/expander/defs.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/expander/defs.cpp.o.d"
+  "/root/repo/src/expander/dynamic_decomp.cpp" "src/CMakeFiles/pmcf.dir/expander/dynamic_decomp.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/expander/dynamic_decomp.cpp.o.d"
+  "/root/repo/src/expander/pruning.cpp" "src/CMakeFiles/pmcf.dir/expander/pruning.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/expander/pruning.cpp.o.d"
+  "/root/repo/src/expander/static_decomp.cpp" "src/CMakeFiles/pmcf.dir/expander/static_decomp.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/expander/static_decomp.cpp.o.d"
+  "/root/repo/src/expander/trimming.cpp" "src/CMakeFiles/pmcf.dir/expander/trimming.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/expander/trimming.cpp.o.d"
+  "/root/repo/src/expander/trimming_engine.cpp" "src/CMakeFiles/pmcf.dir/expander/trimming_engine.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/expander/trimming_engine.cpp.o.d"
+  "/root/repo/src/expander/unit_flow.cpp" "src/CMakeFiles/pmcf.dir/expander/unit_flow.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/expander/unit_flow.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/pmcf.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/pmcf.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/pmcf.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/ungraph.cpp" "src/CMakeFiles/pmcf.dir/graph/ungraph.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/graph/ungraph.cpp.o.d"
+  "/root/repo/src/ipm/reference_ipm.cpp" "src/CMakeFiles/pmcf.dir/ipm/reference_ipm.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ipm/reference_ipm.cpp.o.d"
+  "/root/repo/src/ipm/robust_ipm.cpp" "src/CMakeFiles/pmcf.dir/ipm/robust_ipm.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ipm/robust_ipm.cpp.o.d"
+  "/root/repo/src/ipm/rounding.cpp" "src/CMakeFiles/pmcf.dir/ipm/rounding.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/ipm/rounding.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/CMakeFiles/pmcf.dir/linalg/csr.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/pmcf.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/incidence.cpp" "src/CMakeFiles/pmcf.dir/linalg/incidence.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/incidence.cpp.o.d"
+  "/root/repo/src/linalg/laplacian.cpp" "src/CMakeFiles/pmcf.dir/linalg/laplacian.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/laplacian.cpp.o.d"
+  "/root/repo/src/linalg/leverage.cpp" "src/CMakeFiles/pmcf.dir/linalg/leverage.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/leverage.cpp.o.d"
+  "/root/repo/src/linalg/lewis.cpp" "src/CMakeFiles/pmcf.dir/linalg/lewis.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/lewis.cpp.o.d"
+  "/root/repo/src/linalg/sdd_solver.cpp" "src/CMakeFiles/pmcf.dir/linalg/sdd_solver.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/sdd_solver.cpp.o.d"
+  "/root/repo/src/linalg/vec_ops.cpp" "src/CMakeFiles/pmcf.dir/linalg/vec_ops.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/linalg/vec_ops.cpp.o.d"
+  "/root/repo/src/mcf/bipartite_matching.cpp" "src/CMakeFiles/pmcf.dir/mcf/bipartite_matching.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/mcf/bipartite_matching.cpp.o.d"
+  "/root/repo/src/mcf/max_flow.cpp" "src/CMakeFiles/pmcf.dir/mcf/max_flow.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/mcf/max_flow.cpp.o.d"
+  "/root/repo/src/mcf/min_cost_flow.cpp" "src/CMakeFiles/pmcf.dir/mcf/min_cost_flow.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/mcf/min_cost_flow.cpp.o.d"
+  "/root/repo/src/mcf/reachability.cpp" "src/CMakeFiles/pmcf.dir/mcf/reachability.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/mcf/reachability.cpp.o.d"
+  "/root/repo/src/mcf/sssp.cpp" "src/CMakeFiles/pmcf.dir/mcf/sssp.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/mcf/sssp.cpp.o.d"
+  "/root/repo/src/parallel/rng.cpp" "src/CMakeFiles/pmcf.dir/parallel/rng.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/parallel/rng.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/pmcf.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/parallel/work_depth.cpp" "src/CMakeFiles/pmcf.dir/parallel/work_depth.cpp.o" "gcc" "src/CMakeFiles/pmcf.dir/parallel/work_depth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

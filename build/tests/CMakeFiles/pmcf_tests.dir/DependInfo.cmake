@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/corollaries_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/corollaries_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/corollaries_test.cpp.o.d"
+  "/root/repo/tests/cost_scaling_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/cost_scaling_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/cost_scaling_test.cpp.o.d"
+  "/root/repo/tests/ds_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/ds_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/ds_test.cpp.o.d"
+  "/root/repo/tests/expander_decomp_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/expander_decomp_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/expander_decomp_test.cpp.o.d"
+  "/root/repo/tests/gradient_ds_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/gradient_ds_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/gradient_ds_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/ipm_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/ipm_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/ipm_test.cpp.o.d"
+  "/root/repo/tests/linalg_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/linalg_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/robust_ipm_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/robust_ipm_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/robust_ipm_test.cpp.o.d"
+  "/root/repo/tests/trimming_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/trimming_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/trimming_test.cpp.o.d"
+  "/root/repo/tests/unit_flow_test.cpp" "tests/CMakeFiles/pmcf_tests.dir/unit_flow_test.cpp.o" "gcc" "tests/CMakeFiles/pmcf_tests.dir/unit_flow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmcf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmcf_tests.dir/baselines_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/baselines_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/corollaries_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/corollaries_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/cost_scaling_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/cost_scaling_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/ds_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/ds_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/expander_decomp_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/expander_decomp_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/gradient_ds_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/gradient_ds_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/graph_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/graph_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/ipm_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/ipm_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/linalg_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/linalg_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/parallel_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/parallel_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/property_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/robust_ipm_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/robust_ipm_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/trimming_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/trimming_test.cpp.o.d"
+  "CMakeFiles/pmcf_tests.dir/unit_flow_test.cpp.o"
+  "CMakeFiles/pmcf_tests.dir/unit_flow_test.cpp.o.d"
+  "pmcf_tests"
+  "pmcf_tests.pdb"
+  "pmcf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmcf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
