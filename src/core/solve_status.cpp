@@ -1,0 +1,50 @@
+#include "core/solve_status.hpp"
+
+#include <atomic>
+
+namespace pmcf {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOk: return "Ok";
+    case SolveStatus::kInfeasible: return "Infeasible";
+    case SolveStatus::kUnbounded: return "Unbounded";
+    case SolveStatus::kInvalidInput: return "InvalidInput";
+    case SolveStatus::kNumericalFailure: return "NumericalFailure";
+    case SolveStatus::kIterationLimit: return "IterationLimit";
+    case SolveStatus::kSketchFailure: return "SketchFailure";
+    case SolveStatus::kInternalError: return "InternalError";
+  }
+  return "Unknown";
+}
+
+const char* to_string(RecoveryEvent e) {
+  switch (e) {
+    case RecoveryEvent::kCgToleranceEscalation: return "CgToleranceEscalation";
+    case RecoveryEvent::kDenseFallback: return "DenseFallback";
+    case RecoveryEvent::kSketchRetry: return "SketchRetry";
+    case RecoveryEvent::kExactLeverageFallback: return "ExactLeverageFallback";
+    case RecoveryEvent::kStructureRebuild: return "StructureRebuild";
+    case RecoveryEvent::kTierDegradation: return "TierDegradation";
+    case RecoveryEvent::kNumRecoveryEvents: break;
+  }
+  return "Unknown";
+}
+
+namespace {
+std::atomic<std::uint64_t>
+    g_recovery_counts[static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents)];
+}  // namespace
+
+void note_recovery(RecoveryEvent e) {
+  g_recovery_counts[static_cast<std::size_t>(e)].fetch_add(1, std::memory_order_relaxed);
+}
+
+RecoverySnapshot recovery_snapshot() {
+  RecoverySnapshot s;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents); ++i)
+    s.counts[i] = g_recovery_counts[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pmcf

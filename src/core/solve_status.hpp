@@ -1,0 +1,109 @@
+#pragma once
+// Typed failure propagation for the solver stack (the resilience layer).
+//
+// Every layer that can fail — the CG SDD solver (Lemma A.1 substitute), the
+// JL leverage sketches, the heavy hitter / sampler, the dynamic expander
+// decomposition, both IPMs and the public MCF API — reports a SolveStatus
+// instead of an unchecked bool. Monte-Carlo components that fail w.h.p.
+// checks surface kSketchFailure so callers can apply the retry-with-reseed
+// policy; the public API degrades kRobustIpm -> kReferenceIpm ->
+// kCombinatorial and therefore always returns either a provably correct
+// integral flow or a typed failure (DESIGN.md "Failure model and recovery").
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pmcf {
+
+enum class SolveStatus : std::int8_t {
+  kOk = 0,
+  kInfeasible,        ///< instance has no feasible flow (property of input)
+  kUnbounded,         ///< objective unbounded below (reserved for LP callers)
+  kInvalidInput,      ///< malformed instance: bad sizes/signs/overflow
+  kNumericalFailure,  ///< linear solver breakdown / non-finite iterates
+  kIterationLimit,    ///< budget exhausted before convergence
+  kSketchFailure,     ///< randomized structure failed its w.h.p. guarantee
+  kInternalError,     ///< unexpected exception (e.g. worker-thread failure)
+};
+
+/// Stable human-readable name (e.g. "Ok", "SketchFailure").
+const char* to_string(SolveStatus s);
+
+[[nodiscard]] constexpr bool is_ok(SolveStatus s) { return s == SolveStatus::kOk; }
+
+/// True for statuses that describe the *instance* (infeasible / invalid /
+/// unbounded) rather than a solver-tier malfunction; the degradation cascade
+/// stops on these instead of retrying a lower tier.
+[[nodiscard]] constexpr bool is_instance_error(SolveStatus s) {
+  return s == SolveStatus::kInfeasible || s == SolveStatus::kUnbounded ||
+         s == SolveStatus::kInvalidInput;
+}
+
+/// Exception carrying a typed status + the failing component. Thrown by
+/// components whose call sites cannot return a status struct (deep inside
+/// randomized data structures); tier drivers catch it and convert back to a
+/// SolveStatus so nothing escapes the public API as an exception.
+class ComponentError : public std::runtime_error {
+ public:
+  ComponentError(SolveStatus status, std::string component, const std::string& detail)
+      : std::runtime_error(component + ": " + detail),
+        status_(status),
+        component_(std::move(component)) {}
+
+  [[nodiscard]] SolveStatus status() const { return status_; }
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  SolveStatus status_;
+  std::string component_;
+};
+
+// ---------------------------------------------------------------------------
+// Recovery-event counters.
+//
+// Recovery policies fire deep inside linalg/ds components that have no stats
+// channel back to the caller; a process-global registry records each event so
+// SolveStats can report per-solve deltas (snapshot before/after). Counters
+// are monotone and thread-safe.
+
+enum class RecoveryEvent : std::int8_t {
+  kCgToleranceEscalation = 0,  ///< CG retried with loosened tolerance
+  kDenseFallback,              ///< Newton/sparsifier solve fell back to dense
+  kSketchRetry,                ///< leverage/sampler retried with fresh seed
+  kExactLeverageFallback,      ///< JL sketch abandoned for the dense oracle
+  kStructureRebuild,           ///< randomized structure rebuilt with new seed
+  kTierDegradation,            ///< solver cascade dropped to a lower tier
+  kNumRecoveryEvents,
+};
+
+/// Stable name (e.g. "CgToleranceEscalation").
+const char* to_string(RecoveryEvent e);
+
+/// Record one occurrence of `e`.
+void note_recovery(RecoveryEvent e);
+
+/// Monotone per-event totals since process start.
+struct RecoverySnapshot {
+  std::uint64_t counts[static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents)] = {};
+
+  [[nodiscard]] std::uint64_t of(RecoveryEvent e) const {
+    return counts[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t c : counts) t += c;
+    return t;
+  }
+  /// Elementwise this - earlier (for per-solve deltas).
+  [[nodiscard]] RecoverySnapshot since(const RecoverySnapshot& earlier) const {
+    RecoverySnapshot d;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents); ++i)
+      d.counts[i] = counts[i] - earlier.counts[i];
+    return d;
+  }
+};
+
+RecoverySnapshot recovery_snapshot();
+
+}  // namespace pmcf

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::ds {
@@ -107,6 +108,9 @@ void HeavyHitter::scale(const std::vector<std::size_t>& idx, const Vec& vals) {
 std::vector<std::size_t> HeavyHitter::heavy_query(const Vec& h, double eps) {
   last_query_scans_ = 0;
   std::vector<std::size_t> out;
+  // Injected total false negative: every heavy row goes unreported, exactly
+  // the w.h.p. failure mode of Lemma B.1.
+  if (par::FaultInjector::should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
   for (const Bucket& b : buckets_) {
     if (b.count == 0) continue;
     // g_e < 2^{exp+1}, so a heavy row needs |h_u - h_v| >= eps / 2^{exp+1},
@@ -159,6 +163,7 @@ double HeavyHitter::sample_mass(const Vec& h) const {
 std::vector<std::size_t> HeavyHitter::sample(const Vec& h, double big_k) {
   const double mass = sample_mass(h);
   std::vector<std::size_t> out;
+  if (par::FaultInjector::should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
   if (mass <= 0.0) return out;
   const double q = big_k / mass;
   for (const Bucket& b : buckets_) {
@@ -229,6 +234,7 @@ Vec HeavyHitter::probability(const std::vector<std::size_t>& idx, const Vec& h,
 
 std::vector<std::size_t> HeavyHitter::leverage_sample(double k_prime) {
   std::vector<std::size_t> out;
+  if (par::FaultInjector::should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
   const double lg = std::max<double>(par::ceil_log2(static_cast<std::uint64_t>(g_->num_vertices()) + 2), 1);
   for (const Bucket& b : buckets_) {
     if (b.count == 0) continue;

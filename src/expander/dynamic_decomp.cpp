@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/solve_status.hpp"
+#include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::expander {
@@ -21,6 +23,12 @@ DynamicExpanderDecomposition::DynamicExpanderDecomposition(Vertex n, Options opt
 
 void DynamicExpanderDecomposition::insert(const std::vector<EdgeSpec>& edges) {
   if (edges.empty()) return;
+  // Injected Lemma 3.1 failure: the decomposition would hand out clusters
+  // that are not phi-expanders. Surfaced as a typed error so owners can
+  // rebuild with a fresh seed rather than silently consuming bad clusters.
+  if (par::FaultInjector::should_fire(par::FaultKind::kExpanderViolation))
+    throw ComponentError(SolveStatus::kSketchFailure, "expander::dynamic_decomp",
+                         "injected expander certificate violation");
   // Find the smallest level i whose capacity 2^i fits the new edges plus
   // everything currently stored at levels <= i.
   std::int64_t carried = static_cast<std::int64_t>(edges.size());

@@ -52,12 +52,21 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
 
     // Refresh τ (Lewis fixed point, warm start) every lewis_every iterations;
     // Lewis weights drift slowly along the path (Theorem C.1's premise).
+    // leverage_scores retries a corrupted sketch internally (reseed + widen);
+    // a persistent sketch failure surfaces here as a typed status.
     const bool refresh_tau = (it % std::max<std::int32_t>(opts.lewis_every, 1)) == 0;
     for (std::int32_t round = 0; refresh_tau && round < opts.lewis_rounds; ++round) {
       Vec scaled(m);
       par::parallel_for(0, m, [&](std::size_t i) { scaled[i] = std::pow(tau[i], expo) * v[i]; });
-      Vec sigma = opts.exact_leverage ? linalg::leverage_scores_exact(a, scaled)
-                                      : linalg::leverage_scores(a, scaled, rng, opts.leverage);
+      Vec sigma;
+      try {
+        sigma = opts.exact_leverage ? linalg::leverage_scores_exact(a, scaled)
+                                    : linalg::leverage_scores(a, scaled, rng, opts.leverage);
+      } catch (const ComponentError& err) {
+        res.status = err.status();
+        res.detail = err.what();
+        return res;
+      }
       par::parallel_for(0, m, [&](std::size_t i) { tau[i] = sigma[i] + reg; });
     }
     const double tau_sum = linalg::sum(tau);
@@ -102,7 +111,19 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
     const Vec dn = linalg::scale(d, 1.0 / dmax);
     const Vec rhsn = linalg::scale(rhs, 1.0 / dmax);
     const linalg::Csr lap = linalg::reduced_laplacian(g, dn, a.dropped());
-    const auto sol = linalg::solve_sdd(lap, rhsn, opts.solve);
+    // Newton system with the full recovery ladder: CG, tolerance
+    // escalation, dense elimination. A rung that still fails ends the solve
+    // with a typed status instead of stepping on a garbage direction.
+    linalg::ResilientSolveOptions rso;
+    rso.base = opts.solve;
+    const auto sol = linalg::solve_sdd_resilient(lap, rhsn, rso);
+    res.cg_escalations += sol.tolerance_escalations;
+    res.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
+    if (sol.status != SolveStatus::kOk) {
+      res.status = SolveStatus::kNumericalFailure;
+      res.detail = "linalg::solve_sdd: Newton system solve failed after escalation + fallback";
+      return res;
+    }
     Vec dy = sol.x;
     dy[static_cast<std::size_t>(a.dropped())] = 0.0;
     const Vec a_dy = a.apply(dy);
@@ -118,12 +139,21 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
         alpha = std::min(alpha, (1.0 - opts.boundary_margin) * (lp.cap[i] - res.x[i]) / dx[i]);
       }
     }
+    if (!std::isfinite(alpha)) {
+      res.status = SolveStatus::kNumericalFailure;
+      res.detail = "ipm::reference_ipm: non-finite Newton step";
+      return res;
+    }
     par::charge(m, par::ceil_log2(std::max<std::size_t>(m, 2)));
     par::parallel_for(0, m, [&](std::size_t i) { res.x[i] += alpha * dx[i]; });
     // With s = c - Ay the solved system's direction enters the dual with a
     // minus sign: y_new = y - δy (while δx above is already consistent).
     par::parallel_for(0, n, [&](std::size_t i) { res.y[i] -= alpha * dy[i]; });
     res.y[static_cast<std::size_t>(a.dropped())] = 0.0;
+  }
+  if (!res.converged) {
+    res.status = SolveStatus::kIterationLimit;
+    res.detail = "ipm::reference_ipm: max_iters reached before mu_end";
   }
   return res;
 }

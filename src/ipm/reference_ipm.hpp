@@ -15,8 +15,10 @@
 // (1 - r/√(Στ)).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/solve_status.hpp"
 #include "graph/digraph.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/lewis.hpp"
@@ -58,6 +60,12 @@ struct IpmResult {
   bool converged = false;
   double final_centrality = 0.0;
   double max_primal_residual = 0.0;  ///< max ||A^T x - b||_inf seen
+  /// kOk when converged; kIterationLimit / kNumericalFailure /
+  /// kSketchFailure otherwise, with the failing component in `detail`.
+  SolveStatus status = SolveStatus::kOk;
+  std::string detail;
+  std::int32_t cg_escalations = 0;   ///< Newton solves retried at looser tol
+  std::int32_t dense_fallbacks = 0;  ///< Newton solves done by dense elimination
 };
 
 /// Closed-form initial mu making x0 (with φ'(x0)=0, e.g. x0=u/2) ε-centered

@@ -20,9 +20,12 @@ namespace {
 using linalg::Vec;
 
 /// One exact damped Newton centering step at fixed mu (the resync repair;
-/// identical math to reference_ipm's inner step).
-void exact_center_step(const IpmLp& lp, const linalg::IncidenceOp& a, Vec& x, Vec& y, double mu,
-                       const Vec& tau, const linalg::SolveOptions& solve) {
+/// identical math to reference_ipm's inner step). Uses the resilient solve
+/// ladder; returns a non-Ok status when even the dense fallback failed or
+/// the step direction is non-finite.
+SolveStatus exact_center_step(const IpmLp& lp, const linalg::IncidenceOp& a, Vec& x, Vec& y,
+                              double mu, const Vec& tau, const linalg::SolveOptions& solve,
+                              RobustIpmResult& stats) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   const Vec hess = barrier_hess(x, lp.cap);
@@ -42,7 +45,11 @@ void exact_center_step(const IpmLp& lp, const linalg::IncidenceOp& a, Vec& x, Ve
   const double dmax = linalg::norm_inf(d);
   const linalg::Csr lap = linalg::reduced_laplacian(a.graph(), linalg::scale(d, 1.0 / dmax),
                                                     a.dropped());
-  auto sol = linalg::solve_sdd(lap, linalg::scale(rhs, 1.0 / dmax), solve);
+  linalg::ResilientSolveOptions rso;
+  rso.base = solve;
+  auto sol = linalg::solve_sdd_resilient(lap, linalg::scale(rhs, 1.0 / dmax), rso);
+  stats.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
+  if (sol.status != SolveStatus::kOk) return SolveStatus::kNumericalFailure;
   sol.x[static_cast<std::size_t>(a.dropped())] = 0.0;
   const Vec a_dy = a.apply(sol.x);
   Vec dx(m);
@@ -55,9 +62,11 @@ void exact_center_step(const IpmLp& lp, const linalg::IncidenceOp& a, Vec& x, Ve
       alpha = std::min(alpha, 0.95 * (lp.cap[i] - x[i]) / dx[i]);
     }
   }
+  if (!std::isfinite(alpha)) return SolveStatus::kNumericalFailure;
   par::parallel_for(0, m, [&](std::size_t i) { x[i] += alpha * dx[i]; });
   par::parallel_for(0, n, [&](std::size_t i) { y[i] -= alpha * sol.x[i]; });
   y[static_cast<std::size_t>(a.dropped())] = 0.0;
+  return SolveStatus::kOk;
 }
 
 double centrality_of(const IpmLp& lp, const linalg::IncidenceOp& a, const Vec& x, const Vec& y,
@@ -101,225 +110,287 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
   std::uint64_t sparsifier_edge_sum = 0;
   std::uint64_t sparsifier_solves = 0;
 
+  // Recovery state: a ComponentError thrown by any randomized structure
+  // (expander certificate violation, sketch failure) aborts the epoch; the
+  // structures are rebuilt from the exact iterate with fresh seeds a bounded
+  // number of times before the failure surfaces as a typed status.
+  std::uint64_t seed_shift = 0;
+  std::int32_t failed_epochs = 0;
+
   while (res.iterations < opts.max_iters) {
-    // ---------------- epoch resync (exact, amortized over resync_every) ----
-    ++res.resyncs;
-    {
-      const Vec hess = barrier_hess(res.x, lp.cap);
-      const Vec v = linalg::map(hess, [](double h) { return 1.0 / std::sqrt(h); });
-      tau = linalg::ipm_lewis_weights(a, v, rng, lw);
-    }
-    // Re-center until the iterate is genuinely close to the path again; the
-    // robust steps in between only keep it coarsely centered.
-    for (std::int32_t c = 0; c < 30; ++c) {
-      res.final_centrality = centrality_of(lp, a, res.x, res.y, res.mu, tau);
-      if (res.final_centrality < 0.5) break;
-      exact_center_step(lp, a, res.x, res.y, res.mu, tau, opts.solve);
-    }
-    if (res.mu <= opts.mu_end && res.final_centrality < 1.0) {
-      res.converged = true;
-      break;
-    }
-
-    // ---------------- build the robust structures for this epoch ----------
-    Vec hess = barrier_hess(res.x, lp.cap);
-    Vec grad = barrier_grad(res.x, lp.cap);
-    Vec g_primal(m);  // Φ''^{-1/2}
-    par::parallel_for(0, m, [&](std::size_t i) { g_primal[i] = 1.0 / std::sqrt(hess[i]); });
-    Vec s_exact = linalg::sub(lp.cost, a.apply(res.y));
-
-    // z̄ centrality coordinates (clamped to the bucketing range).
-    ds::GradientOptions gopts;
-    gopts.eps = opts.bucket_eps;
-    gopts.c_norm = 4.0 * std::log(4.0 * static_cast<double>(m) / static_cast<double>(n) + 2.72);
-    auto z_of = [&](std::size_t i, double s_i, double x_i, double tau_i, double mu) {
-      const double h2 = 1.0 / x_i / x_i + 1.0 / (lp.cap[i] - x_i) / (lp.cap[i] - x_i);
-      const double gr = -1.0 / x_i + 1.0 / (lp.cap[i] - x_i);
-      const double z = (s_i + mu * tau_i * gr) / (mu * tau_i * std::sqrt(h2));
-      return std::clamp(z, -gopts.z_max, gopts.z_max);
-    };
-    Vec z_bar(m);
-    for (std::size_t i = 0; i < m; ++i)
-      z_bar[i] = z_of(i, s_exact[i], res.x[i], tau[i], res.mu);
-
-    // Primal accuracy budget: fraction of the distance to the walls.
-    Vec accuracy(m);
-    for (std::size_t i = 0; i < m; ++i)
-      accuracy[i] = opts.primal_eps * std::min(res.x[i], lp.cap[i] - res.x[i]);
-
-    ds::PrimalGradientMaintenance pg(a, res.x, g_primal, tau, z_bar, accuracy, gopts);
-
-    ds::DualMaintenanceOptions dopts;
-    dopts.eps = opts.dual_eps;
-    dopts.hh.decomp.static_opts.power_iters = 24;
-    Vec dual_weights(m);
-    for (std::size_t i = 0; i < m; ++i)
-      dual_weights[i] = res.mu * tau[i] * std::sqrt(hess[i]);
-    ds::DualMaintenance dual(g, s_exact, dual_weights, dopts);
-
-    ds::LewisMaintenanceOptions lmo;
-    lmo.leverage.leverage.sketch_dim = 8;
-    lmo.leverage.seed = opts.seed + 101;
-    ds::LewisMaintenance lewis(a, g_primal, linalg::constant(m, static_cast<double>(n) / m), lmo);
-
-    // Sparsifier sampling + primal sampler share the weights (τ Φ'')^{-1}.
-    Vec d_weights(m);
-    for (std::size_t i = 0; i < m; ++i) d_weights[i] = 1.0 / (tau[i] * hess[i]);
-    Vec d_sqrt = linalg::sqrt(d_weights);
-    ds::HeavyHitterOptions hh_opts;
-    hh_opts.seed = opts.seed + 202;
-    hh_opts.decomp.static_opts.power_iters = 24;
-    ds::HeavyHitter hh_sparse(g, d_sqrt, hh_opts);
-    ds::HeavySamplerOptions hs_opts;
-    hs_opts.seed = opts.seed + 303;
-    ds::HeavySampler sampler(g, d_weights, tau, hs_opts);
-
-    // Mirror of x̄ for incremental residual updates.
-    Vec x_mirror = res.x;
-    Vec rp = linalg::sub(lp.b, a.apply_transpose(res.x));
-    rp[static_cast<std::size_t>(a.dropped())] = 0.0;
-    double tau_sum = linalg::sum(tau);
-    Vec tau_cur = tau;
-
-    std::vector<std::size_t> stale;  // coordinates whose z̄ needs refresh
-
-    // ---------------- robust steps ----------------------------------------
-    for (std::int32_t step = 0; step < resync_every && res.iterations < opts.max_iters; ++step) {
-      ++res.iterations;
-      ++res.robust_steps;
-      const par::CostScope step_scope;
-
-      // 1. Refresh z̄ and the bucket assignment of stale coordinates.
-      if (!stale.empty()) {
-        std::sort(stale.begin(), stale.end());
-        stale.erase(std::unique(stale.begin(), stale.end()), stale.end());
-        Vec b(stale.size()), c(stale.size()), dnew(stale.size());
-        for (std::size_t k = 0; k < stale.size(); ++k) {
-          const std::size_t i = stale[k];
-          const double xi = x_mirror[i];
-          const double h2 = 1.0 / xi / xi + 1.0 / (lp.cap[i] - xi) / (lp.cap[i] - xi);
-          b[k] = 1.0 / std::sqrt(h2);
-          c[k] = tau_cur[i];
-          dnew[k] = z_of(i, dual.approx()[i], xi, tau_cur[i], res.mu);
-        }
-        pg.update(stale, b, c, dnew);
-        stale.clear();
-      }
-
-      // 2. Steepest descent direction over buckets (eq. (4)).
-      const Vec v1 = pg.query_product();  // A^T G ∇Ψ(z̄)^♭(τ̄)
-
-      // 3. Sparsified Newton solves: H ≈ A^T T̄^{-1} Φ''^{-1} A from
-      //    leverage-sampled edges (Lemma B.1 LeverageScoreSample).
-      const auto sampled = hh_sparse.leverage_sample(opts.sparsifier_k);
-      const Vec qs = hh_sparse.leverage_bound(sampled, opts.sparsifier_k);
-      sparsifier_edge_sum += sampled.size();
-      ++sparsifier_solves;
-      Vec d_sparse(m, 0.0);
-      for (std::size_t k = 0; k < sampled.size(); ++k)
-        d_sparse[sampled[k]] = d_weights[sampled[k]] / std::max(qs[k], 1e-12);
-      const double dmax = std::max(linalg::norm_inf(d_sparse), 1e-300);
-      const linalg::Csr lap =
-          linalg::reduced_laplacian(g, linalg::scale(d_sparse, 1.0 / dmax), a.dropped());
-
-      //    δy = H^{-1} A^T Φ''^{-1/2} g  with g = -γ ∇Ψ^♭  (dual step)
-      Vec rhs_dy = linalg::scale(v1, -opts.gamma / dmax);
-      rhs_dy[static_cast<std::size_t>(a.dropped())] = 0.0;
-      auto dy = linalg::solve_sdd(lap, rhs_dy, opts.solve).x;
-      dy[static_cast<std::size_t>(a.dropped())] = 0.0;
-      //    δy + δc adds the feasibility correction H^{-1}(A^T x̄ - b).
-      Vec rhs_q(n);
-      par::parallel_for(0, n, [&](std::size_t i) {
-        rhs_q[i] = (-opts.gamma * v1[i] - rp[i]) / dmax;
-      });
-      rhs_q[static_cast<std::size_t>(a.dropped())] = 0.0;
-      auto q = linalg::solve_sdd(lap, rhs_q, opts.solve).x;
-      q[static_cast<std::size_t>(a.dropped())] = 0.0;
-
-      // 4. Sampled primal correction (the R matrix of eq. (5)).
-      const auto r_entries = sampler.sample(q);
-      std::vector<std::size_t> h_idx;
-      Vec h_val;
-      h_idx.reserve(r_entries.size());
-      for (const auto& entry : r_entries) {
-        const std::size_t i = entry.index;
-        const auto& arc = g.arc(static_cast<graph::EdgeId>(i));
-        const double qu =
-            static_cast<std::size_t>(arc.from) == static_cast<std::size_t>(a.dropped())
-                ? 0.0
-                : q[static_cast<std::size_t>(arc.from)];
-        const double qv = static_cast<std::size_t>(arc.to) == static_cast<std::size_t>(a.dropped())
-                              ? 0.0
-                              : q[static_cast<std::size_t>(arc.to)];
-        double hv = -entry.inv_prob * d_weights[i] * (qv - qu);
-        // Interior safeguard: a sampled update never crosses half the
-        // remaining distance to a wall.
-        const double cap_room = 0.5 * std::min(x_mirror[i], lp.cap[i] - x_mirror[i]);
-        hv = std::clamp(hv, -cap_room, cap_room);
-        h_idx.push_back(i);
-        h_val.push_back(hv);
-      }
-      const auto sum_res = pg.query_sum(h_idx, h_val, -opts.gamma);
-
-      // 5. Propagate x̄ changes: residual, Lewis scaling, sampler weights.
+    try {
+      // ---------------- epoch resync (exact, amortized over resync_every) ----
+      ++res.resyncs;
       {
-        std::vector<std::size_t> moved;
-        Vec lw_vals;
-        Vec hh_vals, hs_a, hs_b;
-        for (const std::size_t i : sum_res.changed) {
-          double xi = (*sum_res.approx)[i];
-          xi = std::clamp(xi, 0.02 * lp.cap[i], 0.98 * lp.cap[i]);
-          const double delta = xi - x_mirror[i];
-          if (delta == 0.0) continue;
+        const Vec hess = barrier_hess(res.x, lp.cap);
+        const Vec v = linalg::map(hess, [](double h) { return 1.0 / std::sqrt(h); });
+        tau = linalg::ipm_lewis_weights(a, v, rng, lw);
+      }
+      // Re-center until the iterate is genuinely close to the path again; the
+      // robust steps in between only keep it coarsely centered.
+      for (std::int32_t c = 0; c < 30; ++c) {
+        res.final_centrality = centrality_of(lp, a, res.x, res.y, res.mu, tau);
+        if (res.final_centrality < 0.5) break;
+        const SolveStatus st = exact_center_step(lp, a, res.x, res.y, res.mu, tau, opts.solve, res);
+        if (st != SolveStatus::kOk) {
+          res.status = SolveStatus::kNumericalFailure;
+          res.detail = "ipm::robust_ipm: exact re-centering step failed";
+          return res;
+        }
+      }
+      if (res.mu <= opts.mu_end && res.final_centrality < 1.0) {
+        res.converged = true;
+        break;
+      }
+
+      // ---------------- build the robust structures for this epoch ----------
+      Vec hess = barrier_hess(res.x, lp.cap);
+      Vec grad = barrier_grad(res.x, lp.cap);
+      Vec g_primal(m);  // Φ''^{-1/2}
+      par::parallel_for(0, m, [&](std::size_t i) { g_primal[i] = 1.0 / std::sqrt(hess[i]); });
+      Vec s_exact = linalg::sub(lp.cost, a.apply(res.y));
+
+      // z̄ centrality coordinates (clamped to the bucketing range).
+      ds::GradientOptions gopts;
+      gopts.eps = opts.bucket_eps;
+      gopts.c_norm = 4.0 * std::log(4.0 * static_cast<double>(m) / static_cast<double>(n) + 2.72);
+      auto z_of = [&](std::size_t i, double s_i, double x_i, double tau_i, double mu) {
+        const double h2 = 1.0 / x_i / x_i + 1.0 / (lp.cap[i] - x_i) / (lp.cap[i] - x_i);
+        const double gr = -1.0 / x_i + 1.0 / (lp.cap[i] - x_i);
+        const double z = (s_i + mu * tau_i * gr) / (mu * tau_i * std::sqrt(h2));
+        return std::clamp(z, -gopts.z_max, gopts.z_max);
+      };
+      Vec z_bar(m);
+      for (std::size_t i = 0; i < m; ++i)
+        z_bar[i] = z_of(i, s_exact[i], res.x[i], tau[i], res.mu);
+
+      // Primal accuracy budget: fraction of the distance to the walls.
+      Vec accuracy(m);
+      for (std::size_t i = 0; i < m; ++i)
+        accuracy[i] = opts.primal_eps * std::min(res.x[i], lp.cap[i] - res.x[i]);
+
+      ds::PrimalGradientMaintenance pg(a, res.x, g_primal, tau, z_bar, accuracy, gopts);
+
+      ds::DualMaintenanceOptions dopts;
+      dopts.eps = opts.dual_eps;
+      dopts.hh.decomp.static_opts.power_iters = 24;
+      dopts.hh.seed += seed_shift;
+      Vec dual_weights(m);
+      for (std::size_t i = 0; i < m; ++i)
+        dual_weights[i] = res.mu * tau[i] * std::sqrt(hess[i]);
+      ds::DualMaintenance dual(g, s_exact, dual_weights, dopts);
+
+      ds::LewisMaintenanceOptions lmo;
+      lmo.leverage.leverage.sketch_dim = 8;
+      lmo.leverage.seed = opts.seed + 101 + seed_shift;
+      ds::LewisMaintenance lewis(a, g_primal, linalg::constant(m, static_cast<double>(n) / m), lmo);
+
+      // Sparsifier sampling + primal sampler share the weights (τ Φ'')^{-1}.
+      Vec d_weights(m);
+      for (std::size_t i = 0; i < m; ++i) d_weights[i] = 1.0 / (tau[i] * hess[i]);
+      Vec d_sqrt = linalg::sqrt(d_weights);
+      ds::HeavyHitterOptions hh_opts;
+      hh_opts.seed = opts.seed + 202 + seed_shift;
+      hh_opts.decomp.static_opts.power_iters = 24;
+      ds::HeavyHitter hh_sparse(g, d_sqrt, hh_opts);
+      ds::HeavySamplerOptions hs_opts;
+      hs_opts.seed = opts.seed + 303 + seed_shift;
+      ds::HeavySampler sampler(g, d_weights, tau, hs_opts);
+
+      // Mirror of x̄ for incremental residual updates.
+      Vec x_mirror = res.x;
+      Vec rp = linalg::sub(lp.b, a.apply_transpose(res.x));
+      rp[static_cast<std::size_t>(a.dropped())] = 0.0;
+      double tau_sum = linalg::sum(tau);
+      Vec tau_cur = tau;
+
+      std::vector<std::size_t> stale;  // coordinates whose z̄ needs refresh
+
+      // ---------------- robust steps ----------------------------------------
+      for (std::int32_t step = 0; step < resync_every && res.iterations < opts.max_iters; ++step) {
+        ++res.iterations;
+        ++res.robust_steps;
+        const par::CostScope step_scope;
+
+        // 1. Refresh z̄ and the bucket assignment of stale coordinates.
+        if (!stale.empty()) {
+          std::sort(stale.begin(), stale.end());
+          stale.erase(std::unique(stale.begin(), stale.end()), stale.end());
+          Vec b(stale.size()), c(stale.size()), dnew(stale.size());
+          for (std::size_t k = 0; k < stale.size(); ++k) {
+            const std::size_t i = stale[k];
+            const double xi = x_mirror[i];
+            const double h2 = 1.0 / xi / xi + 1.0 / (lp.cap[i] - xi) / (lp.cap[i] - xi);
+            b[k] = 1.0 / std::sqrt(h2);
+            c[k] = tau_cur[i];
+            dnew[k] = z_of(i, dual.approx()[i], xi, tau_cur[i], res.mu);
+          }
+          pg.update(stale, b, c, dnew);
+          stale.clear();
+        }
+
+        // 2. Steepest descent direction over buckets (eq. (4)).
+        const Vec v1 = pg.query_product();  // A^T G ∇Ψ(z̄)^♭(τ̄)
+
+        // 3. Sparsified Newton solves: H ≈ A^T T̄^{-1} Φ''^{-1} A from
+        //    leverage-sampled edges (Lemma B.1 LeverageScoreSample).
+        //    Heavy-hitter false negatives can leave the sample too thin to
+        //    span a connected sparsifier; redraw with widened oversampling,
+        //    then fall back to the dense edge set rather than solve a
+        //    near-singular system.
+        double k_prime = opts.sparsifier_k;
+        auto sampled = hh_sparse.leverage_sample(k_prime);
+        for (std::int32_t redraw = 0;
+             sampled.size() + 1 < n && redraw < opts.max_sparsifier_retries; ++redraw) {
+          ++res.sparsifier_retries;
+          note_recovery(RecoveryEvent::kSketchRetry);
+          k_prime *= 4.0;
+          sampled = hh_sparse.leverage_sample(k_prime);
+        }
+        Vec d_sparse(m, 0.0);
+        if (sampled.size() + 1 < n) {
+          ++res.dense_fallbacks;
+          note_recovery(RecoveryEvent::kDenseFallback);
+          d_sparse = d_weights;
+          sparsifier_edge_sum += m;
+        } else {
+          const Vec qs = hh_sparse.leverage_bound(sampled, k_prime);
+          sparsifier_edge_sum += sampled.size();
+          for (std::size_t k = 0; k < sampled.size(); ++k)
+            d_sparse[sampled[k]] = d_weights[sampled[k]] / std::max(qs[k], 1e-12);
+        }
+        ++sparsifier_solves;
+        const double dmax = std::max(linalg::norm_inf(d_sparse), 1e-300);
+        const linalg::Csr lap =
+            linalg::reduced_laplacian(g, linalg::scale(d_sparse, 1.0 / dmax), a.dropped());
+
+        //    δy = H^{-1} A^T Φ''^{-1/2} g  with g = -γ ∇Ψ^♭  (dual step)
+        Vec rhs_dy = linalg::scale(v1, -opts.gamma / dmax);
+        rhs_dy[static_cast<std::size_t>(a.dropped())] = 0.0;
+        auto dy = linalg::solve_sdd(lap, rhs_dy, opts.solve).x;
+        dy[static_cast<std::size_t>(a.dropped())] = 0.0;
+        //    δy + δc adds the feasibility correction H^{-1}(A^T x̄ - b).
+        Vec rhs_q(n);
+        par::parallel_for(0, n, [&](std::size_t i) {
+          rhs_q[i] = (-opts.gamma * v1[i] - rp[i]) / dmax;
+        });
+        rhs_q[static_cast<std::size_t>(a.dropped())] = 0.0;
+        auto q = linalg::solve_sdd(lap, rhs_q, opts.solve).x;
+        q[static_cast<std::size_t>(a.dropped())] = 0.0;
+
+        // 4. Sampled primal correction (the R matrix of eq. (5)).
+        const auto r_entries = sampler.sample(q);
+        std::vector<std::size_t> h_idx;
+        Vec h_val;
+        h_idx.reserve(r_entries.size());
+        for (const auto& entry : r_entries) {
+          const std::size_t i = entry.index;
           const auto& arc = g.arc(static_cast<graph::EdgeId>(i));
-          rp[static_cast<std::size_t>(arc.from)] += delta;
-          rp[static_cast<std::size_t>(arc.to)] -= delta;
-          x_mirror[i] = xi;
-          moved.push_back(i);
-          const double h2 = 1.0 / xi / xi + 1.0 / (lp.cap[i] - xi) / (lp.cap[i] - xi);
-          lw_vals.push_back(1.0 / std::sqrt(h2));
-          const double dw = 1.0 / (tau_cur[i] * h2);
-          hh_vals.push_back(std::sqrt(dw));
-          hs_a.push_back(dw);
-          hs_b.push_back(tau_cur[i]);
-          d_weights[i] = dw;
+          const double qu =
+              static_cast<std::size_t>(arc.from) == static_cast<std::size_t>(a.dropped())
+                  ? 0.0
+                  : q[static_cast<std::size_t>(arc.from)];
+          const double qv = static_cast<std::size_t>(arc.to) == static_cast<std::size_t>(a.dropped())
+                                ? 0.0
+                                : q[static_cast<std::size_t>(arc.to)];
+          double hv = -entry.inv_prob * d_weights[i] * (qv - qu);
+          // Interior safeguard: a sampled update never crosses half the
+          // remaining distance to a wall.
+          const double cap_room = 0.5 * std::min(x_mirror[i], lp.cap[i] - x_mirror[i]);
+          hv = std::clamp(hv, -cap_room, cap_room);
+          h_idx.push_back(i);
+          h_val.push_back(hv);
         }
-        rp[static_cast<std::size_t>(a.dropped())] = 0.0;
-        if (!moved.empty()) {
-          lewis.scale(moved, lw_vals);
-          hh_sparse.scale(moved, hh_vals);
-          sampler.scale(moved, hs_a, hs_b);
-          stale.insert(stale.end(), moved.begin(), moved.end());
+        const auto sum_res = pg.query_sum(h_idx, h_val, -opts.gamma);
+
+        // 5. Propagate x̄ changes: residual, Lewis scaling, sampler weights.
+        {
+          std::vector<std::size_t> moved;
+          Vec lw_vals;
+          Vec hh_vals, hs_a, hs_b;
+          for (const std::size_t i : sum_res.changed) {
+            double xi = (*sum_res.approx)[i];
+            xi = std::clamp(xi, 0.02 * lp.cap[i], 0.98 * lp.cap[i]);
+            const double delta = xi - x_mirror[i];
+            if (delta == 0.0) continue;
+            const auto& arc = g.arc(static_cast<graph::EdgeId>(i));
+            rp[static_cast<std::size_t>(arc.from)] += delta;
+            rp[static_cast<std::size_t>(arc.to)] -= delta;
+            x_mirror[i] = xi;
+            moved.push_back(i);
+            const double h2 = 1.0 / xi / xi + 1.0 / (lp.cap[i] - xi) / (lp.cap[i] - xi);
+            lw_vals.push_back(1.0 / std::sqrt(h2));
+            const double dw = 1.0 / (tau_cur[i] * h2);
+            hh_vals.push_back(std::sqrt(dw));
+            hs_a.push_back(dw);
+            hs_b.push_back(tau_cur[i]);
+            d_weights[i] = dw;
+          }
+          rp[static_cast<std::size_t>(a.dropped())] = 0.0;
+          if (!moved.empty()) {
+            lewis.scale(moved, lw_vals);
+            hh_sparse.scale(moved, hh_vals);
+            sampler.scale(moved, hs_a, hs_b);
+            stale.insert(stale.end(), moved.begin(), moved.end());
+          }
         }
+
+        // 6. Dual step δs = μ A δy (eq. (3)); y tracked explicitly.
+        const Vec dual_h = linalg::scale(dy, res.mu);
+        const auto dual_res = dual.add(dual_h);
+        par::parallel_for(0, n, [&](std::size_t i) { res.y[i] -= res.mu * dy[i]; });
+        res.y[static_cast<std::size_t>(a.dropped())] = 0.0;
+        stale.insert(stale.end(), dual_res.changed.begin(), dual_res.changed.end());
+
+        // 7. τ̄ refresh.
+        const auto lres = lewis.query();
+        for (const std::size_t i : lres.changed) {
+          tau_sum += (*lres.approx)[i] - tau_cur[i];
+          tau_cur[i] = (*lres.approx)[i];
+          stale.push_back(i);
+        }
+
+        // 8. Shrink μ.
+        res.mu *= 1.0 - opts.step_fraction / std::sqrt(std::max(tau_sum, 1.0));
+        res.mu = std::max(res.mu, opts.mu_end * 0.5);
+        if (!std::isfinite(res.mu) || !std::isfinite(tau_sum)) {
+          res.status = SolveStatus::kNumericalFailure;
+          res.detail = "ipm::robust_ipm: non-finite path parameter";
+          return res;
+        }
+        res.robust_step_work += step_scope.elapsed().work;
+        if (res.mu <= opts.mu_end) break;
       }
 
-      // 6. Dual step δs = μ A δy (eq. (3)); y tracked explicitly.
-      const Vec dual_h = linalg::scale(dy, res.mu);
-      const auto dual_res = dual.add(dual_h);
-      par::parallel_for(0, n, [&](std::size_t i) { res.y[i] -= res.mu * dy[i]; });
-      res.y[static_cast<std::size_t>(a.dropped())] = 0.0;
-      stale.insert(stale.end(), dual_res.changed.begin(), dual_res.changed.end());
-
-      // 7. τ̄ refresh.
-      const auto lres = lewis.query();
-      for (const std::size_t i : lres.changed) {
-        tau_sum += (*lres.approx)[i] - tau_cur[i];
-        tau_cur[i] = (*lres.approx)[i];
-        stale.push_back(i);
+      // Epoch end: pull the exact x out of the accumulator and clamp interior.
+      res.x = pg.compute_exact_sum();
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!std::isfinite(res.x[i])) {
+          res.status = SolveStatus::kNumericalFailure;
+          res.detail = "ipm::robust_ipm: non-finite primal iterate at epoch end";
+          return res;
+        }
+        res.x[i] = std::clamp(res.x[i], 0.02 * lp.cap[i], 0.98 * lp.cap[i]);
       }
-
-      // 8. Shrink μ.
-      res.mu *= 1.0 - opts.step_fraction / std::sqrt(std::max(tau_sum, 1.0));
-      res.mu = std::max(res.mu, opts.mu_end * 0.5);
-      res.robust_step_work += step_scope.elapsed().work;
-      if (res.mu <= opts.mu_end) break;
+      par::charge(m, 1);
+      failed_epochs = 0;
+    } catch (const ComponentError& err) {
+      // A randomized structure failed its certificate mid-epoch. The exact
+      // iterate res.x/res.y is still valid (x-bar progress since the last
+      // resync is discarded); rebuild everything with fresh seeds.
+      if (++failed_epochs > opts.max_structure_rebuilds) {
+        res.status = err.status();
+        res.detail = err.what();
+        return res;
+      }
+      ++res.structure_rebuilds;
+      note_recovery(RecoveryEvent::kStructureRebuild);
+      seed_shift += 7919;  // fresh seeds for every randomized structure
     }
-
-    // Epoch end: pull the exact x out of the accumulator and clamp interior.
-    res.x = pg.compute_exact_sum();
-    for (std::size_t i = 0; i < m; ++i)
-      res.x[i] = std::clamp(res.x[i], 0.02 * lp.cap[i], 0.98 * lp.cap[i]);
-    par::charge(m, 1);
+  }
+  if (!res.converged) {
+    res.status = SolveStatus::kIterationLimit;
+    res.detail = "ipm::robust_ipm: max_iters reached before mu_end";
   }
   res.sparsifier_edges = sparsifier_solves > 0 ? sparsifier_edge_sum / sparsifier_solves : 0;
   return res;

@@ -42,6 +42,14 @@ struct RobustIpmOptions {
   double sparsifier_k = 1.0;      ///< leverage oversampling K'
   linalg::SolveOptions solve;
   std::uint64_t seed = 37;
+  /// Recovery policy: how often a failed randomized structure build
+  /// (expander certificate violation, sketch failure) may be retried with a
+  /// fresh seed before the solver gives up with a typed status.
+  std::int32_t max_structure_rebuilds = 3;
+  /// Recovery policy: degenerate sparsifier samples (heavy-hitter false
+  /// negatives) are redrawn with widened oversampling this many times before
+  /// the Newton solve falls back to the dense edge set.
+  std::int32_t max_sparsifier_retries = 2;
 };
 
 struct RobustIpmResult {
@@ -57,6 +65,13 @@ struct RobustIpmResult {
   std::uint64_t robust_step_work = 0;
   std::int32_t robust_steps = 0;
   std::uint64_t sparsifier_edges = 0;  ///< avg sampled edges per solve
+  /// kOk when converged; otherwise the typed failure that ended the solve
+  /// (kSketchFailure after exhausted rebuilds, kNumericalFailure, ...).
+  SolveStatus status = SolveStatus::kOk;
+  std::string detail;
+  std::int32_t structure_rebuilds = 0;   ///< reseeded ds-stack rebuilds
+  std::int32_t sparsifier_retries = 0;   ///< redrawn degenerate samples
+  std::int32_t dense_fallbacks = 0;      ///< solves on the dense edge set
 };
 
 RobustIpmResult robust_ipm(const IpmLp& lp, linalg::Vec x0, linalg::Vec y0, double mu0,

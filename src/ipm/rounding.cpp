@@ -95,7 +95,12 @@ RoundRepairResult round_and_repair(const graph::Digraph& g, const std::vector<st
   res.flow.assign(m, 0);
   for (std::size_t k = 0; k < m; ++k) {
     const auto& arc = g.arc(static_cast<graph::EdgeId>(k));
-    res.flow[k] = std::clamp<std::int64_t>(std::llround(x_frac[k]), 0, arc.cap);
+    // llround of a non-finite or out-of-range double is UB; sanitize first.
+    // A garbage entry only costs repair work, never correctness.
+    const double xk = std::isfinite(x_frac[k])
+                          ? std::clamp(x_frac[k], 0.0, static_cast<double>(arc.cap))
+                          : 0.0;
+    res.flow[k] = std::clamp<std::int64_t>(std::llround(xk), 0, arc.cap);
   }
   par::charge(m, 1);
 
@@ -155,6 +160,7 @@ RoundRepairResult round_and_repair(const graph::Digraph& g, const std::vector<st
   for (std::size_t k = 0; k < m; ++k)
     res.cost += res.flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
   par::charge(m, par::ceil_log2(std::max<std::size_t>(m, 2)));
+  res.status = res.feasible ? SolveStatus::kOk : SolveStatus::kInfeasible;
   return res;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/solve_status.hpp"
 #include "graph/digraph.hpp"
 #include "linalg/vec_ops.hpp"
 
@@ -23,6 +24,11 @@ struct RoundRepairResult {
   std::int64_t imbalance_routed = 0;   ///< L1 imbalance after entry rounding
   std::int64_t cycles_canceled = 0;    ///< negative-cycle repairs
   bool feasible = false;
+  /// kOk when the repaired flow satisfies A^T x = b; kInfeasible when the
+  /// imbalance could not be routed (no feasible b-flow exists). Non-finite
+  /// fractional entries are sanitized to 0 before rounding, so a NaN-ridden
+  /// IPM iterate still yields a correct (if slow) repair, never UB.
+  SolveStatus status = SolveStatus::kOk;
 };
 
 /// Round `x_frac` to the exact optimal integral solution of

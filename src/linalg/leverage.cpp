@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/solve_status.hpp"
 #include "linalg/laplacian.hpp"
+#include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::linalg {
@@ -46,17 +48,16 @@ Vec leverage_scores_exact(const IncidenceOp& a, const Vec& v) {
   return sigma;
 }
 
-Vec leverage_scores(const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
-                    const LeverageOptions& opts) {
-  const std::size_t m = a.rows();
-  const auto k = static_cast<std::size_t>(opts.sketch_dim);
+namespace {
 
-  // Leverage scores are invariant under uniform scaling of v; normalize so
-  // the dropped row's unit pin stays commensurate with the weights.
-  const double vmax = std::max(norm_inf(v_in), 1e-300);
-  const Vec v = scale(v_in, 1.0 / vmax);
-  const Csr lap = reduced_laplacian(a.graph(), mul(v, v), a.dropped());
+/// One JL estimate with `k` sketch rows. May be silently wrong: the sketch
+/// is Monte-Carlo and the kSketchCorruption injection point simulates the
+/// failure mode by zeroing the estimate.
+Vec sketched_leverage_once(const IncidenceOp& a, const Vec& v, const Csr& lap, std::size_t k,
+                           par::Rng& rng, const SolveOptions& solve) {
+  const std::size_t m = a.rows();
   Vec sigma(m, 0.0);
+  if (par::FaultInjector::should_fire(par::FaultKind::kSketchCorruption)) return sigma;
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
   // The k sketch rows are independent; in the PRAM model they run in parallel
   // (the loop below is the work-sum; depth is one solve + O(log)).
@@ -68,7 +69,7 @@ Vec leverage_scores(const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
     // rhs = B^T J_r = A^T (v .* J_r)
     Vec rhs = a.apply_transpose(mul(v, jr));
     rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
-    const SolveResult sol = solve_sdd(lap, rhs, opts.solve);
+    const SolveResult sol = solve_sdd(lap, rhs, solve);
     // contribution: (B y)_e^2 = (v_e (A y)_e)^2
     const Vec z = a.apply(sol.x);
     par::parallel_for(0, m, [&](std::size_t e) {
@@ -78,6 +79,50 @@ Vec leverage_scores(const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
   }
   par::parallel_for(0, m, [&](std::size_t e) { sigma[e] = std::clamp(sigma[e], 0.0, 1.0); });
   return sigma;
+}
+
+/// Leverage scores of any row scaling of the incidence matrix sum to its
+/// rank (n-1); a sketch whose (clamped) sum lands far outside that is
+/// corrupted beyond what JL noise explains. Loose enough that honest
+/// sketches at small sketch_dim never trip it.
+bool plausible_leverage(const Vec& sigma, std::size_t cols) {
+  double sum = 0.0;
+  for (const double s : sigma) sum += s;
+  if (!std::isfinite(sum)) return false;
+  const double rank = static_cast<double>(cols) - 1.0;
+  return sum >= 0.2 * rank && sum <= 5.0 * rank + 1.0;
+}
+
+}  // namespace
+
+Vec leverage_scores(const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
+                    const LeverageOptions& opts) {
+  // Leverage scores are invariant under uniform scaling of v; normalize so
+  // the dropped row's unit pin stays commensurate with the weights.
+  const double vmax = std::max(norm_inf(v_in), 1e-300);
+  const Vec v = scale(v_in, 1.0 / vmax);
+  const Csr lap = reduced_laplacian(a.graph(), mul(v, v), a.dropped());
+
+  // Retry-with-reseed recovery: each retry widens the sketch (doubling the
+  // JL rows) and draws fresh Rademacher rows from a split stream.
+  constexpr std::int32_t kMaxAttempts = 3;
+  auto k = static_cast<std::size_t>(opts.sketch_dim);
+  for (std::int32_t attempt = 0; attempt < kMaxAttempts; ++attempt, k *= 2) {
+    if (attempt > 0) note_recovery(RecoveryEvent::kSketchRetry);
+    // Attempt 0 consumes `rng` exactly as the non-resilient version did;
+    // retries keep drawing from the same stream, i.e. fresh Rademacher rows.
+    Vec sigma = sketched_leverage_once(a, v, lap, k, rng, opts.solve);
+    if (plausible_leverage(sigma, a.cols())) return sigma;
+  }
+
+  // Sketch persistently implausible: fall back to the dense oracle when the
+  // O(n^3) cost is affordable, else report a typed sketch failure.
+  if (a.cols() <= 512) {
+    note_recovery(RecoveryEvent::kExactLeverageFallback);
+    return leverage_scores_exact(a, v);
+  }
+  throw ComponentError(SolveStatus::kSketchFailure, "linalg::leverage_scores",
+                       "JL sketch failed validation after reseeded retries");
 }
 
 }  // namespace pmcf::linalg

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/dense.hpp"
+#include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::linalg {
@@ -13,6 +15,13 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     res.converged = true;
+    res.status = SolveStatus::kOk;
+    return res;
+  }
+  if (par::FaultInjector::should_fire(par::FaultKind::kCgStagnation)) {
+    // Injected stagnation: report the zero iterate as a hard breakdown.
+    res.relative_residual = 1.0;
+    res.status = SolveStatus::kNumericalFailure;
     return res;
   }
 
@@ -25,7 +34,11 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
   for (std::int32_t it = 0; it < opts.max_iters; ++it) {
     const Vec mp = m.apply(p);
     const double pmp = dot(p, mp);
-    if (pmp <= 0.0) break;  // numerical breakdown; return best iterate
+    if (pmp <= 0.0 || !std::isfinite(pmp)) {
+      // Numerical breakdown; return best iterate with a typed status.
+      res.status = SolveStatus::kNumericalFailure;
+      break;
+    }
     const double alpha = rz / pmp;
     axpy(res.x, alpha, p);
     axpy(r, -alpha, mp);
@@ -34,6 +47,7 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
     if (rn <= opts.tolerance * bnorm) {
       res.converged = true;
       res.relative_residual = rn / bnorm;
+      res.status = SolveStatus::kOk;
       return res;
     }
     z = mul(dinv, r);
@@ -43,7 +57,57 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
     par::parallel_for(0, n, [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
   }
   res.relative_residual = norm2(r) / bnorm;
+  if (!std::isfinite(res.relative_residual)) res.status = SolveStatus::kNumericalFailure;
   return res;
+}
+
+ResilientSolveResult solve_sdd_resilient(const Csr& m, const Vec& b,
+                                         const ResilientSolveOptions& opts) {
+  ResilientSolveResult out;
+  SolveOptions attempt = opts.base;
+  for (std::int32_t k = 0; k <= opts.max_escalations; ++k) {
+    if (k > 0) {
+      attempt.tolerance *= opts.escalation_factor;
+      attempt.max_iters *= 2;
+      note_recovery(RecoveryEvent::kCgToleranceEscalation);
+      ++out.tolerance_escalations;
+    }
+    const SolveResult r = solve_sdd(m, b, attempt);
+    out.iterations += r.iterations;
+    if (r.converged) {
+      out.x = r.x;
+      out.relative_residual = r.relative_residual;
+      out.status = SolveStatus::kOk;
+      return out;
+    }
+  }
+
+  // Last rung: exact dense solve. The reduced Laplacian pins the dropped
+  // row/column, so the system is nonsingular and partial-pivot elimination
+  // is safe; the O(dim^3) cost is gated by the guardrail.
+  if (m.dim() <= opts.dense_fallback_max_dim) {
+    Dense dense(m.dim(), m.dim());
+    for (std::size_t r = 0; r < m.dim(); ++r)
+      for (std::int64_t k = m.offsets()[r]; k < m.offsets()[r + 1]; ++k)
+        dense.at(r, static_cast<std::size_t>(m.cols()[static_cast<std::size_t>(k)])) +=
+            m.vals()[static_cast<std::size_t>(k)];
+    note_recovery(RecoveryEvent::kDenseFallback);
+    out.x = dense.solve(b);
+    bool finite = true;
+    for (const double v : out.x) finite = finite && std::isfinite(v);
+    if (finite) {
+      out.used_dense_fallback = true;
+      out.status = SolveStatus::kOk;
+      const Vec resid = sub(m.apply(out.x), b);
+      const double bn = norm2(b);
+      out.relative_residual = bn > 0.0 ? norm2(resid) / bn : 0.0;
+      return out;
+    }
+  }
+  out.x.assign(m.dim(), 0.0);
+  out.status = SolveStatus::kNumericalFailure;
+  out.relative_residual = 1.0;
+  return out;
 }
 
 }  // namespace pmcf::linalg

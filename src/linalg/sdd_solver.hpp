@@ -7,9 +7,16 @@
 // conjugate gradients. CG's iteration count is instance-dependent; the solver
 // reports it so benches can separate the (substituted) inner-solver cost from
 // the outer algorithm's cost. See DESIGN.md §2.
+//
+// Because CG can stall outright on ill-conditioned systems (and the
+// fault-injection point kCgStagnation simulates exactly that), results carry
+// a typed SolveStatus and `solve_sdd_resilient` wraps the recovery policy
+// used by the IPM layers: bounded tolerance escalation, then a dense
+// Gaussian-elimination fallback for systems small enough to afford it.
 
 #include <cstdint>
 
+#include "core/solve_status.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/vec_ops.hpp"
 
@@ -25,9 +32,33 @@ struct SolveResult {
   double relative_residual = 0.0;
   std::int32_t iterations = 0;
   bool converged = false;
+  SolveStatus status = SolveStatus::kIterationLimit;  ///< kOk iff converged
 };
 
 /// Solve M x = b for SPD M by Jacobi-preconditioned CG.
 SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts = {});
+
+struct ResilientSolveOptions {
+  SolveOptions base;
+  std::int32_t max_escalations = 2;       ///< tolerance-escalation retries
+  double escalation_factor = 100.0;       ///< tolerance *= this per retry
+  std::size_t dense_fallback_max_dim = 2048;  ///< O(dim^3) guardrail
+};
+
+struct ResilientSolveResult {
+  Vec x;
+  SolveStatus status = SolveStatus::kOk;
+  double relative_residual = 0.0;
+  std::int32_t iterations = 0;          ///< CG iterations across attempts
+  std::int32_t tolerance_escalations = 0;
+  bool used_dense_fallback = false;
+};
+
+/// Solve M x = b with the Newton-system recovery policy: CG at the requested
+/// tolerance, then bounded tolerance escalation (each retry also doubles the
+/// iteration budget), then dense Gaussian elimination when dim fits the
+/// guardrail. Returns kNumericalFailure only when every rung fails.
+ResilientSolveResult solve_sdd_resilient(const Csr& m, const Vec& b,
+                                         const ResilientSolveOptions& opts = {});
 
 }  // namespace pmcf::linalg

@@ -9,7 +9,8 @@ MaxFlowResult max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t
   graph::Digraph zero_cost(g.num_vertices());
   for (const auto& a : g.arcs()) zero_cost.add_arc(a.from, a.to, a.cap, 0);
   const auto res = min_cost_max_flow(zero_cost, s, t, opts);
-  return {res.flow_value, res.arc_flow, res.stats};
+  return {res.flow_value, res.arc_flow,        res.stats,
+          res.status,     res.failure_component, res.failure_detail};
 }
 
 }  // namespace pmcf::mcf

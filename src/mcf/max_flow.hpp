@@ -14,6 +14,10 @@ struct MaxFlowResult {
   std::int64_t flow_value = 0;
   std::vector<std::int64_t> arc_flow;
   SolveStats stats;
+  /// See MinCostFlowResult::status; kOk iff arc_flow is a maximum flow.
+  SolveStatus status = SolveStatus::kOk;
+  std::string failure_component;
+  std::string failure_detail;
 };
 
 MaxFlowResult max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t,

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 #include "baselines/ssp.hpp"
 #include "ipm/robust_ipm.hpp"
 #include "ipm/rounding.hpp"
+#include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::mcf {
@@ -15,6 +18,74 @@ namespace {
 using graph::Digraph;
 using graph::Vertex;
 using linalg::Vec;
+
+/// Largest cost/capacity mass the augmented LP may carry: the auxiliary arcs
+/// cost 4x the mass and the rounding stage sums flow*cost products up to it,
+/// so capping at max/8 keeps every downstream int64 computation exact.
+constexpr std::int64_t kMassLimit = std::numeric_limits<std::int64_t>::max() / 8;
+
+/// 1 + sum(|cost_e| * cap_e) evaluated in 128-bit, or nullopt once it
+/// exceeds kMassLimit (the instance would overflow the -K circulation arc,
+/// the auxiliary-arc costs, or the final cost accumulation).
+std::optional<std::int64_t> checked_cost_mass(const Digraph& g) {
+  __int128 acc = 1;
+  for (const auto& a : g.arcs()) {
+    __int128 c = a.cost;
+    if (c < 0) c = -c;
+    acc += c * static_cast<__int128>(a.cap);
+    if (acc > kMassLimit) return std::nullopt;
+  }
+  return static_cast<std::int64_t>(acc);
+}
+
+/// sum(cap_e) in 128-bit with the same limit (auxiliary arc capacities are
+/// sums of capacities and must stay exact).
+std::optional<std::int64_t> checked_cap_mass(const Digraph& g) {
+  __int128 acc = 0;
+  for (const auto& a : g.arcs()) {
+    acc += static_cast<__int128>(a.cap);
+    if (acc > kMassLimit) return std::nullopt;
+  }
+  return static_cast<std::int64_t>(acc);
+}
+
+MinCostFlowResult invalid_input(std::string component, std::string detail) {
+  MinCostFlowResult res;
+  res.status = SolveStatus::kInvalidInput;
+  res.failure_component = std::move(component);
+  res.failure_detail = std::move(detail);
+  return res;
+}
+
+/// The tiers the degradation cascade will try, strongest first.
+std::vector<Method> cascade_tiers(const SolveOptions& opts) {
+  if (!opts.allow_degradation) return {opts.method};
+  switch (opts.method) {
+    case Method::kRobustIpm:
+      return {Method::kRobustIpm, Method::kReferenceIpm, Method::kCombinatorial};
+    case Method::kReferenceIpm:
+      return {Method::kReferenceIpm, Method::kCombinatorial};
+    case Method::kCombinatorial:
+      return {Method::kCombinatorial};
+  }
+  return {opts.method};
+}
+
+/// Captures the process-global recovery/fault counters at construction and
+/// writes the per-solve deltas into SolveStats at the end.
+struct TelemetryScope {
+  RecoverySnapshot rec0 = recovery_snapshot();
+  std::uint64_t faults0 = par::FaultInjector::instance().fired_total();
+
+  void finish(SolveStats& stats) const {
+    const RecoverySnapshot d = recovery_snapshot().since(rec0);
+    stats.cg_tolerance_escalations = d.of(RecoveryEvent::kCgToleranceEscalation);
+    stats.dense_fallbacks = d.of(RecoveryEvent::kDenseFallback);
+    stats.sketch_retries = d.of(RecoveryEvent::kSketchRetry);
+    stats.structure_rebuilds = d.of(RecoveryEvent::kStructureRebuild);
+    stats.injected_faults = par::FaultInjector::instance().fired_total() - faults0;
+  }
+};
 
 struct AugmentedLp {
   Digraph graph;        ///< original arcs [+ ts arc] + auxiliary arcs
@@ -27,6 +98,8 @@ struct AugmentedLp {
 /// max-flow instances) + auxiliary vertex z absorbing the imbalance of
 /// x0 = u/2. z is the dropped incidence column, so its conservation row is
 /// free and the auxiliary arcs only fix the real vertices' rows.
+/// Callers have validated the cost/capacity masses, so the k_aux = 4 * mass
+/// auxiliary costs below cannot overflow.
 AugmentedLp augment(const Digraph& core, const std::vector<std::int64_t>& b) {
   const Vertex n = core.num_vertices();
   AugmentedLp out;
@@ -79,103 +152,238 @@ AugmentedLp augment(const Digraph& core, const std::vector<std::int64_t>& b) {
   return out;
 }
 
+/// Run one IPM tier on the augmented LP and round. Returns kOk with an
+/// exactly optimal integral flow, kInfeasible when the rounding imbalance is
+/// unroutable, or a solver-failure status for the cascade to act on.
+/// kIterationLimit is soft: round_and_repair produces the exact optimum from
+/// any finite fractional iterate, so a truncated path-following run still
+/// yields a correct answer. Nothing escapes as an exception.
 MinCostFlowResult solve_core(const Digraph& core, const std::vector<std::int64_t>& b,
-                             const SolveOptions& opts) {
+                             Method tier, const SolveOptions& opts) {
   MinCostFlowResult res;
-  AugmentedLp aug = augment(core, b);
-  const double mu0 = ipm::initial_mu(aug.lp);
-  Vec y0(static_cast<std::size_t>(aug.graph.num_vertices()), 0.0);
+  try {
+    AugmentedLp aug = augment(core, b);
+    const double mu0 = ipm::initial_mu(aug.lp);
+    Vec y0(static_cast<std::size_t>(aug.graph.num_vertices()), 0.0);
 
-  Vec x_final;
-  if (opts.method == Method::kRobustIpm) {
-    ipm::RobustIpmOptions ropts;
-    ropts.mu_end = opts.ipm.mu_end;
-    ropts.max_iters = opts.ipm.max_iters;
-    ropts.solve = opts.ipm.solve;
-    const auto r = ipm::robust_ipm(aug.lp, aug.x0, y0, mu0, ropts);
-    res.stats.ipm_iterations = r.iterations;
-    res.stats.final_mu = r.mu;
-    res.stats.final_centrality = r.final_centrality;
-    res.stats.robust_step_work = r.robust_step_work;
-    res.stats.robust_steps = r.robust_steps;
-    x_final = r.x;
-  } else {
-    ipm::IpmResult ipm_res = ipm::reference_ipm(aug.lp, aug.x0, y0, mu0, opts.ipm);
-    res.stats.ipm_iterations = ipm_res.iterations;
-    res.stats.final_mu = ipm_res.mu;
-    res.stats.final_centrality = ipm_res.final_centrality;
-    x_final = std::move(ipm_res.x);
+    Vec x_final;
+    if (tier == Method::kRobustIpm) {
+      ipm::RobustIpmOptions ropts;
+      ropts.mu_end = opts.ipm.mu_end;
+      ropts.max_iters = opts.ipm.max_iters;
+      ropts.solve = opts.ipm.solve;
+      const auto r = ipm::robust_ipm(aug.lp, aug.x0, y0, mu0, ropts);
+      res.stats.ipm_iterations = r.iterations;
+      res.stats.final_mu = r.mu;
+      res.stats.final_centrality = r.final_centrality;
+      res.stats.robust_step_work = r.robust_step_work;
+      res.stats.robust_steps = r.robust_steps;
+      res.status = r.status;
+      if (r.status != SolveStatus::kOk) {
+        res.failure_component = "ipm::robust_ipm";
+        res.failure_detail = r.detail;
+      }
+      x_final = r.x;
+    } else {
+      ipm::IpmResult r = ipm::reference_ipm(aug.lp, aug.x0, y0, mu0, opts.ipm);
+      res.stats.ipm_iterations = r.iterations;
+      res.stats.final_mu = r.mu;
+      res.stats.final_centrality = r.final_centrality;
+      res.status = r.status;
+      if (r.status != SolveStatus::kOk) {
+        res.failure_component = "ipm::reference_ipm";
+        res.failure_detail = r.detail;
+      }
+      x_final = std::move(r.x);
+    }
+    if (res.status != SolveStatus::kOk && res.status != SolveStatus::kIterationLimit) return res;
+
+    // Drop auxiliary arcs and round on the core problem.
+    Vec x_core(x_final.begin(), x_final.begin() + static_cast<std::ptrdiff_t>(aug.num_core));
+    const auto repaired = ipm::round_and_repair(core, b, x_core);
+    res.stats.imbalance_routed = repaired.imbalance_routed;
+    res.stats.cycles_canceled = repaired.cycles_canceled;
+    res.arc_flow = repaired.flow;
+    res.cost = repaired.cost;
+    res.status = repaired.status;
+    if (res.status == SolveStatus::kOk) {
+      res.failure_component.clear();
+      res.failure_detail.clear();
+    } else {
+      res.failure_component = "ipm::round_and_repair";
+      res.failure_detail = "no feasible routing of the rounding imbalance";
+    }
+    return res;
+  } catch (const ComponentError& err) {
+    res.status = err.status();
+    res.failure_component = err.component();
+    res.failure_detail = err.what();
+    return res;
+  } catch (const std::exception& ex) {
+    res.status = SolveStatus::kInternalError;
+    res.failure_component = "mcf::solve_core";
+    res.failure_detail = ex.what();
+    return res;
   }
-
-  // Drop auxiliary arcs and round on the core problem.
-  Vec x_core(x_final.begin(), x_final.begin() + static_cast<std::ptrdiff_t>(aug.num_core));
-  const auto repaired = ipm::round_and_repair(core, b, x_core);
-  res.stats.imbalance_routed = repaired.imbalance_routed;
-  res.stats.cycles_canceled = repaired.cycles_canceled;
-  res.arc_flow = repaired.flow;
-  res.cost = repaired.cost;
-  return res;
 }
 
 }  // namespace
 
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kReferenceIpm: return "ReferenceIpm";
+    case Method::kRobustIpm: return "RobustIpm";
+    case Method::kCombinatorial: return "Combinatorial";
+  }
+  return "?";
+}
+
 MinCostFlowResult min_cost_max_flow(const Digraph& g, Vertex s, Vertex t,
                                     const SolveOptions& opts) {
-  if (opts.method == Method::kCombinatorial) {
-    const auto r = baselines::ssp_min_cost_max_flow(g, s, t);
-    return {r.flow, r.cost, r.arc_flow, {}};
-  }
-  // Circulation formulation: add t -> s with reward -K dominating all costs.
-  Digraph core(g.num_vertices());
-  for (const auto& a : g.arcs()) core.add_arc(a.from, a.to, a.cap, a.cost);
-  std::int64_t out_cap = 0;
-  for (const auto& a : g.arcs()) {
-    if (a.from == s) out_cap += a.cap;
-  }
-  std::int64_t cost_mass = 1;
-  for (const auto& a : g.arcs()) cost_mass += std::abs(a.cost) * a.cap;
-  const graph::EdgeId ts = core.add_arc(t, s, std::max<std::int64_t>(out_cap, 1), -cost_mass);
+  const Vertex nv = g.num_vertices();
+  if (s < 0 || s >= nv || t < 0 || t >= nv)
+    return invalid_input("mcf::min_cost_max_flow", "source or sink vertex out of range");
+  if (s == t) return invalid_input("mcf::min_cost_max_flow", "source equals sink");
+  for (const auto& a : g.arcs())
+    if (a.cap < 0) return invalid_input("mcf::min_cost_max_flow", "negative arc capacity");
+  const auto cost_mass = checked_cost_mass(g);
+  const auto cap_mass = checked_cap_mass(g);
+  if (!cost_mass || !cap_mass)
+    return invalid_input("mcf::min_cost_max_flow",
+                         "cost/capacity mass overflows the safe integer range");
 
-  std::vector<std::int64_t> b(static_cast<std::size_t>(core.num_vertices()), 0);
-  MinCostFlowResult res = solve_core(core, b, opts);
-  res.flow_value = res.arc_flow[static_cast<std::size_t>(ts)];
-  res.arc_flow.resize(static_cast<std::size_t>(g.num_arcs()));
-  res.cost = 0;
-  for (std::size_t k = 0; k < res.arc_flow.size(); ++k)
-    res.cost += res.arc_flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
+  const std::vector<Method> tiers = cascade_tiers(opts);
+  const bool uses_ipm =
+      std::any_of(tiers.begin(), tiers.end(), [](Method m) { return m != Method::kCombinatorial; });
+
+  // Circulation formulation: t -> s with reward -K dominating all costs.
+  Digraph core(nv);
+  graph::EdgeId ts = 0;
+  if (uses_ipm) {
+    std::int64_t out_cap = 0;
+    for (const auto& a : g.arcs())
+      if (a.from == s) out_cap += a.cap;  // <= cap_mass, exact
+    const std::int64_t ts_cap = std::max<std::int64_t>(out_cap, 1);
+    if (static_cast<__int128>(*cost_mass) * (1 + static_cast<__int128>(ts_cap)) > kMassLimit)
+      return invalid_input("mcf::min_cost_max_flow",
+                           "-K circulation arc overflows the safe integer range");
+    for (const auto& a : g.arcs()) core.add_arc(a.from, a.to, a.cap, a.cost);
+    ts = core.add_arc(t, s, ts_cap, -*cost_mass);
+  }
+
+  const TelemetryScope scope;
+  MinCostFlowResult res;
+  std::int32_t tiers_attempted = 0;
+  for (std::size_t attempt = 0; attempt < tiers.size(); ++attempt) {
+    const Method tier = tiers[attempt];
+    ++tiers_attempted;
+    if (tier == Method::kCombinatorial) {
+      try {
+        const auto r = baselines::ssp_min_cost_max_flow(g, s, t);
+        res = MinCostFlowResult{};
+        res.flow_value = r.flow;
+        res.cost = r.cost;
+        res.arc_flow = r.arc_flow;
+      } catch (const std::exception& ex) {
+        res = MinCostFlowResult{};
+        res.status = SolveStatus::kInternalError;
+        res.failure_component = "baselines::ssp_min_cost_max_flow";
+        res.failure_detail = ex.what();
+      }
+    } else {
+      const std::vector<std::int64_t> b(static_cast<std::size_t>(nv), 0);
+      res = solve_core(core, b, tier, opts);
+      if (res.status == SolveStatus::kOk) {
+        res.flow_value = res.arc_flow[static_cast<std::size_t>(ts)];
+        res.arc_flow.resize(static_cast<std::size_t>(g.num_arcs()));
+        res.cost = 0;
+        for (std::size_t k = 0; k < res.arc_flow.size(); ++k)
+          res.cost += res.arc_flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
+      }
+    }
+    res.stats.answered_by = tier;
+    res.stats.tiers_attempted = tiers_attempted;
+    if (res.status == SolveStatus::kOk || is_instance_error(res.status)) break;
+    if (attempt + 1 < tiers.size()) note_recovery(RecoveryEvent::kTierDegradation);
+  }
+  scope.finish(res.stats);
   return res;
 }
 
 MinCostFlowResult min_cost_b_flow(const Digraph& g, const std::vector<std::int64_t>& b,
                                   const SolveOptions& opts) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (b.size() != n)
+    return invalid_input("mcf::min_cost_b_flow", "demand vector size does not match vertex count");
+  __int128 b_sum = 0;
+  for (const std::int64_t bv : b) {
+    if (bv > kMassLimit || bv < -kMassLimit)
+      return invalid_input("mcf::min_cost_b_flow", "demand overflows the safe integer range");
+    b_sum += bv;
+  }
+  if (b_sum != 0) return invalid_input("mcf::min_cost_b_flow", "demands do not sum to zero");
+  for (const auto& a : g.arcs())
+    if (a.cap < 0) return invalid_input("mcf::min_cost_b_flow", "negative arc capacity");
+  if (!checked_cost_mass(g) || !checked_cap_mass(g))
+    return invalid_input("mcf::min_cost_b_flow",
+                         "cost/capacity mass overflows the safe integer range");
+
   std::int64_t demand_total = 0;
   for (const std::int64_t bv : b)
     if (bv > 0) demand_total += bv;
+
+  const TelemetryScope scope;
   MinCostFlowResult res;
-  if (opts.method == Method::kCombinatorial) {
-    // ssp's convention is supply-positive; ours is net-inflow-positive.
-    std::vector<std::int64_t> supply(b.size());
-    for (std::size_t v = 0; v < b.size(); ++v) supply[v] = -b[v];
-    auto r = baselines::ssp_min_cost_b_flow(g, supply);
-    res.cost = r.cost;
-    res.arc_flow = std::move(r.arc_flow);
-  } else {
-    res = solve_core(g, b, opts);
-  }
-  // Feasibility check: A^T x must equal b exactly.
-  std::vector<std::int64_t> net(static_cast<std::size_t>(g.num_vertices()), 0);
-  for (std::size_t k = 0; k < res.arc_flow.size(); ++k) {
-    const auto& a = g.arc(static_cast<graph::EdgeId>(k));
-    net[static_cast<std::size_t>(a.to)] += res.arc_flow[k];
-    net[static_cast<std::size_t>(a.from)] -= res.arc_flow[k];
-  }
-  res.flow_value = demand_total;
-  for (std::size_t v = 0; v < b.size(); ++v) {
-    if (net[v] != b[v]) {
-      res.flow_value = 0;  // infeasible routing; caller should check
-      break;
+  std::int32_t tiers_attempted = 0;
+  const std::vector<Method> tiers = cascade_tiers(opts);
+  for (std::size_t attempt = 0; attempt < tiers.size(); ++attempt) {
+    const Method tier = tiers[attempt];
+    ++tiers_attempted;
+    if (tier == Method::kCombinatorial) {
+      try {
+        // ssp's convention is supply-positive; ours is net-inflow-positive.
+        std::vector<std::int64_t> supply(b.size());
+        for (std::size_t v = 0; v < b.size(); ++v) supply[v] = -b[v];
+        auto r = baselines::ssp_min_cost_b_flow(g, supply);
+        res = MinCostFlowResult{};
+        res.cost = r.cost;
+        res.arc_flow = std::move(r.arc_flow);
+      } catch (const std::exception& ex) {
+        res = MinCostFlowResult{};
+        res.status = SolveStatus::kInternalError;
+        res.failure_component = "baselines::ssp_min_cost_b_flow";
+        res.failure_detail = ex.what();
+      }
+    } else {
+      res = solve_core(g, b, tier, opts);
     }
+    if (res.status == SolveStatus::kOk) {
+      // Feasibility check: A^T x must equal b exactly.
+      std::vector<std::int64_t> net(n, 0);
+      for (std::size_t k = 0; k < res.arc_flow.size(); ++k) {
+        const auto& a = g.arc(static_cast<graph::EdgeId>(k));
+        net[static_cast<std::size_t>(a.to)] += res.arc_flow[k];
+        net[static_cast<std::size_t>(a.from)] -= res.arc_flow[k];
+      }
+      res.flow_value = demand_total;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (net[v] != b[v]) {
+          res.flow_value = 0;  // kept: legacy infeasibility convention
+          res.status = SolveStatus::kInfeasible;
+          res.failure_component = "mcf::min_cost_b_flow";
+          res.failure_detail = "demands are not routable (no feasible b-flow)";
+          break;
+        }
+      }
+    } else if (res.status == SolveStatus::kInfeasible) {
+      res.flow_value = 0;
+    }
+    res.stats.answered_by = tier;
+    res.stats.tiers_attempted = tiers_attempted;
+    if (res.status == SolveStatus::kOk || is_instance_error(res.status)) break;
+    if (attempt + 1 < tiers.size()) note_recovery(RecoveryEvent::kTierDegradation);
   }
+  scope.finish(res.stats);
   return res;
 }
 

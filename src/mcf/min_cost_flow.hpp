@@ -13,8 +13,10 @@
 //  - round to the exact integral optimum (ipm/rounding.hpp).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/solve_status.hpp"
 #include "graph/digraph.hpp"
 #include "ipm/reference_ipm.hpp"
 
@@ -26,9 +28,18 @@ enum class Method {
   kCombinatorial,  ///< successive shortest path (baseline oracle)
 };
 
+/// Stable name ("ReferenceIpm", ...), for stats reporting.
+const char* to_string(Method m);
+
 struct SolveOptions {
   Method method = Method::kReferenceIpm;
   ipm::IpmOptions ipm;
+  /// Degradation cascade: when the selected tier fails with a solver
+  /// malfunction (numerical/sketch/internal failure), silently retry with the
+  /// next lower tier — kRobustIpm -> kReferenceIpm -> kCombinatorial. Instance
+  /// errors (infeasible/invalid input) are terminal and never cascade. When
+  /// false, the selected tier's typed failure is returned as-is.
+  bool allow_degradation = true;
 };
 
 struct SolveStats {
@@ -42,6 +53,17 @@ struct SolveStats {
   /// rebuild costs are excluded (amortized separately).
   std::uint64_t robust_step_work = 0;
   std::int32_t robust_steps = 0;
+  // --- resilience telemetry (DESIGN.md "Failure model and recovery") ------
+  Method answered_by = Method::kReferenceIpm;  ///< tier that produced the answer
+  std::int32_t tiers_attempted = 0;            ///< 1 = no degradation happened
+  /// Recovery events fired during this solve (all tiers combined). Counted
+  /// from the process-global registry, so concurrent solves on other threads
+  /// would be included; per-solve accuracy assumes one solve at a time.
+  std::uint64_t cg_tolerance_escalations = 0;
+  std::uint64_t dense_fallbacks = 0;
+  std::uint64_t sketch_retries = 0;
+  std::uint64_t structure_rebuilds = 0;
+  std::uint64_t injected_faults = 0;  ///< fault-injection firings (testing)
 };
 
 struct MinCostFlowResult {
@@ -49,6 +71,13 @@ struct MinCostFlowResult {
   std::int64_t cost = 0;
   std::vector<std::int64_t> arc_flow;  ///< per arc of the input graph
   SolveStats stats;
+  /// kOk iff `arc_flow` is an exactly optimal integral flow. Any other value
+  /// means `flow_value`/`cost`/`arc_flow` must not be trusted: kInfeasible /
+  /// kInvalidInput describe the instance; the solver-failure statuses can
+  /// only surface when the degradation cascade is disabled or exhausted.
+  SolveStatus status = SolveStatus::kOk;
+  std::string failure_component;  ///< empty when status == kOk
+  std::string failure_detail;     ///< empty when status == kOk
 };
 
 /// Exact min-cost max-flow from s to t.
@@ -57,7 +86,8 @@ MinCostFlowResult min_cost_max_flow(const graph::Digraph& g, graph::Vertex s, gr
 
 /// Exact min-cost b-flow: route integer demands (A^T x = b, sum(b) = 0,
 /// b[v] = net inflow required at v). Returns feasibility via flow_value ==
-/// total positive demand.
+/// total positive demand (kept for existing callers) and, equivalently,
+/// status == kOk vs kInfeasible.
 MinCostFlowResult min_cost_b_flow(const graph::Digraph& g, const std::vector<std::int64_t>& b,
                                   const SolveOptions& opts = {});
 

@@ -1,0 +1,79 @@
+#include "parallel/fault_injection.hpp"
+
+#include "parallel/rng.hpp"
+
+namespace pmcf::par {
+
+std::atomic<bool> FaultInjector::any_armed_{false};
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCgStagnation: return "CgStagnation";
+    case FaultKind::kSketchCorruption: return "SketchCorruption";
+    case FaultKind::kHeavyHitterMiss: return "HeavyHitterMiss";
+    case FaultKind::kExpanderViolation: return "ExpanderViolation";
+    case FaultKind::kTaskException: return "TaskException";
+    case FaultKind::kNumFaultKinds: break;
+  }
+  return "Unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultKind kind, double rate, std::uint64_t seed) {
+  Point& p = points_[static_cast<std::size_t>(kind)];
+  p.rate = rate;
+  p.seed = seed;
+  p.draws.store(0, std::memory_order_relaxed);
+  p.armed.store(true, std::memory_order_release);
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm(FaultKind kind) {
+  points_[static_cast<std::size_t>(kind)].armed.store(false, std::memory_order_release);
+  bool any = false;
+  for (const Point& p : points_) any = any || p.armed.load(std::memory_order_acquire);
+  any_armed_.store(any, std::memory_order_release);
+}
+
+void FaultInjector::disarm_all() {
+  for (Point& p : points_) p.armed.store(false, std::memory_order_release);
+  any_armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed(FaultKind kind) const {
+  return points_[static_cast<std::size_t>(kind)].armed.load(std::memory_order_acquire);
+}
+
+std::uint64_t FaultInjector::fired(FaultKind kind) const {
+  return points_[static_cast<std::size_t>(kind)].fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired_total() const {
+  std::uint64_t t = 0;
+  for (const Point& p : points_) t += p.fires.load(std::memory_order_relaxed);
+  return t;
+}
+
+void FaultInjector::reset_counters() {
+  for (Point& p : points_) p.fires.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::draw(FaultKind kind) {
+  Point& p = points_[static_cast<std::size_t>(kind)];
+  if (!p.armed.load(std::memory_order_acquire)) return false;
+  const std::uint64_t i = p.draws.fetch_add(1, std::memory_order_relaxed);
+  // Counter-based decision: hash (seed, kind, draw index) to a uniform in
+  // [0, 1). Independent of call-site ordering across kinds.
+  std::uint64_t state = p.seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(kind) + 1));
+  state ^= i * 0xbf58476d1ce4e5b9ULL;
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  if (u >= p.rate) return false;
+  p.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace pmcf::par

@@ -1,0 +1,91 @@
+#pragma once
+// Deterministic, seeded fault-injection registry.
+//
+// Every Monte-Carlo component of the solver succeeds only w.h.p.; the
+// injection points below let tests force each failure mode on demand and
+// assert that the recovery policies (retry-with-reseed, tolerance
+// escalation, dense fallback, tier degradation) actually engage. Decisions
+// are counter-based SplitMix64 draws keyed by (seed, kind, draw index), so a
+// given arm(kind, rate, seed) produces the same fire pattern on every run —
+// instrumented runs stay bit-reproducible under injection.
+//
+// The disabled path is a single relaxed atomic load and branch
+// (`should_fire` inlines to that), so production code pays nothing for the
+// hooks compiled into the hot paths.
+
+#include <atomic>
+#include <cstdint>
+
+namespace pmcf::par {
+
+enum class FaultKind : std::int8_t {
+  kCgStagnation = 0,    ///< linalg::solve_sdd refuses to converge
+  kSketchCorruption,    ///< JL leverage-score sketch returns garbage
+  kHeavyHitterMiss,     ///< HeavyHitter query/sample returns false negatives
+  kExpanderViolation,   ///< dynamic expander decomposition certificate broken
+  kTaskException,       ///< thread-pool worker task throws
+  kNumFaultKinds,
+};
+
+/// Stable name (e.g. "CgStagnation").
+const char* to_string(FaultKind k);
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arm `kind`: each subsequent draw at that point fires with probability
+  /// `rate` (1.0 = always), decided deterministically from `seed`.
+  void arm(FaultKind kind, double rate, std::uint64_t seed = 0);
+  void disarm(FaultKind kind);
+  void disarm_all();
+
+  [[nodiscard]] bool armed(FaultKind kind) const;
+  /// Times `kind` actually fired (since last reset_counters).
+  [[nodiscard]] std::uint64_t fired(FaultKind kind) const;
+  /// Total fires across all kinds (since last reset_counters).
+  [[nodiscard]] std::uint64_t fired_total() const;
+  /// Zero the fired counters (armed state and draw streams are kept).
+  void reset_counters();
+
+  /// The injection-point hook. Zero overhead when nothing is armed.
+  static bool should_fire(FaultKind kind) {
+    if (!any_armed_.load(std::memory_order_relaxed)) return false;
+    return instance().draw(kind);
+  }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+  bool draw(FaultKind kind);
+
+  struct Point {
+    std::atomic<bool> armed{false};
+    double rate = 0.0;
+    std::uint64_t seed = 0;
+    std::atomic<std::uint64_t> draws{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+  Point points_[static_cast<std::size_t>(FaultKind::kNumFaultKinds)];
+  static std::atomic<bool> any_armed_;
+};
+
+/// RAII arm/disarm for tests: arms `kind` for the scope's lifetime and
+/// restores a fully disarmed point on exit.
+class ScopedFault {
+ public:
+  ScopedFault(FaultKind kind, double rate, std::uint64_t seed = 0) : kind_(kind) {
+    FaultInjector::instance().arm(kind, rate, seed);
+  }
+  ~ScopedFault() { FaultInjector::instance().disarm(kind_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultKind kind_;
+};
+
+}  // namespace pmcf::par

@@ -1,7 +1,11 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
+#include <stdexcept>
+
+#include "parallel/fault_injection.hpp"
 
 namespace pmcf::par {
 
@@ -51,6 +55,24 @@ void ThreadPool::for_each_chunk(std::size_t lo, std::size_t hi,
   const std::size_t n = hi - lo;
   const std::size_t chunks = std::min(n, num_threads());
   const std::size_t per = (n + chunks - 1) / chunks;
+  // Worker exceptions must not std::terminate the process: the first one
+  // thrown in any chunk is captured and rethrown in the calling thread after
+  // every chunk has drained (later chunks still run to completion — f must
+  // already tolerate concurrent execution, so there is nothing to unwind).
+  struct ChunkErrors {
+    std::mutex mu;
+    std::exception_ptr first;
+  } errors;
+  auto run_chunk = [&f, &errors](std::size_t b, std::size_t e) {
+    try {
+      if (FaultInjector::should_fire(FaultKind::kTaskException))
+        throw std::runtime_error("injected thread-pool task fault");
+      for (std::size_t i = b; i < e; ++i) f(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(errors.mu);
+      if (!errors.first) errors.first = std::current_exception();
+    }
+  };
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (std::size_t c = 1; c < chunks; ++c) {
@@ -58,16 +80,17 @@ void ThreadPool::for_each_chunk(std::size_t lo, std::size_t hi,
       const std::size_t e = std::min(hi, b + per);
       if (b >= e) continue;
       ++in_flight_;
-      queue_.emplace_back([&f, b, e] {
-        for (std::size_t i = b; i < e; ++i) f(i);
-      });
+      queue_.emplace_back([run_chunk, b, e] { run_chunk(b, e); });
     }
   }
   cv_.notify_all();
   // Caller thread runs the first chunk.
-  for (std::size_t i = lo; i < std::min(hi, lo + per); ++i) f(i);
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  run_chunk(lo, std::min(hi, lo + per));
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  }
+  if (errors.first) std::rethrow_exception(errors.first);
 }
 
 ThreadPool* ThreadPool::global() { return global_slot().get(); }

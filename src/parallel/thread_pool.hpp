@@ -26,7 +26,9 @@ class ThreadPool {
 
   /// Splits [lo, hi) into num_threads contiguous chunks and runs f(i) for each
   /// index, blocking until all chunks finish. f must be safe to call
-  /// concurrently on disjoint indices.
+  /// concurrently on disjoint indices. If any chunk throws, the first
+  /// exception is captured and rethrown in the calling thread once all
+  /// chunks have drained (workers never std::terminate the process).
   void for_each_chunk(std::size_t lo, std::size_t hi,
                       const std::function<void(std::size_t)>& f);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "parallel/rng.hpp"
 #include "parallel/scheduler.hpp"
@@ -116,6 +117,22 @@ TEST(ThreadPoolTest, ForEachChunkCoversRangeOnce) {
   Tracker::instance().set_enabled(false);
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.for_each_chunk(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  Tracker::instance().set_enabled(true);
+}
+
+TEST(ThreadPoolTest, ForEachChunkPropagatesWorkerException) {
+  Tracker::instance().set_enabled(false);
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each_chunk(0, 64,
+                                   [&](std::size_t i) {
+                                     if (i == 13) throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::vector<std::atomic<int>> hits(32);
   for (auto& h : hits) h = 0;
   pool.for_each_chunk(0, hits.size(), [&](std::size_t i) { hits[i]++; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);

@@ -21,6 +21,7 @@
 #include "linalg/sdd_solver.hpp"
 #include "mcf/max_flow.hpp"
 #include "mcf/min_cost_flow.hpp"
+#include "parallel/fault_injection.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf {
@@ -112,6 +113,47 @@ TEST_P(MaxFlowFamilies, LayeredGraphsMatchDinic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MaxFlowFamilies, ::testing::Range(0, 6));
+
+// ---------- resilience: random faults never corrupt an Ok answer ----------
+
+class FaultedSolveSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { par::FaultInjector::instance().disarm_all(); }
+  void TearDown() override { par::FaultInjector::instance().disarm_all(); }
+};
+
+TEST_P(FaultedSolveSweep, PartialFaultRatesStillMatchOracleWhenOk) {
+  const int p = GetParam();
+  par::Rng rng(3100 + p);
+  const Digraph g = graph::random_flow_network(12, 50, 6, 6, rng);
+  const Vertex s = 0;
+  const Vertex t = g.num_vertices() - 1;
+  const auto oracle = baselines::ssp_min_cost_max_flow(g, s, t);
+
+  // All solver-level faults armed at once, each firing ~30% of the time:
+  // the recovery policies and the cascade must either absorb every failure
+  // (and then the answer is exact) or surface a typed solver status.
+  const par::ScopedFault f1(par::FaultKind::kCgStagnation, 0.3, 11 + p);
+  const par::ScopedFault f2(par::FaultKind::kSketchCorruption, 0.3, 22 + p);
+  const par::ScopedFault f3(par::FaultKind::kHeavyHitterMiss, 0.3, 33 + p);
+  const par::ScopedFault f4(par::FaultKind::kExpanderViolation, 0.3, 44 + p);
+
+  mcf::SolveOptions opts;
+  opts.method = (p % 2 == 0) ? mcf::Method::kReferenceIpm : mcf::Method::kRobustIpm;
+  opts.ipm.mu_end = 1e-3;
+  opts.ipm.leverage.sketch_dim = 8;
+  opts.ipm.max_iters = 2000;
+  const auto ours = mcf::min_cost_max_flow(g, s, t, opts);
+  if (ours.status == SolveStatus::kOk) {
+    EXPECT_EQ(ours.flow_value, oracle.flow);
+    EXPECT_EQ(ours.cost, oracle.cost);
+  } else {
+    EXPECT_FALSE(is_instance_error(ours.status));
+    EXPECT_FALSE(ours.failure_component.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultedSolveSweep, ::testing::Range(0, 6));
 
 // ---------- spectral identities ----------
 
