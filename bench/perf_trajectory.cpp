@@ -1,0 +1,379 @@
+// Perf-trajectory driver: wall-clock scaling of the real runtime.
+//
+// Unlike the google-benchmark binaries (which report PRAM counters under the
+// instrumented tracker), this driver measures the *actual* shared-memory
+// runtime: every workload is first run once in instrumented mode to capture
+// the model-level work/depth, then timed with the tracker disabled across a
+// sweep of thread-pool sizes. The output is a single JSON document
+// (schema "pmcf-perf-trajectory-v1", checked in as BENCH_pr2.json) so perf
+// trajectories can be diffed across PRs.
+//
+// Usage:
+//   perf_trajectory [--out=FILE] [--threads=1,2,8] [--scale=tiny|full]
+//                   [--reps=N]
+//
+// `--scale=tiny` shrinks every instance so the whole sweep finishes in a few
+// seconds; CI uses it as a smoke test. Reported wall times are the minimum
+// over `reps` runs (after one warmup) — minimum, not mean, because scheduler
+// noise is strictly additive.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "expander/unit_flow.hpp"
+#include "graph/generators.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/sdd_solver.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "mcf/reachability.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace {
+
+using namespace pmcf;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string out = "BENCH_pr2.json";
+  std::vector<int> threads = {1, 2, 8};
+  bool tiny = false;
+  int reps = 5;
+};
+
+struct ThreadPoint {
+  int threads = 1;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+};
+
+struct WorkloadReport {
+  std::string name;
+  std::string kind;  // "table1" | "component"
+  std::uint64_t work = 0;
+  std::uint64_t depth = 0;
+  std::vector<ThreadPoint> points;
+};
+
+/// A workload is (setup-once state captured in the closure) + a body that can
+/// be run repeatedly. Bodies must be deterministic and self-contained.
+struct Workload {
+  std::string name;
+  std::string kind;
+  std::function<void()> body;
+};
+
+double time_once_ms(const std::function<void()>& body) {
+  const auto t0 = Clock::now();
+  body();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+WorkloadReport measure(const Workload& w, const Options& opt) {
+  WorkloadReport rep;
+  rep.name = w.name;
+  rep.kind = w.kind;
+
+  // Instrumented pass: single-threaded, deterministic PRAM counters.
+  par::ThreadPool::configure(1);
+  par::Tracker::instance().set_enabled(true);
+  par::Tracker::instance().reset();
+  w.body();
+  const par::Cost c = par::snapshot();
+  rep.work = c.work;
+  rep.depth = c.depth;
+
+  // Wall-clock sweep: tracker off, pool per thread count.
+  par::Tracker::instance().set_enabled(false);
+  for (const int t : opt.threads) {
+    par::ThreadPool::configure(static_cast<std::size_t>(t));
+    w.body();  // warmup (first-touch, pool spin-up)
+    double best = 1e300;
+    for (int r = 0; r < opt.reps; ++r) best = std::min(best, time_once_ms(w.body));
+    rep.points.push_back({t, best, 1.0});
+  }
+  par::ThreadPool::configure(1);
+  par::Tracker::instance().set_enabled(true);
+
+  const double base = rep.points.empty() ? 0.0 : rep.points.front().wall_ms;
+  for (auto& p : rep.points) p.speedup = p.wall_ms > 0.0 ? base / p.wall_ms : 0.0;
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Workload definitions. Sizes mirror the largest google-benchmark Args so the
+// JSON rows line up with the EXPERIMENTS.md tables.
+
+Workload make_sdd_solver(bool tiny) {
+  const auto n = static_cast<graph::Vertex>(tiny ? 64 : 512);
+  const std::int64_t m = static_cast<std::int64_t>(n) * 8;
+  par::Rng rng(12345);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, m, 100, 100, rng));
+  const linalg::IncidenceOp a(*g);
+  auto d = std::make_shared<linalg::Vec>(a.rows());
+  for (auto& x : *d) x = 0.5 + rng.next_double();
+  auto b = std::make_shared<linalg::Vec>(a.cols());
+  for (auto& x : *b) x = rng.next_double() - 0.5;
+  (*b)[static_cast<std::size_t>(a.dropped())] = 0.0;
+  const auto dropped = a.dropped();
+  return {"sdd_solver_cg", "component", [g, d, b, dropped] {
+            const linalg::Csr lap = linalg::reduced_laplacian(*g, *d, dropped);
+            const auto res = linalg::solve_sdd(lap, *b, {.tolerance = 1e-8, .max_iters = 2000});
+            if (res.x.empty()) std::abort();
+          }};
+}
+
+Workload make_unit_flow(bool tiny) {
+  const auto n = static_cast<graph::Vertex>(tiny ? 500 : 8000);
+  par::Rng rng(17);
+  auto g = std::make_shared<graph::UndirectedGraph>(graph::random_regular_expander(n, 4, rng));
+  auto p = std::make_shared<expander::UnitFlowProblem>();
+  p->g = g.get();
+  p->cap.assign(g->edge_slots(), 8);
+  p->source.assign(static_cast<std::size_t>(n), 0);
+  p->sink.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t k = 0; k < 2; ++k)
+    p->source[rng.next_below(static_cast<std::uint64_t>(n))] += 6 * 8;
+  for (graph::Vertex v = 0; v < n; ++v) p->sink[static_cast<std::size_t>(v)] = g->degree(v) / 2;
+  p->height = 24;
+  return {"unit_flow", "component", [g, p] {
+            const auto r = expander::parallel_unit_flow(*p);
+            if (r.flow.empty()) std::abort();
+          }};
+}
+
+Workload make_table1_mincostflow(bool tiny) {
+  const auto n = static_cast<graph::Vertex>(tiny ? 12 : 32);
+  par::Rng rng(42);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, 8 * n, 6, 6, rng));
+  return {"table1_mincostflow_reference_ipm", "table1", [g, n] {
+            mcf::SolveOptions opts;
+            opts.ipm.mu_end = 1e-3;
+            opts.ipm.leverage.sketch_dim = 8;
+            const auto res = mcf::min_cost_max_flow(*g, 0, n - 1, opts);
+            (void)res.cost;
+          }};
+}
+
+Workload make_table1_reachability(bool tiny) {
+  const auto layers = static_cast<graph::Vertex>(tiny ? 8 : 16);
+  par::Rng rng(7);
+  auto g = std::make_shared<graph::Digraph>(graph::layered_digraph(layers, 4, 0.3, rng));
+  return {"table1_reachability_flow", "table1", [g] {
+            mcf::SolveOptions opts;
+            opts.ipm.mu_end = 1e-3;
+            opts.ipm.leverage.sketch_dim = 8;
+            const auto res = mcf::reachability(*g, 0, opts);
+            (void)res.reachable;
+          }};
+}
+
+Workload make_reduce(bool tiny) {
+  const std::size_t n = tiny ? (1u << 14) : (1u << 22);
+  auto v = std::make_shared<std::vector<double>>(n);
+  par::Rng rng(3);
+  for (auto& x : *v) x = rng.next_double();
+  return {"parallel_reduce", "component", [v, n] {
+            double acc = 0.0;
+            for (int rep = 0; rep < 8; ++rep)
+              acc += par::parallel_reduce<double>(
+                  0, n, 0.0, [&](std::size_t i) { return (*v)[i]; },
+                  [](double a, double b) { return a + b; });
+            if (acc < 0.0) std::abort();
+          }};
+}
+
+Workload make_scan(bool tiny) {
+  const std::size_t n = tiny ? (1u << 14) : (1u << 22);
+  auto v = std::make_shared<std::vector<std::int64_t>>(n);
+  par::Rng rng(5);
+  for (auto& x : *v) x = static_cast<std::int64_t>(rng.next_below(1000));
+  return {"exclusive_scan", "component", [v] {
+            for (int rep = 0; rep < 4; ++rep) {
+              auto [out, total] = par::exclusive_scan(*v);
+              if (total < 0 || out.size() != v->size()) std::abort();
+            }
+          }};
+}
+
+Workload make_pack(bool tiny) {
+  const std::size_t n = tiny ? (1u << 14) : (1u << 22);
+  auto v = std::make_shared<std::vector<std::uint64_t>>(n);
+  par::Rng rng(9);
+  for (auto& x : *v) x = rng.next_below(1000);
+  return {"pack_indices", "component", [v, n] {
+            for (int rep = 0; rep < 4; ++rep) {
+              const auto idx = par::pack_indices(n, [&](std::size_t i) { return (*v)[i] < 500; });
+              if (idx.size() > n) std::abort();
+            }
+          }};
+}
+
+Workload make_sort(bool tiny) {
+  const std::size_t n = tiny ? (1u << 14) : (1u << 21);
+  auto v = std::make_shared<std::vector<std::uint64_t>>(n);
+  par::Rng rng(11);
+  for (auto& x : *v) x = rng.next_below(~0ull);
+  return {"parallel_sort", "component", [v] {
+            std::vector<std::uint64_t> copy = *v;
+            par::parallel_sort(copy.begin(), copy.end());
+            if (!std::is_sorted(copy.begin(), copy.end())) std::abort();
+          }};
+}
+
+Workload make_spmv(bool tiny) {
+  const auto n = static_cast<graph::Vertex>(tiny ? 128 : 2048);
+  const std::int64_t m = static_cast<std::int64_t>(n) * 16;
+  par::Rng rng(23);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, m, 100, 100, rng));
+  const linalg::IncidenceOp a(*g);
+  linalg::Vec d(a.rows());
+  for (auto& x : d) x = 0.5 + rng.next_double();
+  auto lap = std::make_shared<linalg::Csr>(linalg::reduced_laplacian(*g, d, a.dropped()));
+  auto x = std::make_shared<linalg::Vec>(a.cols());
+  for (auto& xi : *x) xi = rng.next_double() - 0.5;
+  return {"csr_spmv", "component", [lap, x] {
+            linalg::Vec y(x->size());
+            for (int rep = 0; rep < 64; ++rep) lap->apply_into(rep % 2 ? y : *x, rep % 2 ? *x : y);
+          }};
+}
+
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const Options& opt,
+                const std::vector<WorkloadReport>& reports) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"pmcf-perf-trajectory-v1\",\n";
+  os << "  \"scale\": \"" << (opt.tiny ? "tiny" : "full") << "\",\n";
+  os << "  \"reps\": " << opt.reps << ",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"kind\": \"" << json_escape(r.kind) << "\",\n";
+    os << "      \"pram_work\": " << r.work << ",\n";
+    os << "      \"pram_depth\": " << r.depth << ",\n";
+    os << "      \"runs\": [\n";
+    for (std::size_t j = 0; j < r.points.size(); ++j) {
+      const auto& p = r.points[j];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"threads\": %d, \"wall_ms\": %.4f, \"speedup\": %.3f}%s\n",
+                    p.threads, p.wall_ms, p.speedup, j + 1 < r.points.size() ? "," : "");
+      os << buf;
+    }
+    os << "      ]\n";
+    os << "    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  std::ofstream f(path);
+  f << os.str();
+}
+
+[[noreturn]] void usage_error(const std::string& detail) {
+  std::cerr << "perf_trajectory: " << detail << "\n"
+            << "usage: perf_trajectory [--out=FILE] [--threads=1,2,8] "
+               "[--scale=tiny|full] [--reps=N]\n";
+  std::exit(2);
+}
+
+int parse_positive_int(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size() || v < 1) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + " expects a positive integer, got '" + text + "'");
+  }
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  bool reps_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      opt.out = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads.clear();
+      std::istringstream ss(arg.substr(10));
+      std::string tok;
+      while (std::getline(ss, tok, ','))
+        opt.threads.push_back(parse_positive_int("--threads", tok));
+    } else if (arg == "--scale=tiny") {
+      opt.tiny = true;
+    } else if (arg == "--scale=full") {
+      opt.tiny = false;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      opt.reps = parse_positive_int("--reps", arg.substr(7));
+      reps_set = true;
+    } else {
+      usage_error("unknown argument: " + arg);
+    }
+  }
+  if (opt.tiny && !reps_set) opt.reps = 2;
+  if (opt.threads.empty()) opt.threads = {1};
+  // threads=1 must come first: it is the speedup baseline.
+  std::sort(opt.threads.begin(), opt.threads.end());
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  std::vector<Workload> workloads;
+  workloads.push_back(make_sdd_solver(opt.tiny));
+  workloads.push_back(make_unit_flow(opt.tiny));
+  workloads.push_back(make_table1_mincostflow(opt.tiny));
+  workloads.push_back(make_table1_reachability(opt.tiny));
+  workloads.push_back(make_reduce(opt.tiny));
+  workloads.push_back(make_scan(opt.tiny));
+  workloads.push_back(make_pack(opt.tiny));
+  workloads.push_back(make_sort(opt.tiny));
+  workloads.push_back(make_spmv(opt.tiny));
+
+  std::vector<WorkloadReport> reports;
+  for (const auto& w : workloads) {
+    std::cerr << "[perf_trajectory] " << w.name << " ..." << std::flush;
+    reports.push_back(measure(w, opt));
+    const auto& r = reports.back();
+    std::cerr << " work=" << r.work << " depth=" << r.depth;
+    for (const auto& p : r.points)
+      std::cerr << "  t" << p.threads << "=" << p.wall_ms << "ms(x" << p.speedup << ")";
+    std::cerr << "\n";
+  }
+  write_json(opt.out, opt, reports);
+  std::cerr << "[perf_trajectory] wrote " << opt.out << "\n";
+  return 0;
+}

@@ -49,8 +49,9 @@ TrimmingResult trimming(const UndirectedGraph& g, std::vector<char> in_a,
   // inj[v] = source already injected; req[v]/cap = boundary edges accounted.
   std::vector<std::int64_t> inj(n, 0);
   std::vector<std::int64_t> req(n, 0);
-  for (std::size_t v = 0; v < n; ++v)
+  par::wall_for(0, n, [&](std::size_t v) {
     if (res.in_a_prime[v]) req[v] = cap * boundary_count[v];
+  });
   // Live edges with exactly one endpoint in A are boundary edges too.
   for (const graph::EdgeId e : g.live_edges()) {
     const auto ep = g.endpoints(e);
@@ -61,10 +62,11 @@ TrimmingResult trimming(const UndirectedGraph& g, std::vector<char> in_a,
 
   // Sink budget per vertex across outer iterations, granted by floor-diffs.
   std::vector<std::int64_t> sink_budget(n, 0);
-  for (std::size_t v = 0; v < n; ++v)
+  par::wall_for(0, n, [&](std::size_t v) {
     if (res.in_a_prime[v])
       sink_budget[v] = static_cast<std::int64_t>(
           std::floor(opts.sink_budget_fraction * static_cast<double>(g.degree(static_cast<Vertex>(v)))));
+  });
 
   std::vector<std::int64_t> pending_excess(n, 0);  // returned flow etc.
   par::charge(slots + n, par::ceil_log2(std::max<std::size_t>(slots + n, 2)));
@@ -101,7 +103,7 @@ TrimmingResult trimming(const UndirectedGraph& g, std::vector<char> in_a,
     UnitFlowResult uf = parallel_unit_flow(p, res.flow);
     res.flow = std::move(uf.flow);
     res.edge_scans += uf.edge_scans;
-    for (std::size_t v = 0; v < n; ++v) res.absorbed[v] += uf.absorbed[v];
+    par::wall_for(0, n, [&](std::size_t v) { res.absorbed[v] += uf.absorbed[v]; });
 
     if (uf.total_excess == 0) {
       res.leftover_excess = 0;
@@ -207,8 +209,9 @@ TrimmingResult trimming(const UndirectedGraph& g, std::vector<char> in_a,
       }
     }
     // Carry leftover excess of kept vertices into the next iteration.
-    for (std::size_t v = 0; v < n; ++v)
+    par::wall_for(0, n, [&](std::size_t v) {
       if (res.in_a_prime[v] && uf.excess[v] > 0) pending_excess[v] += uf.excess[v];
+    });
     par::charge(n, 1);
     res.leftover_excess = uf.total_excess;
   }

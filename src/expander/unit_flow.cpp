@@ -57,12 +57,13 @@ struct State {
     }
   }
 
-  /// Sum of excess over vertices not parked at level h+1.
+  /// Sum of excess over vertices not parked at level h+1. Parallel in
+  /// wall-clock mode; the caller owns the PRAM charge.
   [[nodiscard]] std::int64_t active_excess() const {
-    std::int64_t total = 0;
-    for (std::size_t v = 0; v < ex.size(); ++v)
-      if (label[v] <= p->height) total += ex[v];
-    return total;
+    return par::wall_reduce<std::int64_t>(
+        0, ex.size(), 0,
+        [&](std::size_t v) { return label[v] <= p->height ? ex[v] : 0; },
+        [](std::int64_t x, std::int64_t y) { return x + y; });
   }
 };
 
@@ -183,8 +184,9 @@ UnitFlowResult parallel_unit_flow(const UnitFlowProblem& p,
     // potential-function argument; with integer flows the slices starve to
     // zero and freeze redistribution. Upfront granting makes Lemma 3.10 (ii)
     // *stronger*: a vertex only relabels once its sink is fully saturated.
-    for (std::size_t v = 0; v < n; ++v)
+    par::wall_for(0, n, [&](std::size_t v) {
       st.remaining[v] = std::max<std::int64_t>(p.sink[v] - st.absorbed[v], 0);
+    });
     par::charge(n, 1);
     // Eager absorption into the fresh slices (vertices parked at h+1 absorb
     // too — in the paper this is implicit in recomputing excess against the
@@ -231,9 +233,12 @@ UnitFlowResult parallel_unit_flow(const UnitFlowProblem& p,
     const std::int32_t safety = (p.height + 2) * static_cast<std::int32_t>(n) + 16;
     std::int32_t sweeps = 0;
     auto excess_below_h = [&] {
-      for (std::size_t v = 0; v < n; ++v)
-        if (st.ex[v] > 0 && st.label[v] < p.height) return true;
-      return false;
+      return par::wall_reduce<int>(
+                 0, n, 0,
+                 [&](std::size_t v) {
+                   return st.ex[v] > 0 && st.label[v] < p.height ? 1 : 0;
+                 },
+                 [](int x, int y) { return x | y; }) != 0;
     };
     while (excess_below_h() && sweeps < safety) {
       ++sweeps;
@@ -244,8 +249,9 @@ UnitFlowResult parallel_unit_flow(const UnitFlowProblem& p,
   }
 
   // Line 8: fold parked labels h+1 back to h.
-  for (std::size_t v = 0; v < n; ++v)
+  par::wall_for(0, n, [&](std::size_t v) {
     if (st.label[v] > p.height) st.label[v] = p.height;
+  });
   par::charge(n, 1);
 
   UnitFlowResult res;

@@ -10,19 +10,31 @@
 
 namespace pmcf::ipm {
 
-/// φ'(x)_i = -1/x_i + 1/(u_i - x_i)
+/// φ'(x)_i = -1/x_i + 1/(u_i - x_i), into a caller-owned buffer.
+inline void barrier_grad_into(const linalg::Vec& x, const linalg::Vec& u, linalg::Vec& out) {
+  par::parallel_for(0, x.size(),
+                    [&](std::size_t i) { out[i] = -1.0 / x[i] + 1.0 / (u[i] - x[i]); });
+}
+
 inline linalg::Vec barrier_grad(const linalg::Vec& x, const linalg::Vec& u) {
-  return par::tabulate<double>(x.size(),
-                               [&](std::size_t i) { return -1.0 / x[i] + 1.0 / (u[i] - x[i]); });
+  linalg::Vec out(x.size());
+  barrier_grad_into(x, u, out);
+  return out;
 }
 
 /// φ''(x)_i = 1/x_i^2 + 1/(u_i - x_i)^2  (always positive on the interior)
-inline linalg::Vec barrier_hess(const linalg::Vec& x, const linalg::Vec& u) {
-  return par::tabulate<double>(x.size(), [&](std::size_t i) {
+inline void barrier_hess_into(const linalg::Vec& x, const linalg::Vec& u, linalg::Vec& out) {
+  par::parallel_for(0, x.size(), [&](std::size_t i) {
     const double a = 1.0 / x[i];
     const double b = 1.0 / (u[i] - x[i]);
-    return a * a + b * b;
+    out[i] = a * a + b * b;
   });
+}
+
+inline linalg::Vec barrier_hess(const linalg::Vec& x, const linalg::Vec& u) {
+  linalg::Vec out(x.size());
+  barrier_hess_into(x, u, out);
+  return out;
 }
 
 /// True iff x is strictly interior: 0 < x < u.

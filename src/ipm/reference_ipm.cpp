@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ipm/barrier.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/laplacian.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -44,11 +45,18 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
   const double expo = 0.5 - 1.0 / p;
   const double reg = static_cast<double>(n) / static_cast<double>(m);
 
+  // Per-iteration work buffers, allocated once. The Newton loop itself is
+  // allocation-free apart from the sparse Laplacian rebuild and the CG
+  // solver's own (per-solve) state.
+  Vec hess(m), grad(m), v(m), scaled(m), s(m), z(m), d(m), resid(m), dresid(m),
+      dn(m), ay(m), a_dy(m), dx(m);
+  Vec atx(n), rp(n), rhs(n), rhsn(n);
+
   for (std::int32_t it = 0; it < opts.max_iters; ++it) {
     res.iterations = it + 1;
-    const Vec hess = barrier_hess(res.x, lp.cap);
-    const Vec grad = barrier_grad(res.x, lp.cap);
-    const Vec v = linalg::map(hess, [](double h) { return 1.0 / std::sqrt(h); });
+    barrier_hess_into(res.x, lp.cap, hess);
+    barrier_grad_into(res.x, lp.cap, grad);
+    linalg::map_into(hess, v, [](double h) { return 1.0 / std::sqrt(h); });
 
     // Refresh τ (Lewis fixed point, warm start) every lewis_every iterations;
     // Lewis weights drift slowly along the path (Theorem C.1's premise).
@@ -56,7 +64,6 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
     // a persistent sketch failure surfaces here as a typed status.
     const bool refresh_tau = (it % std::max<std::int32_t>(opts.lewis_every, 1)) == 0;
     for (std::int32_t round = 0; refresh_tau && round < opts.lewis_rounds; ++round) {
-      Vec scaled(m);
       par::parallel_for(0, m, [&](std::size_t i) { scaled[i] = std::pow(tau[i], expo) * v[i]; });
       Vec sigma;
       try {
@@ -72,8 +79,8 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
     const double tau_sum = linalg::sum(tau);
 
     // Dual slack and centrality.
-    const Vec s = linalg::sub(lp.cost, a.apply(res.y));
-    Vec z(m);
+    a.apply_into(res.y, ay);
+    linalg::sub_into(lp.cost, ay, s);
     par::parallel_for(0, m, [&](std::size_t i) {
       z[i] = (s[i] + res.mu * tau[i] * grad[i]) / (res.mu * tau[i] * std::sqrt(hess[i]));
     });
@@ -81,7 +88,8 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
     res.final_centrality = centrality;
 
     // Primal residual r_p = b - A^T x.
-    Vec rp = linalg::sub(lp.b, a.apply_transpose(res.x));
+    a.apply_transpose_into(res.x, atx);
+    linalg::sub_into(lp.b, atx, rp);
     rp[static_cast<std::size_t>(a.dropped())] = 0.0;
     res.max_primal_residual = std::max(res.max_primal_residual, linalg::norm_inf(rp));
 
@@ -97,26 +105,25 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
 
     // Newton step for: s + A δy + μτ(φ' + Φ'' δx) = 0, A^T δx = r_p.
     // D = (μ τ Φ'')^{-1};  L δy = -r_p - A^T D (s + μτφ').
-    Vec d(m);
     par::parallel_for(0, m, [&](std::size_t i) { d[i] = 1.0 / (res.mu * tau[i] * hess[i]); });
-    Vec resid(m);
     par::parallel_for(0, m,
                       [&](std::size_t i) { resid[i] = s[i] + res.mu * tau[i] * grad[i]; });
-    Vec rhs = a.apply_transpose(linalg::mul(d, resid));
+    linalg::mul_into(d, resid, dresid);
+    a.apply_transpose_into(dresid, rhs);
     par::parallel_for(0, n, [&](std::size_t i) { rhs[i] = -rp[i] - rhs[i]; });
     rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
     // Normalize the weight scale so the dropped row's unit pin is
     // commensurate with the Laplacian diagonal (keeps CG well conditioned).
     const double dmax = linalg::norm_inf(d);
-    const Vec dn = linalg::scale(d, 1.0 / dmax);
-    const Vec rhsn = linalg::scale(rhs, 1.0 / dmax);
+    linalg::scale_into(d, 1.0 / dmax, dn);
+    linalg::scale_into(rhs, 1.0 / dmax, rhsn);
     const linalg::Csr lap = linalg::reduced_laplacian(g, dn, a.dropped());
     // Newton system with the full recovery ladder: CG, tolerance
     // escalation, dense elimination. A rung that still fails ends the solve
     // with a typed status instead of stepping on a garbage direction.
     linalg::ResilientSolveOptions rso;
     rso.base = opts.solve;
-    const auto sol = linalg::solve_sdd_resilient(lap, rhsn, rso);
+    auto sol = linalg::solve_sdd_resilient(lap, rhsn, rso);
     res.cg_escalations += sol.tolerance_escalations;
     res.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
     if (sol.status != SolveStatus::kOk) {
@@ -124,10 +131,9 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
       res.detail = "linalg::solve_sdd: Newton system solve failed after escalation + fallback";
       return res;
     }
-    Vec dy = sol.x;
+    Vec dy = std::move(sol.x);
     dy[static_cast<std::size_t>(a.dropped())] = 0.0;
-    const Vec a_dy = a.apply(dy);
-    Vec dx(m);
+    a.apply_into(dy, a_dy);
     par::parallel_for(0, m, [&](std::size_t i) { dx[i] = -d[i] * (resid[i] + a_dy[i]); });
 
     // Damping: stay `boundary_margin` away from the walls multiplicatively.

@@ -9,6 +9,7 @@
 #include "ds/lewis_maintenance.hpp"
 #include "ipm/barrier.hpp"
 #include "linalg/csr.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/laplacian.hpp"
 #include "linalg/lewis.hpp"
 #include "parallel/scheduler.hpp"
@@ -39,15 +40,20 @@ SolveStatus exact_center_step(const IpmLp& lp, const linalg::IncidenceOp& a, Vec
     d[i] = 1.0 / (mu * tau[i] * hess[i]);
     resid[i] = s[i] + mu * tau[i] * grad[i];
   });
-  Vec rhs = a.apply_transpose(linalg::mul(d, resid));
+  Vec dresid(m);
+  linalg::mul_into(d, resid, dresid);
+  Vec rhs(n);
+  a.apply_transpose_into(dresid, rhs);
   par::parallel_for(0, n, [&](std::size_t i) { rhs[i] = -rp[i] - rhs[i]; });
   rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
   const double dmax = linalg::norm_inf(d);
-  const linalg::Csr lap = linalg::reduced_laplacian(a.graph(), linalg::scale(d, 1.0 / dmax),
-                                                    a.dropped());
+  Vec dn(m), rhsn(n);
+  linalg::scale_into(d, 1.0 / dmax, dn);
+  linalg::scale_into(rhs, 1.0 / dmax, rhsn);
+  const linalg::Csr lap = linalg::reduced_laplacian(a.graph(), dn, a.dropped());
   linalg::ResilientSolveOptions rso;
   rso.base = solve;
-  auto sol = linalg::solve_sdd_resilient(lap, linalg::scale(rhs, 1.0 / dmax), rso);
+  auto sol = linalg::solve_sdd_resilient(lap, rhsn, rso);
   stats.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
   if (sol.status != SolveStatus::kOk) return SolveStatus::kNumericalFailure;
   sol.x[static_cast<std::size_t>(a.dropped())] = 0.0;

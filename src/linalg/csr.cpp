@@ -9,17 +9,54 @@
 namespace pmcf::linalg {
 
 Vec Csr::apply(const Vec& x) const {
-  assert(x.size() == n_);
   Vec y(n_);
-  par::parallel_for(0, n_, [&](std::size_t r) {
-    double acc = 0.0;
-    for (std::int64_t k = off_[r]; k < off_[r + 1]; ++k)
-      acc += val_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
-    y[r] = acc;
-    const auto row_nnz = static_cast<std::uint64_t>(off_[r + 1] - off_[r]);
-    par::charge(row_nnz, par::ceil_log2(std::max<std::uint64_t>(row_nnz, 1)));
-  });
+  apply_into(x, y);
   return y;
+}
+
+void Csr::apply_into(const Vec& x, Vec& y) const {
+  assert(x.size() == n_);
+  assert(y.size() == n_);
+  auto& t = par::Tracker::instance();
+  par::ThreadPool* pool = t.enabled() ? nullptr : par::ThreadPool::global();
+  const std::size_t nnz = val_.size();
+  const auto plan = pool == nullptr
+                        ? par::ThreadPool::BlockPlan{}
+                        : pool->plan_blocks(0, nnz, par::detail::auto_grain(nnz, pool->num_threads()));
+  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+    par::parallel_for(0, n_, [&](std::size_t r) {
+      double acc = 0.0;
+      for (std::int64_t k = off_[r]; k < off_[r + 1]; ++k)
+        acc += val_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
+      y[r] = acc;
+      const auto row_nnz = static_cast<std::uint64_t>(off_[r + 1] - off_[r]);
+      par::charge(row_nnz, par::ceil_log2(std::max<std::uint64_t>(row_nnz, 1)));
+    });
+    return;
+  }
+  // Row blocks balanced by nonzero count: block b owns rows
+  // [bounds[b], bounds[b+1]) holding roughly nnz/blocks nonzeros each.
+  std::size_t bounds[par::detail::kMaxBlocks + 1];
+  bounds[0] = 0;
+  for (std::size_t b = 1; b < plan.blocks; ++b) {
+    const auto target = static_cast<std::int64_t>(nnz / plan.blocks * b);
+    const auto it = std::upper_bound(off_.begin(), off_.end(), target);
+    const auto row = static_cast<std::size_t>(std::distance(off_.begin(), it)) - 1;
+    bounds[b] = std::clamp(row, bounds[b - 1], n_);
+  }
+  bounds[plan.blocks] = n_;
+  pool->run_planned(0, plan.blocks, par::ThreadPool::BlockPlan{plan.blocks, 1},
+                    [&](std::size_t blk0, std::size_t blk1) {
+                      for (std::size_t blk = blk0; blk < blk1; ++blk) {
+                        for (std::size_t r = bounds[blk]; r < bounds[blk + 1]; ++r) {
+                          double acc = 0.0;
+                          for (std::int64_t k = off_[r]; k < off_[r + 1]; ++k)
+                            acc += val_[static_cast<std::size_t>(k)] *
+                                   x[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
+                          y[r] = acc;
+                        }
+                      }
+                    });
 }
 
 Vec Csr::diagonal() const {

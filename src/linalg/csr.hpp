@@ -23,6 +23,11 @@ class Csr {
   /// y = M x. Work O(nnz), depth O(log n).
   [[nodiscard]] Vec apply(const Vec& x) const;
 
+  /// y = M x into a caller-owned buffer (y.size() == dim()); no allocation.
+  /// Wall-clock mode partitions rows into nnz-balanced blocks so skewed row
+  /// lengths cannot serialize the SpMV.
+  void apply_into(const Vec& x, Vec& y) const;
+
   /// Diagonal of M (for the Jacobi preconditioner).
   [[nodiscard]] Vec diagonal() const;
 

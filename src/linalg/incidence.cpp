@@ -5,8 +5,13 @@
 namespace pmcf::linalg {
 
 Vec IncidenceOp::apply(const Vec& h) const {
+  Vec y(rows());
+  apply_into(h, y);
+  return y;
+}
+
+void IncidenceOp::apply_into(const Vec& h, Vec& y) const {
   const auto& arcs = g_->arcs();
-  Vec y(arcs.size());
   const auto d = static_cast<std::size_t>(dropped_);
   par::parallel_for(0, arcs.size(), [&](std::size_t e) {
     const auto& a = arcs[e];
@@ -15,14 +20,20 @@ Vec IncidenceOp::apply(const Vec& h) const {
     y[e] = hv - hu;
     par::charge(1, 1);
   });
-  return y;
 }
 
 Vec IncidenceOp::apply_transpose(const Vec& x) const {
-  const auto& arcs = g_->arcs();
   Vec y(cols(), 0.0);
-  // Sequential scatter; in the PRAM model this is a segmented reduction with
-  // O(m) work and O(log m) depth, which is what we charge.
+  apply_transpose_into(x, y);
+  return y;
+}
+
+void IncidenceOp::apply_transpose_into(const Vec& x, Vec& y) const {
+  const auto& arcs = g_->arcs();
+  std::fill(y.begin(), y.end(), 0.0);
+  // Sequential scatter (the +=/-= per endpoint races under real threads); in
+  // the PRAM model this is a segmented reduction with O(m) work and O(log m)
+  // depth, which is what we charge.
   for (std::size_t e = 0; e < arcs.size(); ++e) {
     const auto& a = arcs[e];
     y[static_cast<std::size_t>(a.from)] -= x[e];
@@ -30,7 +41,6 @@ Vec IncidenceOp::apply_transpose(const Vec& x) const {
   }
   y[static_cast<std::size_t>(dropped_)] = 0.0;
   par::charge(arcs.size(), 2 * par::ceil_log2(std::max<std::size_t>(arcs.size(), 1)));
-  return y;
 }
 
 }  // namespace pmcf::linalg

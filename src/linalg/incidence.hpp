@@ -31,6 +31,11 @@ class IncidenceOp {
   /// y = A^T x, y in R^n with y[dropped] = 0.
   [[nodiscard]] Vec apply_transpose(const Vec& x) const;
 
+  /// Allocation-free variants writing into caller-owned buffers
+  /// (y.size() == rows() resp. cols()).
+  void apply_into(const Vec& h, Vec& y) const;
+  void apply_transpose_into(const Vec& x, Vec& y) const;
+
   /// Zero out the dropped coordinate (projection onto the column space basis).
   void mask_dropped(Vec& h) const { h[static_cast<std::size_t>(dropped_)] = 0.0; }
 

@@ -1,0 +1,88 @@
+#pragma once
+// Allocation-free / fused elementwise kernels for the CG and IPM hot loops.
+//
+// The seed code built every intermediate as a fresh std::vector (vec_ops.hpp
+// returns by value), which put one or more heap allocations into every CG and
+// IPM iteration. These kernels write into caller-owned buffers instead and —
+// where profitable — fuse several passes into one.
+//
+// PRAM contract: in instrumented mode every fused kernel delegates to the
+// exact primitive sequence the unfused seed code executed, so the work/depth
+// counters stay bit-for-bit identical across PRs (the perf-trajectory gate
+// asserts this). Only the uninstrumented wall-clock path is fused.
+
+#include <cstddef>
+
+#include "linalg/vec_ops.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pmcf::linalg {
+
+/// out[i] = f(a[i]); out must already have a.size() elements.
+template <class F>
+void map_into(const Vec& a, Vec& out, F&& f) {
+  par::parallel_for(0, a.size(), [&](std::size_t i) { out[i] = f(a[i]); });
+}
+
+/// out[i] = f(a[i], b[i]); out must already have a.size() elements.
+template <class F>
+void zip_into(const Vec& a, const Vec& b, Vec& out, F&& f) {
+  par::parallel_for(0, a.size(), [&](std::size_t i) { out[i] = f(a[i], b[i]); });
+}
+
+inline void add_into(const Vec& a, const Vec& b, Vec& out) {
+  zip_into(a, b, out, [](double x, double y) { return x + y; });
+}
+inline void sub_into(const Vec& a, const Vec& b, Vec& out) {
+  zip_into(a, b, out, [](double x, double y) { return x - y; });
+}
+inline void mul_into(const Vec& a, const Vec& b, Vec& out) {
+  zip_into(a, b, out, [](double x, double y) { return x * y; });
+}
+inline void scale_into(const Vec& a, double s, Vec& out) {
+  map_into(a, out, [s](double x) { return x * s; });
+}
+
+/// y = a*x + b*y (one pass; covers the CG direction update p = z + beta*p).
+inline void axpby(Vec& y, double a, const Vec& x, double b) {
+  par::parallel_for(0, y.size(), [&](std::size_t i) { y[i] = a * x[i] + b * y[i]; });
+}
+
+/// Fused CG iterate update: x += alpha*p, r -= alpha*mp, returns r.r.
+/// Replaces axpy + axpy + norm2^2 — three passes over four vectors become one.
+inline double cg_step_residual(Vec& x, Vec& r, const Vec& p, const Vec& mp, double alpha) {
+  if (par::Tracker::instance().enabled()) {
+    // Instrumented: the seed's exact primitive sequence (charge-identical).
+    axpy(x, alpha, p);
+    axpy(r, -alpha, mp);
+    return dot(r, r);
+  }
+  return par::parallel_reduce<double>(
+      0, r.size(), 0.0,
+      [&](std::size_t i) {
+        x[i] += alpha * p[i];
+        const double ri = r[i] - alpha * mp[i];
+        r[i] = ri;
+        return ri * ri;
+      },
+      [](double u, double v) { return u + v; });
+}
+
+/// Fused Jacobi-preconditioner refresh: z = dinv .* r, returns r.z.
+/// Replaces mul + dot — two passes become one.
+inline double precond_refresh(const Vec& dinv, const Vec& r, Vec& z) {
+  if (par::Tracker::instance().enabled()) {
+    mul_into(dinv, r, z);
+    return dot(r, z);
+  }
+  return par::parallel_reduce<double>(
+      0, r.size(), 0.0,
+      [&](std::size_t i) {
+        const double zi = dinv[i] * r[i];
+        z[i] = zi;
+        return r[i] * zi;
+      },
+      [](double u, double v) { return u + v; });
+}
+
+}  // namespace pmcf::linalg

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/solve_status.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/laplacian.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
@@ -60,18 +61,23 @@ Vec sketched_leverage_once(const IncidenceOp& a, const Vec& v, const Csr& lap, s
   if (par::FaultInjector::should_fire(par::FaultKind::kSketchCorruption)) return sigma;
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
   // The k sketch rows are independent; in the PRAM model they run in parallel
-  // (the loop below is the work-sum; depth is one solve + O(log)).
+  // (the loop below is the work-sum; depth is one solve + O(log)). The sketch
+  // buffers are hoisted out of the row loop and reused across all k rows.
+  Vec jr(m);
+  Vec vj(m);
+  Vec z(m);
+  Vec rhs(a.cols());
   for (std::size_t r = 0; r < k; ++r) {
     // J_r: Rademacher row scaled by 1/sqrt(k).
-    Vec jr(m);
     for (std::size_t e = 0; e < m; ++e) jr[e] = rng.rademacher() * inv_sqrt_k;
     par::charge(m, 1);
     // rhs = B^T J_r = A^T (v .* J_r)
-    Vec rhs = a.apply_transpose(mul(v, jr));
+    mul_into(v, jr, vj);
+    a.apply_transpose_into(vj, rhs);
     rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
     const SolveResult sol = solve_sdd(lap, rhs, solve);
     // contribution: (B y)_e^2 = (v_e (A y)_e)^2
-    const Vec z = a.apply(sol.x);
+    a.apply_into(sol.x, z);
     par::parallel_for(0, m, [&](std::size_t e) {
       const double t = v[e] * z[e];
       sigma[e] += t * t;

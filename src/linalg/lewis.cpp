@@ -17,20 +17,20 @@ Vec lewis_weights(const IncidenceOp& a, const Vec& v, const Vec& z, double p,
   const double expo = 0.5 - 1.0 / p;
 
   Vec tau(m, 1.0);
+  Vec scaled(m);  // fixed-point round scratch, reused across rounds
+  Vec next(m);
   for (std::int32_t round = 0; round < opts.max_rounds; ++round) {
     // scaled rows: tau^{1/2 - 1/p} .* v
-    Vec scaled(m);
     par::parallel_for(0, m, [&](std::size_t i) { scaled[i] = std::pow(tau[i], expo) * v[i]; });
     Vec sigma = opts.exact_leverage ? leverage_scores_exact(a, scaled)
                                     : leverage_scores(a, scaled, rng, opts.leverage);
-    Vec next(m);
     double max_rel = 0.0;
     for (std::size_t i = 0; i < m; ++i) {
       next[i] = sigma[i] + z[i];
       max_rel = std::max(max_rel, std::abs(next[i] - tau[i]) / std::max(tau[i], 1e-12));
     }
     par::charge(m, par::ceil_log2(std::max<std::size_t>(m, 1)));
-    tau = std::move(next);
+    std::swap(tau, next);
     if (max_rel < opts.fixpoint_tol) break;
   }
   return tau;

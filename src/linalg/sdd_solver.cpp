@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/dense.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -25,14 +26,17 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
     return res;
   }
 
+  // All CG state is allocated once here; the inner loop below performs no
+  // heap allocation (asserted by tests/alloc_count_test.cpp).
   Vec dinv = map(m.diagonal(), [](double d) { return d > 0.0 ? 1.0 / d : 1.0; });
   Vec r = b;                 // residual (x0 = 0)
   Vec z = mul(dinv, r);      // preconditioned residual
   Vec p = z;
+  Vec mp(n);                 // M p scratch
   double rz = dot(r, z);
 
   for (std::int32_t it = 0; it < opts.max_iters; ++it) {
-    const Vec mp = m.apply(p);
+    m.apply_into(p, mp);
     const double pmp = dot(p, mp);
     if (pmp <= 0.0 || !std::isfinite(pmp)) {
       // Numerical breakdown; return best iterate with a typed status.
@@ -40,21 +44,19 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
       break;
     }
     const double alpha = rz / pmp;
-    axpy(res.x, alpha, p);
-    axpy(r, -alpha, mp);
+    const double rr = cg_step_residual(res.x, r, p, mp, alpha);
     res.iterations = it + 1;
-    const double rn = norm2(r);
+    const double rn = std::sqrt(rr);
     if (rn <= opts.tolerance * bnorm) {
       res.converged = true;
       res.relative_residual = rn / bnorm;
       res.status = SolveStatus::kOk;
       return res;
     }
-    z = mul(dinv, r);
-    const double rz_new = dot(r, z);
+    const double rz_new = precond_refresh(dinv, r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    par::parallel_for(0, n, [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
+    axpby(p, 1.0, z, beta);  // p = z + beta * p
   }
   res.relative_residual = norm2(r) / bnorm;
   if (!std::isfinite(res.relative_residual)) res.status = SolveStatus::kNumericalFailure;

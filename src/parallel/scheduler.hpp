@@ -5,12 +5,26 @@
 // of a parallel loop is run with its own span counter and the loop contributes
 // max(iteration spans) + ceil(log2 n) to the caller's span — exactly the
 // binary-forking PRAM accounting the paper uses. When instrumentation is
-// disabled and a thread pool is configured, loops execute on real threads
-// (uninstrumented wall-clock mode).
+// disabled and a thread pool is configured, the primitives run genuinely in
+// parallel on the work-stealing pool (wall-clock mode):
+//
+//   parallel_for     blocked ranges with grain-size control
+//   parallel_reduce  per-block sequential folds + deterministic ordered
+//                    combine of the block results (a two-level tree)
+//   exclusive_scan   two-pass blocked scan (block sums, then local scans)
+//   pack_indices     per-block filter + scan of block counts + scatter
+//   parallel_sort    sorted blocks + merge-path parallel pairwise merging
+//
+// The block decomposition depends only on (n, grain, num_threads), never on
+// timing, so wall-clock results are deterministic for a fixed thread count.
+// The instrumented-mode cost accounting is bit-for-bit identical to the seed
+// implementation: the wall-clock paths never touch the tracker.
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <functional>
+#include <iterator>
 #include <numeric>
 #include <utility>
 #include <vector>
@@ -20,11 +34,26 @@
 
 namespace pmcf::par {
 
-/// parallel_for(lo, hi, f): run f(i) for all i in [lo, hi).
-/// Work: sum of per-iteration work (+1/iter loop overhead).
-/// Depth: max per-iteration depth + ceil(log2(#iters)).
+/// Iterations below which a parallel loop is not worth a fork: with
+/// mutex-guarded deques a task costs ~1µs to dispatch, so blocks need at
+/// least a few hundred cheap iterations to amortize it.
+inline constexpr std::size_t kMinGrain = 128;
+
+namespace detail {
+
+/// Default grain: at least kMinGrain iterations per block and at most
+/// ~kBlocksPerThread blocks per thread.
+inline std::size_t auto_grain(std::size_t n, std::size_t threads) {
+  const std::size_t per = (n + kBlocksPerThread * threads - 1) / (kBlocksPerThread * threads);
+  return std::max(pmcf::par::kMinGrain, per);
+}
+
+}  // namespace detail
+
+/// parallel_for with explicit grain (iterations per block) for loops whose
+/// bodies are heavy enough to justify small blocks. Grain 0 = automatic.
 template <class F>
-void parallel_for(std::size_t lo, std::size_t hi, F&& f) {
+void parallel_for_grained(std::size_t lo, std::size_t hi, std::size_t grain, F&& f) {
   if (lo >= hi) return;
   const std::size_t n = hi - lo;
   auto& t = Tracker::instance();
@@ -45,11 +74,43 @@ void parallel_for(std::size_t lo, std::size_t hi, F&& f) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
     return;
   }
-  pool->for_each_chunk(lo, hi, std::forward<F>(f));
+  if (grain == 0) grain = detail::auto_grain(n, pool->num_threads());
+  pool->run_blocked(lo, hi, grain, [&f](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) f(i);
+  });
+}
+
+/// parallel_for(lo, hi, f): run f(i) for all i in [lo, hi).
+/// Work: sum of per-iteration work (+1/iter loop overhead).
+/// Depth: max per-iteration depth + ceil(log2(#iters)).
+template <class F>
+void parallel_for(std::size_t lo, std::size_t hi, F&& f) {
+  parallel_for_grained(lo, hi, 0, std::forward<F>(f));
+}
+
+/// Wall-clock-only parallel loop: parallel when uninstrumented and a pool is
+/// configured, plain sequential otherwise. Never touches the tracker — the
+/// caller keeps its own PRAM accounting. Use inside code whose instrumented
+/// charges are hand-written (e.g. the expander unit-flow rounds).
+template <class F>
+void wall_for(std::size_t lo, std::size_t hi, F&& f) {
+  if (lo >= hi) return;
+  ThreadPool* pool = Tracker::instance().enabled() ? nullptr : ThreadPool::global();
+  if (pool == nullptr || pool->num_threads() <= 1 || hi - lo < 2) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  pool->run_blocked(lo, hi, detail::auto_grain(hi - lo, pool->num_threads()),
+                    [&f](std::size_t b, std::size_t e) {
+                      for (std::size_t i = b; i < e; ++i) f(i);
+                    });
 }
 
 /// parallel_reduce over [lo, hi): combine(map(i)...) with identity `init`.
-/// `combine` must be associative. Depth: max map depth + O(log n).
+/// `combine` must be associative; in wall-clock mode T must additionally be
+/// default-constructible (block results land in a fixed-size slot array) and
+/// the block results are combined in block order, so the result for a fixed
+/// thread count is deterministic.
 template <class T, class Map, class Combine>
 T parallel_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& combine) {
   if (lo >= hi) return init;
@@ -68,42 +129,241 @@ T parallel_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& c
     t.charge(n, 0);
     return acc;
   }
-  for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
+  ThreadPool* pool = ThreadPool::global();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
+    return acc;
+  }
+  const auto plan =
+      pool->plan_blocks(lo, hi, detail::auto_grain(n, pool->num_threads()));
+  if (plan.blocks <= 1) {
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
+    return acc;
+  }
+  std::array<T, detail::kMaxBlocks> partial{};
+  pool->run_planned(lo, hi, plan, [&](std::size_t b, std::size_t e) {
+    T local = map(b);
+    for (std::size_t i = b + 1; i < e; ++i) local = combine(std::move(local), map(i));
+    partial[(b - lo) / plan.per] = std::move(local);
+  });
+  for (std::size_t b = 0; b < plan.blocks; ++b)
+    acc = combine(std::move(acc), std::move(partial[b]));
+  return acc;
+}
+
+/// wall_for's sibling for reductions: tracker-free, sequential when
+/// instrumented, blocked tree combine otherwise.
+template <class T, class Map, class Combine>
+T wall_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& combine) {
+  T acc = init;
+  if (lo >= hi) return acc;
+  ThreadPool* pool = Tracker::instance().enabled() ? nullptr : ThreadPool::global();
+  const auto plan = pool == nullptr
+                        ? ThreadPool::BlockPlan{}
+                        : pool->plan_blocks(lo, hi, detail::auto_grain(hi - lo, pool->num_threads()));
+  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
+    return acc;
+  }
+  std::array<T, detail::kMaxBlocks> partial{};
+  pool->run_planned(lo, hi, plan, [&](std::size_t b, std::size_t e) {
+    T local = map(b);
+    for (std::size_t i = b + 1; i < e; ++i) local = combine(std::move(local), map(i));
+    partial[(b - lo) / plan.per] = std::move(local);
+  });
+  for (std::size_t b = 0; b < plan.blocks; ++b)
+    acc = combine(std::move(acc), std::move(partial[b]));
   return acc;
 }
 
 /// Exclusive prefix sum of `in`; returns the vector of partial sums and the
-/// total. Work O(n), depth O(log n).
+/// total. Work O(n), depth O(log n). Wall-clock mode uses the classic
+/// two-pass blocked scan: per-block sums, a sequential scan over the (few)
+/// block sums, then per-block local scans offset by the block prefix.
 template <class T>
 std::pair<std::vector<T>, T> exclusive_scan(const std::vector<T>& in) {
-  std::vector<T> out(in.size());
-  T total{};
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] = total;
-    total += in[i];
+  auto& tr = Tracker::instance();
+  ThreadPool* pool = tr.enabled() ? nullptr : ThreadPool::global();
+  const auto plan = pool == nullptr
+                        ? ThreadPool::BlockPlan{}
+                        : pool->plan_blocks(0, in.size(),
+                                            detail::auto_grain(in.size(), pool->num_threads()));
+  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+    std::vector<T> out(in.size());
+    T total{};
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = total;
+      total += in[i];
+    }
+    charge(in.size(), 2 * ceil_log2(std::max<std::size_t>(in.size(), 1)));
+    return {std::move(out), total};
   }
-  charge(in.size(), 2 * ceil_log2(std::max<std::size_t>(in.size(), 1)));
+  std::vector<T> out(in.size());
+  std::array<T, detail::kMaxBlocks> block_sum{};
+  pool->run_planned(0, in.size(), plan, [&](std::size_t b, std::size_t e) {
+    T s{};
+    for (std::size_t i = b; i < e; ++i) s += in[i];
+    block_sum[b / plan.per] = s;
+  });
+  T total{};
+  for (std::size_t b = 0; b < plan.blocks; ++b) {
+    const T s = block_sum[b];
+    block_sum[b] = total;
+    total += s;
+  }
+  pool->run_planned(0, in.size(), plan, [&](std::size_t b, std::size_t e) {
+    T running = block_sum[b / plan.per];
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = running;
+      running += in[i];
+    }
+  });
   return {std::move(out), total};
 }
 
 /// Stable parallel pack: keep indices i in [0, n) with pred(i)==true.
-/// Work O(n), depth O(log n) (scan-based in the model).
+/// Work O(n), depth O(log n) (scan-based in the model). Wall-clock mode
+/// filters per block, scans the block counts, and scatters — pred is
+/// evaluated exactly once per index.
 template <class Pred>
 std::vector<std::size_t> pack_indices(std::size_t n, Pred&& pred) {
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < n; ++i)
-    if (pred(i)) out.push_back(i);
-  charge(n, 2 * ceil_log2(std::max<std::size_t>(n, 1)));
+  auto& tr = Tracker::instance();
+  ThreadPool* pool = tr.enabled() ? nullptr : ThreadPool::global();
+  const auto plan = pool == nullptr
+                        ? ThreadPool::BlockPlan{}
+                        : pool->plan_blocks(0, n, detail::auto_grain(n, pool->num_threads()));
+  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < n; ++i)
+      if (pred(i)) out.push_back(i);
+    charge(n, 2 * ceil_log2(std::max<std::size_t>(n, 1)));
+    return out;
+  }
+  std::array<std::vector<std::size_t>, detail::kMaxBlocks> local;
+  pool->run_planned(0, n, plan, [&](std::size_t b, std::size_t e) {
+    auto& mine = local[b / plan.per];
+    mine.reserve(e - b);
+    for (std::size_t i = b; i < e; ++i)
+      if (pred(i)) mine.push_back(i);
+  });
+  std::array<std::size_t, detail::kMaxBlocks> offset{};
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < plan.blocks; ++b) {
+    offset[b] = total;
+    total += local[b].size();
+  }
+  std::vector<std::size_t> out(total);
+  pool->run_planned(0, plan.blocks, ThreadPool::BlockPlan{plan.blocks, 1},
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t blk = b; blk < e; ++blk)
+                        std::copy(local[blk].begin(), local[blk].end(),
+                                  out.begin() + static_cast<std::ptrdiff_t>(offset[blk]));
+                    });
   return out;
 }
 
-/// Parallel-model sort: work O(n log n), depth O(log^2 n).
+namespace detail {
+
+/// Merge-path split: number of elements to take from sorted [a, a+la) so that
+/// together with k-i elements of sorted [b, b+lb) they form the first k
+/// elements of the merge. Ties prefer the first range (stable).
+template <class It, class Less>
+std::size_t merge_split(It a, std::size_t la, It b, std::size_t lb, std::size_t k, Less& less) {
+  std::size_t lo = k > lb ? k - lb : 0;
+  std::size_t hi = std::min(k, la);
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (less(*(b + static_cast<std::ptrdiff_t>(k - mid - 1)),
+             *(a + static_cast<std::ptrdiff_t>(mid)))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// Parallel merge of two sorted ranges into `out` by cutting the output into
+/// ~equal chunks along merge-path diagonals.
+template <class It, class OutIt, class Less>
+void parallel_merge(ThreadPool& pool, It a, std::size_t la, It b, std::size_t lb, OutIt out,
+                    Less& less) {
+  const std::size_t total = la + lb;
+  const auto plan = pool.plan_blocks(0, total, auto_grain(total, pool.num_threads()));
+  if (plan.blocks <= 1) {
+    std::merge(a, a + static_cast<std::ptrdiff_t>(la), b, b + static_cast<std::ptrdiff_t>(lb),
+               out, less);
+    return;
+  }
+  pool.run_planned(0, total, plan, [&](std::size_t k0, std::size_t k1) {
+    const std::size_t i0 = merge_split(a, la, b, lb, k0, less);
+    const std::size_t i1 = merge_split(a, la, b, lb, k1, less);
+    std::merge(a + static_cast<std::ptrdiff_t>(i0), a + static_cast<std::ptrdiff_t>(i1),
+               b + static_cast<std::ptrdiff_t>(k0 - i0), b + static_cast<std::ptrdiff_t>(k1 - i1),
+               out + static_cast<std::ptrdiff_t>(k0), less);
+  });
+}
+
+}  // namespace detail
+
+/// Parallel-model sort: work O(n log n), depth O(log^2 n). Wall-clock mode is
+/// a parallel merge sort: sorted blocks, then log(B) rounds of pairwise
+/// merge-path merges between the range and a scratch buffer.
 template <class It, class Less = std::less<>>
 void parallel_sort(It first, It last, Less less = {}) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
-  std::sort(first, last, less);
-  const auto lg = ceil_log2(std::max<std::size_t>(n, 1));
-  charge(n * std::max<std::uint64_t>(lg, 1), lg * lg + 1);
+  auto& tr = Tracker::instance();
+  ThreadPool* pool = tr.enabled() ? nullptr : ThreadPool::global();
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2 * kMinGrain) {
+    std::sort(first, last, less);
+    const auto lg = ceil_log2(std::max<std::size_t>(n, 1));
+    charge(n * std::max<std::uint64_t>(lg, 1), lg * lg + 1);
+    return;
+  }
+  // Power-of-two block count so the merge rounds pair up exactly.
+  std::size_t blocks = 1;
+  while (blocks * 2 <= std::min<std::size_t>({2 * pool->num_threads(),
+                                              n / kMinGrain, detail::kMaxBlocks}))
+    blocks *= 2;
+  if (blocks <= 1) {
+    std::sort(first, last, less);
+    return;
+  }
+  const std::size_t per = (n + blocks - 1) / blocks;
+  pool->run_planned(0, blocks, ThreadPool::BlockPlan{blocks, 1},
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t blk = b; blk < e; ++blk) {
+                        const std::size_t s = blk * per;
+                        const std::size_t t = std::min(n, s + per);
+                        if (s < t)
+                          std::sort(first + static_cast<std::ptrdiff_t>(s),
+                                    first + static_cast<std::ptrdiff_t>(t), less);
+                      }
+                    });
+  using V = typename std::iterator_traits<It>::value_type;
+  std::vector<V> scratch(n);
+  bool in_scratch = false;
+  for (std::size_t width = per; width < n; width *= 2) {
+    const std::size_t pair_span = 2 * width;
+    const std::size_t pairs = (n + pair_span - 1) / pair_span;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::size_t s = p * pair_span;
+      const std::size_t mid = std::min(n, s + width);
+      const std::size_t t = std::min(n, s + pair_span);
+      if (in_scratch) {
+        detail::parallel_merge(*pool, scratch.begin() + static_cast<std::ptrdiff_t>(s),
+                               mid - s, scratch.begin() + static_cast<std::ptrdiff_t>(mid),
+                               t - mid, first + static_cast<std::ptrdiff_t>(s), less);
+      } else {
+        detail::parallel_merge(*pool, first + static_cast<std::ptrdiff_t>(s), mid - s,
+                               first + static_cast<std::ptrdiff_t>(mid), t - mid,
+                               scratch.begin() + static_cast<std::ptrdiff_t>(s), less);
+      }
+    }
+    in_scratch = !in_scratch;
+  }
+  if (in_scratch)
+    wall_for(0, n, [&](std::size_t i) { *(first + static_cast<std::ptrdiff_t>(i)) = scratch[i]; });
 }
 
 /// Fill `v` with f(i). Work O(n), depth max f-depth + O(log n).

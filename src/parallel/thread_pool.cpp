@@ -1,8 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <memory>
+#include <chrono>
 #include <stdexcept>
 
 #include "parallel/fault_injection.hpp"
@@ -10,87 +8,155 @@
 namespace pmcf::par {
 
 namespace {
+
 std::unique_ptr<ThreadPool>& global_slot() {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
 }
+
+// Which pool (if any) the current thread is a worker of, and its queue slot.
+// External threads fall back to the shared slot 0 of whatever pool they call.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_slot = 0;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  queues_.reserve(extra + 1);
+  for (std::size_t i = 0; i < extra + 1; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
   workers_.reserve(extra);
   for (std::size_t i = 0; i < extra; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(sleep_mu_);
     stop_ = true;
+    ++wake_epoch_;
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.back());
-      queue_.pop_back();
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
-    }
+std::size_t ThreadPool::slot_for_this_thread() const {
+  return tls_pool == this ? tls_slot : 0;
+}
+
+void ThreadPool::maybe_inject_fault() {
+  if (FaultInjector::should_fire(FaultKind::kTaskException))
+    throw std::runtime_error("injected thread-pool task fault");
+}
+
+void ThreadPool::submit(const detail::Task* tasks, std::size_t count) {
+  if (count == 0) return;
+  {
+    WorkerQueue& q = *queues_[slot_for_this_thread()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    for (std::size_t i = 0; i < count; ++i) q.tasks.push_back(tasks[i]);
+  }
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    ++wake_epoch_;
+  }
+  // Waking the whole pool for a single block is wasted churn.
+  if (count == 1) {
+    sleep_cv_.notify_one();
+  } else {
+    sleep_cv_.notify_all();
   }
 }
 
-void ThreadPool::for_each_chunk(std::size_t lo, std::size_t hi,
-                                const std::function<void(std::size_t)>& f) {
-  const std::size_t n = hi - lo;
-  const std::size_t chunks = std::min(n, num_threads());
-  const std::size_t per = (n + chunks - 1) / chunks;
-  // Worker exceptions must not std::terminate the process: the first one
-  // thrown in any chunk is captured and rethrown in the calling thread after
-  // every chunk has drained (later chunks still run to completion — f must
-  // already tolerate concurrent execution, so there is nothing to unwind).
-  struct ChunkErrors {
-    std::mutex mu;
-    std::exception_ptr first;
-  } errors;
-  auto run_chunk = [&f, &errors](std::size_t b, std::size_t e) {
-    try {
-      if (FaultInjector::should_fire(FaultKind::kTaskException))
-        throw std::runtime_error("injected thread-pool task fault");
-      for (std::size_t i = b; i < e; ++i) f(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lk(errors.mu);
-      if (!errors.first) errors.first = std::current_exception();
-    }
-  };
+bool ThreadPool::try_get_task(std::size_t self, detail::Task& out) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (std::size_t c = 1; c < chunks; ++c) {
-      const std::size_t b = lo + c * per;
-      const std::size_t e = std::min(hi, b + per);
-      if (b >= e) continue;
-      ++in_flight_;
-      queue_.emplace_back([run_chunk, b, e] { run_chunk(b, e); });
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = q.tasks.back();  // own queue: newest first (locality)
+      q.tasks.pop_back();
+      return true;
     }
   }
-  cv_.notify_all();
-  // Caller thread runs the first chunk.
-  run_chunk(lo, std::min(hi, lo + per));
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  const std::size_t k = queues_.size();
+  for (std::size_t d = 1; d < k; ++d) {
+    WorkerQueue& q = *queues_[(self + d) % k];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = q.tasks.front();  // steal oldest first (FIFO fairness)
+      q.tasks.pop_front();
+      return true;
+    }
   }
-  if (errors.first) std::rethrow_exception(errors.first);
+  return false;
+}
+
+void ThreadPool::execute(const detail::Task& t) {
+  try {
+    maybe_inject_fault();
+    t.run(t.ctx, t.begin, t.end);
+  } catch (...) {
+    t.group->record_exception();
+  }
+  // Open the latch last: the group (and the body it points at) lives on the
+  // forking thread's stack. The waiter only destroys it after observing
+  // all_done under mu, so setting the flag inside the lock and notifying
+  // before unlock makes this the completer's final access to the group.
+  if (t.group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(t.group->mu);
+    t.group->all_done = true;
+    t.group->cv.notify_all();
+  }
+}
+
+void ThreadPool::help_until(detail::TaskGroup& group) {
+  const std::size_t self = slot_for_this_thread();
+  detail::Task t;
+  while (group.pending.load(std::memory_order_acquire) != 0) {
+    if (try_get_task(self, t)) {
+      execute(t);
+      continue;
+    }
+    // Nothing stealable right now: the group's last blocks are running on
+    // other threads. Sleep on the group latch, but wake periodically in case
+    // new stealable work (e.g. a nested fork inside one of our blocks on
+    // another thread) appeared.
+    std::unique_lock<std::mutex> lk(group.mu);
+    group.cv.wait_for(lk, std::chrono::microseconds(200), [&group] {
+      return group.pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Destruction handshake: wait for the last completer to finish its
+  // notification under mu before letting the caller free the group.
+  std::unique_lock<std::mutex> lk(group.mu);
+  group.cv.wait(lk, [&group] { return group.all_done; });
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  tls_pool = this;
+  tls_slot = id;
+  detail::Task t;
+  for (;;) {
+    if (try_get_task(id, t)) {
+      execute(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (stop_) return;
+    const std::uint64_t seen = wake_epoch_;
+    lk.unlock();
+    // Re-check after recording the epoch: a submit between our queue scan and
+    // the epoch read bumps wake_epoch_, so the wait predicate below stays
+    // live and no wakeup can be lost.
+    if (try_get_task(id, t)) {
+      execute(t);
+      continue;
+    }
+    lk.lock();
+    if (stop_) return;
+    sleep_cv_.wait(lk, [this, seen] { return stop_ || wake_epoch_ != seen; });
+  }
 }
 
 ThreadPool* ThreadPool::global() { return global_slot().get(); }

@@ -1,11 +1,29 @@
 #pragma once
-// Minimal fork-join thread pool used only in uninstrumented (wall-clock) mode.
-// Instrumented PRAM runs are single-threaded and deterministic; see
-// scheduler.hpp. The pool exists so the library runs with real parallelism on
-// multicore machines once instrumentation is switched off.
+// Work-stealing fork-join thread pool used in uninstrumented (wall-clock)
+// mode. Instrumented PRAM runs are single-threaded and deterministic; see
+// scheduler.hpp.
+//
+// Scheduling model (DESIGN.md §8):
+//  - Each thread (workers plus any external caller) owns a mutex-guarded
+//    deque. Owners push and pop at the back (LIFO, cache locality); thieves
+//    steal from the front (FIFO), so the oldest outstanding block is always
+//    the first one stolen — no submission-order starvation.
+//  - Every run_blocked call carries its own TaskGroup completion latch, so
+//    overlapping and nested fork-join regions never wait on each other's
+//    tasks (the seed pool shared one in_flight_ counter across all calls).
+//  - A thread that reaches a join helps execute queued tasks instead of
+//    blocking, which makes nested parallelism deadlock-free: the waiter
+//    drains its own deque and steals until its group's latch opens.
+//  - Dispatch is templated: a blocked body is passed as a function pointer +
+//    context pointer (a POD Task), so the hot path allocates no std::function
+//    state. Task batches live in a fixed stack array.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -13,6 +31,43 @@
 #include <vector>
 
 namespace pmcf::par {
+
+namespace detail {
+
+/// Hard cap on blocks per fork; keeps the per-call task batch on the stack.
+inline constexpr std::size_t kMaxBlocks = 128;
+/// Target oversubscription: ~4 stealable blocks per thread.
+inline constexpr std::size_t kBlocksPerThread = 4;
+
+/// Completion latch for one fork-join region. The group lives on the forking
+/// thread's stack, so destruction must be handshaked: `pending` reaching zero
+/// says every task *body* finished, but only `all_done` (set under `mu` by
+/// whoever ran the last task, after its final decrement) licenses the forker
+/// to return and destroy the latch. Exiting on the atomic alone would race
+/// with the completer's notify call.
+struct TaskGroup {
+  std::atomic<std::size_t> pending{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool all_done = false;     // guarded by mu; completer's last group access
+  std::exception_ptr error;  // first failure; guarded by mu
+
+  void record_exception() noexcept {
+    std::lock_guard<std::mutex> lk(mu);
+    if (!error) error = std::current_exception();
+  }
+};
+
+/// Type-erased blocked task. POD by design: no allocation, no std::function.
+struct Task {
+  void (*run)(const void* ctx, std::size_t begin, std::size_t end) = nullptr;
+  const void* ctx = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  TaskGroup* group = nullptr;
+};
+
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -22,15 +77,86 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Total threads participating in a fork: workers plus the calling thread.
   [[nodiscard]] std::size_t num_threads() const { return workers_.size() + 1; }
 
-  /// Splits [lo, hi) into num_threads contiguous chunks and runs f(i) for each
-  /// index, blocking until all chunks finish. f must be safe to call
-  /// concurrently on disjoint indices. If any chunk throws, the first
-  /// exception is captured and rethrown in the calling thread once all
-  /// chunks have drained (workers never std::terminate the process).
+  /// How [lo, hi) is split for this pool: `blocks` contiguous blocks of at
+  /// most `per` indices, never more than kMaxBlocks and never smaller than
+  /// `grain`. Deterministic in (n, grain, num_threads) only.
+  struct BlockPlan {
+    std::size_t blocks = 1;
+    std::size_t per = 0;
+  };
+  [[nodiscard]] BlockPlan plan_blocks(std::size_t lo, std::size_t hi,
+                                      std::size_t grain) const {
+    BlockPlan p;
+    if (lo >= hi) return p;
+    const std::size_t n = hi - lo;
+    if (grain == 0) grain = 1;
+    std::size_t blocks = (n + grain - 1) / grain;
+    blocks = std::min(blocks, detail::kBlocksPerThread * num_threads());
+    blocks = std::min(blocks, detail::kMaxBlocks);
+    p.blocks = std::max<std::size_t>(blocks, 1);
+    p.per = (n + p.blocks - 1) / p.blocks;
+    return p;
+  }
+
+  /// Runs body(begin, end) over a blocked decomposition of [lo, hi) with the
+  /// given plan, blocking until every block finished. The caller executes the
+  /// first block inline and then helps (pop/steal) until the join resolves.
+  /// The first exception thrown by any block is rethrown here after all
+  /// blocks have drained.
+  template <class Body>
+  void run_planned(std::size_t lo, std::size_t hi, const BlockPlan& plan,
+                   const Body& body) {
+    if (lo >= hi) return;
+    if (plan.blocks <= 1) {
+      body(lo, hi);
+      return;
+    }
+    detail::TaskGroup group;
+    detail::Task tasks[detail::kMaxBlocks];
+    std::size_t count = 0;
+    for (std::size_t b = 1; b < plan.blocks; ++b) {
+      const std::size_t begin = lo + b * plan.per;
+      const std::size_t end = std::min(hi, begin + plan.per);
+      if (begin >= end) continue;
+      tasks[count].run = [](const void* ctx, std::size_t s, std::size_t e) {
+        (*static_cast<const Body*>(ctx))(s, e);
+      };
+      tasks[count].ctx = &body;
+      tasks[count].begin = begin;
+      tasks[count].end = end;
+      tasks[count].group = &group;
+      ++count;
+    }
+    if (count == 0) {  // degenerate plan: everything landed in block 0
+      run_inline(group, [&] { body(lo, hi); });
+      if (group.error) std::rethrow_exception(group.error);
+      return;
+    }
+    group.pending.store(count, std::memory_order_relaxed);
+    submit(tasks, count);
+    run_inline(group, [&] { body(lo, std::min(hi, lo + plan.per)); });
+    help_until(group);
+    if (group.error) std::rethrow_exception(group.error);
+  }
+
+  /// run_planned with an automatically derived plan.
+  template <class Body>
+  void run_blocked(std::size_t lo, std::size_t hi, std::size_t grain,
+                   const Body& body) {
+    run_planned(lo, hi, plan_blocks(lo, hi, grain), body);
+  }
+
+  /// Per-index convenience wrapper (kept for the seed API); f(i) for every i
+  /// in [lo, hi).
   void for_each_chunk(std::size_t lo, std::size_t hi,
-                      const std::function<void(std::size_t)>& f);
+                      const std::function<void(std::size_t)>& f) {
+    run_blocked(lo, hi, 1, [&f](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) f(i);
+    });
+  }
 
   /// Process-wide pool; nullptr until configure() is called.
   static ThreadPool* global();
@@ -39,18 +165,41 @@ class ThreadPool {
   static void configure(std::size_t num_threads);
 
  private:
-  struct Task {
-    std::function<void()> fn;
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<detail::Task> tasks;
   };
-  void worker_loop();
+
+  // Runs the caller's inline block through the same fault-injection +
+  // exception capture path as stolen tasks (but without touching the latch —
+  // the inline block was never queued).
+  template <class Fn>
+  void run_inline(detail::TaskGroup& group, const Fn& fn) {
+    try {
+      maybe_inject_fault();
+      fn();
+    } catch (...) {
+      group.record_exception();
+    }
+  }
+
+  static void maybe_inject_fault();
+
+  void submit(const detail::Task* tasks, std::size_t count);
+  void help_until(detail::TaskGroup& group);
+  void execute(const detail::Task& t);
+  bool try_get_task(std::size_t self, detail::Task& out);
+  void worker_loop(std::size_t id);
+  [[nodiscard]] std::size_t slot_for_this_thread() const;
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  // Slot 0 belongs to external callers; slots 1..W to the workers.
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::uint64_t wake_epoch_ = 0;  // guarded by sleep_mu_
+  bool stop_ = false;             // guarded by sleep_mu_
 };
 
 }  // namespace pmcf::par

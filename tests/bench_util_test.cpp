@@ -1,0 +1,55 @@
+// Unit tests for the bench helpers (log-log slope fitting used by the
+// EXPERIMENTS.md shape checks).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace pmcf::bench {
+namespace {
+
+TEST(FitExponentTest, RecoversPowerLawSlope) {
+  // y = 3 x^2.5 exactly: the log-log fit must return 2.5 regardless of the
+  // constant factor.
+  std::vector<double> xs{2, 4, 8, 16, 32, 64};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(3.0 * std::pow(x, 2.5));
+  EXPECT_NEAR(fit_exponent(xs, ys), 2.5, 1e-9);
+}
+
+TEST(FitExponentTest, LinearDataGivesSlopeOne) {
+  std::vector<double> xs{1, 10, 100, 1000};
+  std::vector<double> ys{5, 50, 500, 5000};
+  EXPECT_NEAR(fit_exponent(xs, ys), 1.0, 1e-9);
+}
+
+TEST(FitExponentTest, ConstantDataGivesSlopeZero) {
+  std::vector<double> xs{1, 2, 4, 8};
+  std::vector<double> ys{7, 7, 7, 7};
+  EXPECT_NEAR(fit_exponent(xs, ys), 0.0, 1e-9);
+}
+
+TEST(FitExponentTest, DegenerateSingleXIsZero) {
+  // All x equal: the least-squares denominator vanishes; the helper reports 0
+  // instead of dividing by zero.
+  std::vector<double> xs{3, 3, 3};
+  std::vector<double> ys{1, 2, 4};
+  EXPECT_EQ(fit_exponent(xs, ys), 0.0);
+}
+
+TEST(FitExponentTest, NoisyDataStaysNearTrueSlope) {
+  std::vector<double> xs{2, 4, 8, 16, 32, 64, 128};
+  std::vector<double> ys;
+  double sign = 1.0;
+  for (const double x : xs) {
+    ys.push_back(std::pow(x, 1.5) * (1.0 + sign * 0.05));
+    sign = -sign;
+  }
+  EXPECT_NEAR(fit_exponent(xs, ys), 1.5, 0.1);
+}
+
+}  // namespace
+}  // namespace pmcf::bench

@@ -139,6 +139,57 @@ TEST(ThreadPoolTest, ForEachChunkPropagatesWorkerException) {
   Tracker::instance().set_enabled(true);
 }
 
+TEST(ThreadPoolTest, NestedForEachChunkDoesNotDeadlock) {
+  // Regression: the seed pool shared one in_flight_ counter across all
+  // for_each_chunk calls, so a nested call from inside a worker task could
+  // observe the outer call's tasks and miscount its own join. Per-call
+  // TaskGroup latches + help-first joining make nesting safe.
+  Tracker::instance().set_enabled(false);
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 32);
+  for (auto& h : hits) h = 0;
+  pool.for_each_chunk(0, 64, [&](std::size_t outer) {
+    pool.for_each_chunk(0, 32, [&](std::size_t inner) { hits[outer * 32 + inner]++; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  Tracker::instance().set_enabled(true);
+}
+
+TEST(ThreadPoolTest, ConcurrentForEachChunkCallsAreIndependent) {
+  // Two external threads forking on the same pool at once: each call joins
+  // exactly its own blocks (per-call latch), so both ranges are covered once.
+  Tracker::instance().set_enabled(false);
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(997), b(1013);
+  for (auto& h : a) h = 0;
+  for (auto& h : b) h = 0;
+  std::thread t1([&] { pool.for_each_chunk(0, a.size(), [&](std::size_t i) { a[i]++; }); });
+  std::thread t2([&] { pool.for_each_chunk(0, b.size(), [&](std::size_t i) { b[i]++; }); });
+  t1.join();
+  t2.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 1);
+  for (auto& h : b) EXPECT_EQ(h.load(), 1);
+  Tracker::instance().set_enabled(true);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughNestedForks) {
+  Tracker::instance().set_enabled(false);
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each_chunk(0, 16,
+                                   [&](std::size_t outer) {
+                                     pool.for_each_chunk(0, 16, [&](std::size_t inner) {
+                                       if (outer == 7 && inner == 11)
+                                         throw std::runtime_error("nested boom");
+                                     });
+                                   }),
+               std::runtime_error);
+  // Still usable afterwards.
+  std::atomic<int> n{0};
+  pool.for_each_chunk(0, 100, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 100);
+  Tracker::instance().set_enabled(true);
+}
+
 TEST(ThreadPoolTest, GlobalConfigure) {
   ThreadPool::configure(3);
   ASSERT_NE(ThreadPool::global(), nullptr);
