@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/solver_context.hpp"
 #include "ds/dual_maintenance.hpp"
 #include "graph/generators.hpp"
 #include "parallel/rng.hpp"
@@ -23,7 +24,7 @@ void BM_DualAdds(benchmark::State& state) {
   const int adds = 20;
   std::size_t total_changed = 0;
   bench::run_instrumented(state, [&] {
-    ds::DualMaintenance dm(g, linalg::Vec(m, 0.0), linalg::Vec(m, 1.0), {.eps = 0.2});
+    ds::DualMaintenance dm(pmcf::core::default_context(), g, linalg::Vec(m, 0.0), linalg::Vec(m, 1.0), {.eps = 0.2});
     for (int t = 0; t < adds; ++t) {
       linalg::Vec h(static_cast<std::size_t>(n), 0.0);
       for (int k = 0; k < 3; ++k)

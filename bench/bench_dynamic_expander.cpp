@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/solver_context.hpp"
 #include "expander/dynamic_decomp.hpp"
 #include "graph/generators.hpp"
 #include "parallel/rng.hpp"
@@ -22,7 +23,7 @@ void BM_ChurnUpdates(benchmark::State& state) {
 
   std::uint64_t updates = 0;
   bench::run_instrumented(state, [&] {
-    DynamicExpanderDecomposition dec(n, {.phi = 0.1});
+    DynamicExpanderDecomposition dec(pmcf::core::default_context(), n, {.phi = 0.1});
     std::vector<DynamicExpanderDecomposition::EdgeSpec> edges;
     for (const auto e : g.live_edges()) {
       const auto ep = g.endpoints(e);

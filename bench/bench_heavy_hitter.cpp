@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/solver_context.hpp"
 #include "ds/heavy_hitter.hpp"
 #include "graph/generators.hpp"
 #include "parallel/rng.hpp"
@@ -20,7 +21,7 @@ void BM_HeavyQuery(benchmark::State& state) {
   const auto g = graph::random_flow_network(n, density * n, 4, 4, rng);
   linalg::Vec w(static_cast<std::size_t>(g.num_arcs()));
   for (auto& x : w) x = 0.5 + rng.next_double();
-  ds::HeavyHitter hh(g, w);
+  ds::HeavyHitter hh(pmcf::core::default_context(), g, w);
   // Localized potential: a few heavy rows regardless of m.
   linalg::Vec h(static_cast<std::size_t>(n), 0.0);
   h[1] = 3.0;
@@ -52,7 +53,7 @@ void BM_Scale(benchmark::State& state) {
   par::Rng rng(29);
   const auto g = graph::random_flow_network(n, 8 * n, 4, 4, rng);
   linalg::Vec w(static_cast<std::size_t>(g.num_arcs()), 1.0);
-  ds::HeavyHitter hh(g, w);
+  ds::HeavyHitter hh(pmcf::core::default_context(), g, w);
   bench::run_instrumented(state, [&] {
     // Move 16 rows between weight buckets.
     std::vector<std::size_t> idx;

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/solver_context.hpp"
 #include "ds/lewis_maintenance.hpp"
 #include "graph/generators.hpp"
 #include "linalg/incidence.hpp"
@@ -27,7 +28,7 @@ void BM_LewisMaintenance(benchmark::State& state) {
   bench::run_instrumented(state, [&] {
     ds::LewisMaintenanceOptions opts;
     opts.leverage.leverage.sketch_dim = 8;
-    ds::LewisMaintenance lm(a, w, linalg::constant(a.rows(), static_cast<double>(n) / a.rows()),
+    ds::LewisMaintenance lm(pmcf::core::default_context(), a, w, linalg::constant(a.rows(), static_cast<double>(n) / a.rows()),
                             opts);
     for (int t = 0; t < queries; ++t) {
       // Slow drift on a few entries, then query.

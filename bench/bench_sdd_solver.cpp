@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/solver_context.hpp"
 #include "graph/generators.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/laplacian.hpp"
@@ -34,7 +35,7 @@ void BM_SddSolve(benchmark::State& state) {
   std::int32_t iters = 0;
   pmcf::bench::run_instrumented(state, [&] {
     const linalg::Csr lap = linalg::reduced_laplacian(g, d, a.dropped());
-    const auto res = linalg::solve_sdd(lap, b, {.tolerance = 1e-8, .max_iters = 2000});
+    const auto res = linalg::solve_sdd(pmcf::core::default_context(), lap, b, {.tolerance = 1e-8, .max_iters = 2000});
     iters = res.iterations;
     benchmark::DoNotOptimize(res.x.data());
   });

@@ -5,8 +5,8 @@
 // runtime: every workload is first run once in instrumented mode to capture
 // the model-level work/depth, then timed with the tracker disabled across a
 // sweep of thread-pool sizes. The output is a single JSON document
-// (schema "pmcf-perf-trajectory-v1", checked in as BENCH_pr2.json) so perf
-// trajectories can be diffed across PRs.
+// (schema "pmcf-perf-trajectory-v1", checked in as BENCH_pr<N>.json per PR)
+// so perf trajectories can be diffed across PRs.
 //
 // Usage:
 //   perf_trajectory [--out=FILE] [--threads=1,2,8] [--scale=tiny|full]
@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -32,7 +33,9 @@
 #include <vector>
 
 #include "expander/unit_flow.hpp"
+#include "core/solver_context.hpp"
 #include "graph/generators.hpp"
+#include "mcf/engine.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/laplacian.hpp"
 #include "linalg/sdd_solver.hpp"
@@ -49,7 +52,7 @@ using namespace pmcf;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
-  std::string out = "BENCH_pr2.json";
+  std::string out = "BENCH_pr3.json";
   std::vector<int> threads = {1, 2, 8};
   bool tiny = false;
   int reps = 5;
@@ -133,7 +136,7 @@ Workload make_sdd_solver(bool tiny) {
   const auto dropped = a.dropped();
   return {"sdd_solver_cg", "component", [g, d, b, dropped] {
             const linalg::Csr lap = linalg::reduced_laplacian(*g, *d, dropped);
-            const auto res = linalg::solve_sdd(lap, *b, {.tolerance = 1e-8, .max_iters = 2000});
+            const auto res = linalg::solve_sdd(pmcf::core::default_context(), lap, *b, {.tolerance = 1e-8, .max_iters = 2000});
             if (res.x.empty()) std::abort();
           }};
 }
@@ -253,6 +256,42 @@ Workload make_spmv(bool tiny) {
           }};
 }
 
+Workload make_engine_batch(bool tiny) {
+  // Serving scenario: many independent small instances fanned across the
+  // pool via Engine::solve_batch, one solve per task. Each solve runs under
+  // its own instrumented SolverContext (single-threaded inside), so scaling
+  // comes purely from solving instances concurrently — the throughput shape
+  // a batch-serving deployment sees.
+  const std::size_t batch_size = tiny ? 8 : 24;
+  const auto n = static_cast<graph::Vertex>(tiny ? 10 : 14);
+  auto graphs = std::make_shared<std::deque<graph::Digraph>>();
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    par::Rng rng(9000 + 31 * i);
+    graphs->push_back(graph::random_flow_network(n, 4 * n, 6, 6, rng));
+  }
+  auto batch = std::make_shared<std::vector<Instance>>();
+  for (const auto& g : *graphs)
+    batch->push_back(Instance::max_flow(g, 0, g.num_vertices() - 1));
+  return {"engine_solve_batch", "serving", [graphs, batch] {
+            const Engine engine({.seed = 4242});
+            mcf::SolveOptions opts;
+            opts.ipm.mu_end = 1e-3;
+            opts.ipm.leverage.sketch_dim = 8;
+            const auto results = engine.solve_batch(*batch, opts);
+            // A batch of independent solves is PRAM work = sum, depth = max;
+            // aggregate the per-solve trackers into the ambient one so the
+            // instrumented pass reports the batch-level counters.
+            std::uint64_t work = 0;
+            std::uint64_t depth = 0;
+            for (const auto& r : results) {
+              if (r.result.status != SolveStatus::kOk) std::abort();
+              work += r.pram.work;
+              depth = std::max(depth, r.pram.depth);
+            }
+            par::charge(work, depth);
+          }};
+}
+
 // ---------------------------------------------------------------------------
 
 std::string json_escape(const std::string& s) {
@@ -362,6 +401,7 @@ int main(int argc, char** argv) {
   workloads.push_back(make_pack(opt.tiny));
   workloads.push_back(make_sort(opt.tiny));
   workloads.push_back(make_spmv(opt.tiny));
+  workloads.push_back(make_engine_batch(opt.tiny));
 
   std::vector<WorkloadReport> reports;
   for (const auto& w : workloads) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "expander/dynamic_decomp.hpp"
+#include "core/solver_context.hpp"
 #include "graph/generators.hpp"
 #include "parallel/rng.hpp"
 
@@ -16,7 +17,7 @@ int main() {
   const graph::Vertex n = 120;
   auto g = graph::random_regular_expander(n, 4, rng);
 
-  DynamicExpanderDecomposition dec(n, {.phi = 0.1});
+  DynamicExpanderDecomposition dec(pmcf::core::default_context(), n, {.phi = 0.1});
   std::vector<DynamicExpanderDecomposition::EdgeSpec> edges;
   for (const auto e : g.live_edges()) {
     const auto ep = g.endpoints(e);

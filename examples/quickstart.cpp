@@ -1,4 +1,4 @@
-// Quickstart: exact min-cost max-flow with the parallel IPM solver.
+// Quickstart: exact min-cost max-flow through the pmcf::Engine facade.
 //
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/example_quickstart
@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "graph/digraph.hpp"
-#include "mcf/min_cost_flow.hpp"
+#include "mcf/engine.hpp"
 #include "parallel/work_depth.hpp"
 
 int main() {
@@ -23,8 +23,11 @@ int main() {
   g.add_arc(4, 3, 4, 1);
   g.add_arc(4, 5, 10, 3);
 
-  par::Tracker::instance().reset();
-  const auto res = mcf::min_cost_max_flow(g, /*s=*/0, /*t=*/5);
+  // One Engine can serve any number of threads; each solve() runs under a
+  // private SolverContext, so the returned stats and PRAM counters cover
+  // exactly this solve (DESIGN.md §9).
+  const Engine engine;
+  const auto [res, pram] = engine.solve(Instance::max_flow(g, /*s=*/0, /*t=*/5));
 
   std::printf("max flow value : %lld\n", static_cast<long long>(res.flow_value));
   std::printf("min cost       : %lld\n", static_cast<long long>(res.cost));
@@ -36,6 +39,6 @@ int main() {
   std::printf("per-arc flows  :");
   for (std::size_t e = 0; e < res.arc_flow.size(); ++e)
     std::printf(" %lld", static_cast<long long>(res.arc_flow[e]));
-  std::printf("\nPRAM cost      : %s\n", par::to_string(par::snapshot()).c_str());
+  std::printf("\nPRAM cost      : %s\n", par::to_string(pram).c_str());
   return 0;
 }

@@ -1,0 +1,17 @@
+#include "core/exec_bindings.hpp"
+
+namespace pmcf::core {
+
+namespace {
+thread_local ExecBindings tls_bindings;
+}  // namespace
+
+const ExecBindings& current_bindings() { return tls_bindings; }
+
+ExecBindings exchange_bindings(const ExecBindings& next) {
+  ExecBindings prev = tls_bindings;
+  tls_bindings = next;
+  return prev;
+}
+
+}  // namespace pmcf::core

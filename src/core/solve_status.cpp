@@ -1,6 +1,7 @@
 #include "core/solve_status.hpp"
 
-#include <atomic>
+#include "core/exec_bindings.hpp"
+#include "core/solver_context.hpp"
 
 namespace pmcf {
 
@@ -31,20 +32,13 @@ const char* to_string(RecoveryEvent e) {
   return "Unknown";
 }
 
-namespace {
-std::atomic<std::uint64_t>
-    g_recovery_counts[static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents)];
-}  // namespace
-
 void note_recovery(RecoveryEvent e) {
-  g_recovery_counts[static_cast<std::size_t>(e)].fetch_add(1, std::memory_order_relaxed);
+  RecoveryLog* log = core::current_bindings().recovery;
+  (log != nullptr ? *log : core::default_context().recovery()).note(e);
 }
 
 RecoverySnapshot recovery_snapshot() {
-  RecoverySnapshot s;
-  for (std::size_t i = 0; i < static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents); ++i)
-    s.counts[i] = g_recovery_counts[i].load(std::memory_order_relaxed);
-  return s;
+  return core::default_context().recovery().snapshot();
 }
 
 }  // namespace pmcf

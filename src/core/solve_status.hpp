@@ -10,6 +10,7 @@
 // kCombinatorial and therefore always returns either a provably correct
 // integral flow or a typed failure (DESIGN.md "Failure model and recovery").
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -63,9 +64,12 @@ class ComponentError : public std::runtime_error {
 // Recovery-event counters.
 //
 // Recovery policies fire deep inside linalg/ds components that have no stats
-// channel back to the caller; a process-global registry records each event so
-// SolveStats can report per-solve deltas (snapshot before/after). Counters
-// are monotone and thread-safe.
+// channel back to the caller; each SolverContext owns a RecoveryLog so a
+// solve's telemetry is its own (concurrent solves never see each other's
+// events). The `note_recovery` free function routes to the current thread's
+// bound log (core/exec_bindings.hpp) and falls back to the default context's
+// log, which backs the legacy process-wide snapshot API. Counters are
+// monotone and thread-safe.
 
 enum class RecoveryEvent : std::int8_t {
   kCgToleranceEscalation = 0,  ///< CG retried with loosened tolerance
@@ -80,7 +84,8 @@ enum class RecoveryEvent : std::int8_t {
 /// Stable name (e.g. "CgToleranceEscalation").
 const char* to_string(RecoveryEvent e);
 
-/// Record one occurrence of `e`.
+/// Record one occurrence of `e` against the current thread's bound recovery
+/// log (the active SolverContext's), falling back to the default context.
 void note_recovery(RecoveryEvent e);
 
 /// Monotone per-event totals since process start.
@@ -104,6 +109,32 @@ struct RecoverySnapshot {
   }
 };
 
+/// Default context's totals (legacy process-wide view; per-solve telemetry
+/// reads its own context's log instead).
 RecoverySnapshot recovery_snapshot();
+
+/// Per-context recovery-event sink. Thread-safe, monotone counters; one per
+/// SolverContext so per-solve deltas are exact under concurrency.
+class RecoveryLog {
+ public:
+  void note(RecoveryEvent e) {
+    counts_[static_cast<std::size_t>(e)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] RecoverySnapshot snapshot() const {
+    RecoverySnapshot s;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents); ++i)
+      s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t of(RecoveryEvent e) const {
+    return counts_[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t>
+      counts_[static_cast<std::size_t>(RecoveryEvent::kNumRecoveryEvents)] = {};
+};
 
 }  // namespace pmcf

@@ -1,0 +1,10 @@
+#include "core/solver_context.hpp"
+
+namespace pmcf::core {
+
+SolverContext& default_context() {
+  static SolverContext ctx;
+  return ctx;
+}
+
+}  // namespace pmcf::core

@@ -1,0 +1,115 @@
+#pragma once
+// Per-solve execution context (DESIGN.md §9).
+//
+// A SolverContext bundles everything that used to be process-global state:
+//
+//   tracker   — PRAM work/depth accounting for this solve only
+//   rng       — the solve's master randomness stream (split per component)
+//   fault     — deterministic fault-injection points scoped to this solve
+//   recovery  — recovery-event telemetry sink (no cross-solve pollution)
+//   pool      — which work-stealing pool wall-clock primitives may use
+//
+// Every layer of the solver (mcf → ipm → linalg/ds/expander) takes a
+// SolverContext& explicitly; the free-function instrumentation layer
+// (par::charge, note_recovery, injection points) resolves through the
+// thread-local bindings a ContextScope installs, so two solves in the same
+// process never corrupt each other's work/depth numbers or telemetry. The
+// legacy singletons (Tracker::instance, FaultInjector::instance,
+// recovery_snapshot) are thin shims over `default_context()` kept for tests
+// and benches; library code must not call them.
+
+#include <cstdint>
+
+#include "core/exec_bindings.hpp"
+#include "core/solve_status.hpp"
+#include "parallel/fault_injection.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace pmcf::core {
+
+struct ContextOptions {
+  std::uint64_t seed = 0x5eedf00dULL;  ///< master RNG stream seed
+  /// PRAM accounting on: execution is single-threaded and deterministic.
+  /// Off: wall-clock mode, parallel primitives may use `pool`.
+  bool instrument = true;
+  /// Wall-clock pool. nullptr + use_global_pool → whatever
+  /// ThreadPool::configure installed; nullptr + !use_global_pool → always
+  /// sequential (useful for pinning a solve to the calling thread).
+  par::ThreadPool* pool = nullptr;
+  bool use_global_pool = true;
+};
+
+class SolverContext {
+ public:
+  explicit SolverContext(ContextOptions opts = {})
+      : opts_(opts), tracker_(opts.instrument), rng_(opts.seed) {}
+
+  // Bindings hold pointers into this object; it must stay put.
+  SolverContext(const SolverContext&) = delete;
+  SolverContext& operator=(const SolverContext&) = delete;
+
+  [[nodiscard]] par::Tracker& tracker() { return tracker_; }
+  [[nodiscard]] const par::Tracker& tracker() const { return tracker_; }
+  [[nodiscard]] par::FaultInjector& fault() { return fault_; }
+  [[nodiscard]] RecoveryLog& recovery() { return recovery_; }
+  [[nodiscard]] const RecoveryLog& recovery() const { return recovery_; }
+
+  /// The solve's master randomness stream.
+  [[nodiscard]] par::Rng& rng() { return rng_; }
+  /// Derive an independent stream for a sub-component (advances the master).
+  [[nodiscard]] par::Rng fork_rng() { return rng_.split(); }
+  [[nodiscard]] std::uint64_t seed() const { return opts_.seed; }
+
+  [[nodiscard]] bool instrumented() const { return tracker_.enabled(); }
+
+  /// The pool this context is bound to, regardless of mode.
+  [[nodiscard]] par::ThreadPool* pool() const {
+    if (opts_.pool != nullptr) return opts_.pool;
+    return opts_.use_global_pool ? par::ThreadPool::global() : nullptr;
+  }
+
+  /// Pool for wall-clock primitives: nullptr while instrumenting (PRAM mode
+  /// is single-threaded), else `pool()`. The context-level twin of
+  /// par::current_wall_pool().
+  [[nodiscard]] par::ThreadPool* wall_pool() const {
+    return tracker_.enabled() ? nullptr : pool();
+  }
+
+  /// The thread-local slots a ContextScope installs for this context.
+  [[nodiscard]] ExecBindings bindings() {
+    ExecBindings b;
+    b.tracker = &tracker_;
+    b.injector = &fault_;
+    b.recovery = &recovery_;
+    b.pool = opts_.pool != nullptr ? opts_.pool
+                                   : (opts_.use_global_pool ? par::ThreadPool::global() : nullptr);
+    b.pool_bound = true;
+    return b;
+  }
+
+ private:
+  ContextOptions opts_;
+  par::Tracker tracker_;
+  par::FaultInjector fault_;
+  RecoveryLog recovery_;
+  par::Rng rng_;
+};
+
+/// Installs `ctx` as the calling thread's current context for the scope
+/// (RAII; nests correctly across the thread pool's task boundaries).
+class ContextScope {
+ public:
+  explicit ContextScope(SolverContext& ctx) : scope_(ctx.bindings()) {}
+
+ private:
+  BindingsScope scope_;
+};
+
+/// Process-wide default context: backs the legacy singleton accessors and
+/// any solve entered without an explicit context. Shared — concurrent solves
+/// must bring their own SolverContext instead.
+SolverContext& default_context();
+
+}  // namespace pmcf::core

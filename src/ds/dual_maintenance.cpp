@@ -11,9 +11,9 @@ namespace {
 using linalg::Vec;
 }
 
-DualMaintenance::DualMaintenance(const graph::Digraph& g, Vec v_init, Vec w,
-                                 DualMaintenanceOptions opts)
-    : g_(&g), a_(g), opts_(opts), w_(std::move(w)) {
+DualMaintenance::DualMaintenance(core::SolverContext& ctx, const graph::Digraph& g, Vec v_init,
+                                 Vec w, DualMaintenanceOptions opts)
+    : ctx_(&ctx), g_(&g), a_(g), opts_(opts), w_(std::move(w)) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
   period_ = opts_.period > 0
                 ? opts_.period
@@ -36,7 +36,7 @@ void DualMaintenance::reinitialize(Vec v_init) {
   // weighted magnitude of 0.2 ε.
   Vec inv_w(w_.size());
   for (std::size_t i = 0; i < w_.size(); ++i) inv_w[i] = w_[i] > 0.0 ? 1.0 / w_[i] : 0.0;
-  hh_ = std::make_unique<HeavyHitter>(*g_, std::move(inv_w), opts_.hh);
+  hh_ = std::make_unique<HeavyHitter>(*ctx_, *g_, std::move(inv_w), opts_.hh);
 }
 
 std::vector<std::size_t> DualMaintenance::verify(const std::vector<std::size_t>& idx) {

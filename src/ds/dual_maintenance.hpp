@@ -28,8 +28,10 @@ struct DualMaintenanceOptions {
 
 class DualMaintenance {
  public:
-  DualMaintenance(const graph::Digraph& g, linalg::Vec v_init, linalg::Vec w,
-                  DualMaintenanceOptions opts = {});
+  /// `ctx` scopes fault injection inside the drift-detection HeavyHitters to
+  /// the owning solve; it must outlive this structure.
+  DualMaintenance(core::SolverContext& ctx, const graph::Digraph& g, linalg::Vec v_init,
+                  linalg::Vec w, DualMaintenanceOptions opts = {});
 
   struct AddResult {
     const linalg::Vec* approx;          ///< pointer to v̄
@@ -52,6 +54,7 @@ class DualMaintenance {
   void reinitialize(linalg::Vec v_init);
   std::vector<std::size_t> verify(const std::vector<std::size_t>& idx);
 
+  core::SolverContext* ctx_;
   const graph::Digraph* g_;
   linalg::IncidenceOp a_;
   DualMaintenanceOptions opts_;

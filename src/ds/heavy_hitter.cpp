@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/solver_context.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -48,13 +49,14 @@ HeavyHitter::Bucket& HeavyHitter::bucket_for(std::int32_t exp) {
   auto opts = opts_.decomp;
   opts.phi = opts_.phi;
   opts.seed = opts_.seed + static_cast<std::uint64_t>(exp + 1024);
-  b.decomp = std::make_unique<DynamicExpanderDecomposition>(g_->num_vertices(), opts);
+  b.decomp = std::make_unique<DynamicExpanderDecomposition>(*ctx_, g_->num_vertices(), opts);
   buckets_.push_back(std::move(b));
   return buckets_.back();
 }
 
-HeavyHitter::HeavyHitter(const graph::Digraph& g, Vec weights, Options opts)
-    : g_(&g), weights_(std::move(weights)), opts_(opts), rng_(opts.seed) {
+HeavyHitter::HeavyHitter(core::SolverContext& ctx, const graph::Digraph& g, Vec weights,
+                         Options opts)
+    : ctx_(&ctx), g_(&g), weights_(std::move(weights)), opts_(opts), rng_(opts.seed) {
   const auto m = static_cast<std::size_t>(g.num_arcs());
   assert(weights_.size() == m);
   row_bucket_.assign(m, kZeroWeight);
@@ -110,7 +112,7 @@ std::vector<std::size_t> HeavyHitter::heavy_query(const Vec& h, double eps) {
   std::vector<std::size_t> out;
   // Injected total false negative: every heavy row goes unreported, exactly
   // the w.h.p. failure mode of Lemma B.1.
-  if (par::FaultInjector::should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
+  if (ctx_->fault().should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
   for (const Bucket& b : buckets_) {
     if (b.count == 0) continue;
     // g_e < 2^{exp+1}, so a heavy row needs |h_u - h_v| >= eps / 2^{exp+1},
@@ -163,7 +165,7 @@ double HeavyHitter::sample_mass(const Vec& h) const {
 std::vector<std::size_t> HeavyHitter::sample(const Vec& h, double big_k) {
   const double mass = sample_mass(h);
   std::vector<std::size_t> out;
-  if (par::FaultInjector::should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
+  if (ctx_->fault().should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
   if (mass <= 0.0) return out;
   const double q = big_k / mass;
   for (const Bucket& b : buckets_) {
@@ -234,7 +236,7 @@ Vec HeavyHitter::probability(const std::vector<std::size_t>& idx, const Vec& h,
 
 std::vector<std::size_t> HeavyHitter::leverage_sample(double k_prime) {
   std::vector<std::size_t> out;
-  if (par::FaultInjector::should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
+  if (ctx_->fault().should_fire(par::FaultKind::kHeavyHitterMiss)) return out;
   const double lg = std::max<double>(par::ceil_log2(static_cast<std::uint64_t>(g_->num_vertices()) + 2), 1);
   for (const Bucket& b : buckets_) {
     if (b.count == 0) continue;

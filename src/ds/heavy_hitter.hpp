@@ -22,6 +22,10 @@
 #include "linalg/vec_ops.hpp"
 #include "parallel/rng.hpp"
 
+namespace pmcf::core {
+class SolverContext;
+}
+
 namespace pmcf::ds {
 
 /// Options for HeavyHitter.
@@ -36,8 +40,10 @@ class HeavyHitter {
   using Options = HeavyHitterOptions;
 
   /// Rows indexed by arc id of `g` (held by reference; topology must outlive
-  /// this object). `weights` = the diagonal g (non-negative).
-  HeavyHitter(const graph::Digraph& g, linalg::Vec weights, Options opts = {});
+  /// this object). `weights` = the diagonal g (non-negative). `ctx` scopes
+  /// fault injection (kHeavyHitterMiss) to the owning solve.
+  HeavyHitter(core::SolverContext& ctx, const graph::Digraph& g, linalg::Vec weights,
+              Options opts = {});
 
   /// weights[idx[k]] <- vals[k]; moves rows between weight buckets.
   void scale(const std::vector<std::size_t>& idx, const linalg::Vec& vals);
@@ -77,6 +83,7 @@ class HeavyHitter {
   [[nodiscard]] double vertex_sample_prob(const linalg::Vec& h, double big_k, std::size_t arc,
                                           double mass) const;
 
+  core::SolverContext* ctx_;
   const graph::Digraph* g_;
   linalg::Vec weights_;
   Options opts_;

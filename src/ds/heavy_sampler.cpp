@@ -11,11 +11,11 @@ namespace {
 using linalg::Vec;
 }
 
-HeavySampler::HeavySampler(const graph::Digraph& g, Vec weights, Vec tau,
-                           HeavySamplerOptions opts)
+HeavySampler::HeavySampler(core::SolverContext& ctx, const graph::Digraph& g, Vec weights,
+                           Vec tau, HeavySamplerOptions opts)
     : g_(&g),
       opts_(opts),
-      hh_(g, std::move(weights), [&] {
+      hh_(ctx, g, std::move(weights), [&] {
         auto h = opts.hh;
         h.seed = opts.seed + 1;
         return h;

@@ -34,8 +34,10 @@ class HeavySampler {
     double inv_prob;  ///< R_{i,i} = 1/p_i
   };
 
-  HeavySampler(const graph::Digraph& g, linalg::Vec weights, linalg::Vec tau,
-               HeavySamplerOptions opts = {});
+  /// `ctx` scopes fault injection inside the composed HeavyHitter to the
+  /// owning solve; it must outlive this structure.
+  HeavySampler(core::SolverContext& ctx, const graph::Digraph& g, linalg::Vec weights,
+               linalg::Vec tau, HeavySamplerOptions opts = {});
 
   /// g_i <- a_i, tau_i <- b_i for i in idx.
   void scale(const std::vector<std::size_t>& idx, const linalg::Vec& a, const linalg::Vec& b);

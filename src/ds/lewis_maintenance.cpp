@@ -14,9 +14,9 @@ namespace {
 using linalg::Vec;
 }
 
-LeverageMaintenance::LeverageMaintenance(const linalg::IncidenceOp& a, Vec v, Vec z,
-                                         LeverageMaintenanceOptions opts)
-    : a_(&a), opts_(opts), v_(std::move(v)), z_(std::move(z)), rng_(opts.seed) {
+LeverageMaintenance::LeverageMaintenance(core::SolverContext& ctx, const linalg::IncidenceOp& a,
+                                         Vec v, Vec z, LeverageMaintenanceOptions opts)
+    : ctx_(&ctx), a_(&a), opts_(opts), v_(std::move(v)), z_(std::move(z)), rng_(opts.seed) {
   period_ = opts_.period > 0
                 ? opts_.period
                 : static_cast<std::int32_t>(std::ceil(std::sqrt(static_cast<double>(a.cols()))));
@@ -38,7 +38,7 @@ void LeverageMaintenance::rebuild() {
     for (std::size_t e = 0; e < m; ++e) jr[e] = rng_.rademacher() * inv_sqrt_k;
     Vec rhs = a_->apply_transpose(linalg::mul(vn, jr));
     rhs[static_cast<std::size_t>(a_->dropped())] = 0.0;
-    const auto sol = linalg::solve_sdd(lap, rhs, opts_.leverage.solve);
+    const auto sol = linalg::solve_sdd(*ctx_, lap, rhs, opts_.leverage.solve);
     // Cache A y_r scaled back: projections are in normalized units, matching
     // estimate_entry's use of v_i / vmax.
     projections_[r] = a_->apply(sol.x);
@@ -102,15 +102,15 @@ LeverageMaintenance::QueryResult LeverageMaintenance::query() {
   return res;
 }
 
-LewisMaintenance::LewisMaintenance(const linalg::IncidenceOp& a, Vec g, Vec z,
-                                   LewisMaintenanceOptions opts)
+LewisMaintenance::LewisMaintenance(core::SolverContext& ctx, const linalg::IncidenceOp& a, Vec g,
+                                   Vec z, LewisMaintenanceOptions opts)
     : a_(&a),
       opts_(opts),
       expo_(0.5 - 1.0 / (opts.p > 0.0 ? opts.p : linalg::lewis_p(a.rows(), a.cols()))),
       g_(std::move(g)),
       z_(std::move(z)),
       tau_bar_(a.rows(), 1.0),
-      leverage_(a,
+      leverage_(ctx, a,
                 [&] {
                   // Initial scaling uses τ = 1: v = τ^{1/2-1/p} g = g.
                   return g_;

@@ -36,8 +36,10 @@ struct LeverageMaintenanceOptions {
 
 class LeverageMaintenance {
  public:
-  LeverageMaintenance(const linalg::IncidenceOp& a, linalg::Vec v, linalg::Vec z,
-                      LeverageMaintenanceOptions opts = {});
+  /// `ctx` scopes the periodic-rebuild SDD solves (fault injection + PRAM
+  /// accounting) to the owning solve; it must outlive this structure.
+  LeverageMaintenance(core::SolverContext& ctx, const linalg::IncidenceOp& a, linalg::Vec v,
+                      linalg::Vec z, LeverageMaintenanceOptions opts = {});
 
   /// v_i <- c_k for i = idx[k].
   void scale(const std::vector<std::size_t>& idx, const linalg::Vec& c);
@@ -56,6 +58,7 @@ class LeverageMaintenance {
   void rebuild();
   [[nodiscard]] double estimate_entry(std::size_t i) const;
 
+  core::SolverContext* ctx_;
   const linalg::IncidenceOp* a_;
   LeverageMaintenanceOptions opts_;
   std::int32_t period_;
@@ -79,8 +82,9 @@ struct LewisMaintenanceOptions {
 /// Scale updates (warm-started fixed point over the leverage structure).
 class LewisMaintenance {
  public:
-  LewisMaintenance(const linalg::IncidenceOp& a, linalg::Vec g, linalg::Vec z,
-                   LewisMaintenanceOptions opts = {});
+  /// `ctx` threads through to the inner LeverageMaintenance.
+  LewisMaintenance(core::SolverContext& ctx, const linalg::IncidenceOp& a, linalg::Vec g,
+                   linalg::Vec z, LewisMaintenanceOptions opts = {});
 
   void scale(const std::vector<std::size_t>& idx, const linalg::Vec& b);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/solve_status.hpp"
+#include "core/solver_context.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -15,8 +16,9 @@ using graph::UndirectedGraph;
 using graph::Vertex;
 }  // namespace
 
-DynamicExpanderDecomposition::DynamicExpanderDecomposition(Vertex n, Options opts)
-    : n_(n), opts_(opts), rng_(opts.seed) {
+DynamicExpanderDecomposition::DynamicExpanderDecomposition(core::SolverContext& ctx, Vertex n,
+                                                           Options opts)
+    : ctx_(&ctx), n_(n), opts_(opts), rng_(opts.seed) {
   opts_.engine.phi = opts_.phi;
   opts_.static_opts.phi = opts_.phi;
 }
@@ -26,7 +28,7 @@ void DynamicExpanderDecomposition::insert(const std::vector<EdgeSpec>& edges) {
   // Injected Lemma 3.1 failure: the decomposition would hand out clusters
   // that are not phi-expanders. Surfaced as a typed error so owners can
   // rebuild with a fresh seed rather than silently consuming bad clusters.
-  if (par::FaultInjector::should_fire(par::FaultKind::kExpanderViolation))
+  if (ctx_->fault().should_fire(par::FaultKind::kExpanderViolation))
     throw ComponentError(SolveStatus::kSketchFailure, "expander::dynamic_decomp",
                          "injected expander certificate violation");
   // Find the smallest level i whose capacity 2^i fits the new edges plus

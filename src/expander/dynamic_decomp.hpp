@@ -25,6 +25,10 @@
 #include "graph/ungraph.hpp"
 #include "parallel/rng.hpp"
 
+namespace pmcf::core {
+class SolverContext;
+}
+
 namespace pmcf::expander {
 
 /// Options for DynamicExpanderDecomposition.
@@ -74,7 +78,9 @@ class DynamicExpanderDecomposition {
     std::vector<ExtId> ext_ids_;  // local edge slot -> external id
   };
 
-  explicit DynamicExpanderDecomposition(graph::Vertex n, Options opts = {});
+  /// `ctx` scopes fault injection (kExpanderViolation) to the owning solve;
+  /// it must outlive this structure.
+  DynamicExpanderDecomposition(core::SolverContext& ctx, graph::Vertex n, Options opts = {});
 
   void insert(const std::vector<EdgeSpec>& edges);
   void erase(const std::vector<ExtId>& ids);
@@ -112,6 +118,7 @@ class DynamicExpanderDecomposition {
 
   void place_into_level(std::int32_t level, std::vector<EdgeSpec> edges);
 
+  core::SolverContext* ctx_;
   graph::Vertex n_;
   Options opts_;
   par::Rng rng_;

@@ -26,7 +26,8 @@ double initial_mu(const IpmLp& lp, double target_centrality) {
   return max_cu * static_cast<double>(m) / (2.0 * std::sqrt(2.0) * n * target_centrality) + 1.0;
 }
 
-IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOptions& opts) {
+IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y0, double mu0,
+                        const IpmOptions& opts) {
   const graph::Digraph& g = *lp.graph;
   const linalg::IncidenceOp a(g, lp.dropped);
   const std::size_t m = a.rows();
@@ -68,7 +69,7 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
       Vec sigma;
       try {
         sigma = opts.exact_leverage ? linalg::leverage_scores_exact(a, scaled)
-                                    : linalg::leverage_scores(a, scaled, rng, opts.leverage);
+                                    : linalg::leverage_scores(ctx, a, scaled, rng, opts.leverage);
       } catch (const ComponentError& err) {
         res.status = err.status();
         res.detail = err.what();
@@ -123,7 +124,7 @@ IpmResult reference_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0, const IpmOp
     // with a typed status instead of stepping on a garbage direction.
     linalg::ResilientSolveOptions rso;
     rso.base = opts.solve;
-    auto sol = linalg::solve_sdd_resilient(lap, rhsn, rso);
+    auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso);
     res.cg_escalations += sol.tolerance_escalations;
     res.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
     if (sol.status != SolveStatus::kOk) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/solve_status.hpp"
+#include "core/solver_context.hpp"
 #include "graph/digraph.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/lewis.hpp"
@@ -72,8 +73,11 @@ struct IpmResult {
 /// for y0 = 0 (Definition F.1 approximate centrality).
 double initial_mu(const IpmLp& lp, double target_centrality = 0.1);
 
-/// Follow the central path from (x0, y0, mu0) down to opts.mu_end.
-IpmResult reference_ipm(const IpmLp& lp, linalg::Vec x0, linalg::Vec y0, double mu0,
-                        const IpmOptions& opts = {});
+/// Follow the central path from (x0, y0, mu0) down to opts.mu_end. `ctx`
+/// scopes the Newton-system recovery ladder, sketch retries, and PRAM
+/// accounting to the calling solve; randomness still derives from opts.seed
+/// so results are a function of (lp, x0, y0, mu0, opts) alone.
+IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, linalg::Vec x0, linalg::Vec y0,
+                        double mu0, const IpmOptions& opts = {});
 
 }  // namespace pmcf::ipm

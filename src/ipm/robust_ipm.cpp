@@ -24,8 +24,9 @@ using linalg::Vec;
 /// identical math to reference_ipm's inner step). Uses the resilient solve
 /// ladder; returns a non-Ok status when even the dense fallback failed or
 /// the step direction is non-finite.
-SolveStatus exact_center_step(const IpmLp& lp, const linalg::IncidenceOp& a, Vec& x, Vec& y,
-                              double mu, const Vec& tau, const linalg::SolveOptions& solve,
+SolveStatus exact_center_step(core::SolverContext& ctx, const IpmLp& lp,
+                              const linalg::IncidenceOp& a, Vec& x, Vec& y, double mu,
+                              const Vec& tau, const linalg::SolveOptions& solve,
                               RobustIpmResult& stats) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
@@ -53,7 +54,7 @@ SolveStatus exact_center_step(const IpmLp& lp, const linalg::IncidenceOp& a, Vec
   const linalg::Csr lap = linalg::reduced_laplacian(a.graph(), dn, a.dropped());
   linalg::ResilientSolveOptions rso;
   rso.base = solve;
-  auto sol = linalg::solve_sdd_resilient(lap, rhsn, rso);
+  auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso);
   stats.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
   if (sol.status != SolveStatus::kOk) return SolveStatus::kNumericalFailure;
   sol.x[static_cast<std::size_t>(a.dropped())] = 0.0;
@@ -89,8 +90,8 @@ double centrality_of(const IpmLp& lp, const linalg::IncidenceOp& a, const Vec& x
 
 }  // namespace
 
-RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
-                           const RobustIpmOptions& opts) {
+RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y0,
+                           double mu0, const RobustIpmOptions& opts) {
   const graph::Digraph& g = *lp.graph;
   const linalg::IncidenceOp a(g, lp.dropped);
   const std::size_t m = a.rows();
@@ -130,14 +131,15 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
       {
         const Vec hess = barrier_hess(res.x, lp.cap);
         const Vec v = linalg::map(hess, [](double h) { return 1.0 / std::sqrt(h); });
-        tau = linalg::ipm_lewis_weights(a, v, rng, lw);
+        tau = linalg::ipm_lewis_weights(ctx, a, v, rng, lw);
       }
       // Re-center until the iterate is genuinely close to the path again; the
       // robust steps in between only keep it coarsely centered.
       for (std::int32_t c = 0; c < 30; ++c) {
         res.final_centrality = centrality_of(lp, a, res.x, res.y, res.mu, tau);
         if (res.final_centrality < 0.5) break;
-        const SolveStatus st = exact_center_step(lp, a, res.x, res.y, res.mu, tau, opts.solve, res);
+        const SolveStatus st =
+            exact_center_step(ctx, lp, a, res.x, res.y, res.mu, tau, opts.solve, res);
         if (st != SolveStatus::kOk) {
           res.status = SolveStatus::kNumericalFailure;
           res.detail = "ipm::robust_ipm: exact re-centering step failed";
@@ -184,12 +186,13 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
       Vec dual_weights(m);
       for (std::size_t i = 0; i < m; ++i)
         dual_weights[i] = res.mu * tau[i] * std::sqrt(hess[i]);
-      ds::DualMaintenance dual(g, s_exact, dual_weights, dopts);
+      ds::DualMaintenance dual(ctx, g, s_exact, dual_weights, dopts);
 
       ds::LewisMaintenanceOptions lmo;
       lmo.leverage.leverage.sketch_dim = 8;
       lmo.leverage.seed = opts.seed + 101 + seed_shift;
-      ds::LewisMaintenance lewis(a, g_primal, linalg::constant(m, static_cast<double>(n) / m), lmo);
+      ds::LewisMaintenance lewis(ctx, a, g_primal,
+                                 linalg::constant(m, static_cast<double>(n) / m), lmo);
 
       // Sparsifier sampling + primal sampler share the weights (τ Φ'')^{-1}.
       Vec d_weights(m);
@@ -198,10 +201,10 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
       ds::HeavyHitterOptions hh_opts;
       hh_opts.seed = opts.seed + 202 + seed_shift;
       hh_opts.decomp.static_opts.power_iters = 24;
-      ds::HeavyHitter hh_sparse(g, d_sqrt, hh_opts);
+      ds::HeavyHitter hh_sparse(ctx, g, d_sqrt, hh_opts);
       ds::HeavySamplerOptions hs_opts;
       hs_opts.seed = opts.seed + 303 + seed_shift;
-      ds::HeavySampler sampler(g, d_weights, tau, hs_opts);
+      ds::HeavySampler sampler(ctx, g, d_weights, tau, hs_opts);
 
       // Mirror of x̄ for incremental residual updates.
       Vec x_mirror = res.x;
@@ -249,14 +252,14 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
         for (std::int32_t redraw = 0;
              sampled.size() + 1 < n && redraw < opts.max_sparsifier_retries; ++redraw) {
           ++res.sparsifier_retries;
-          note_recovery(RecoveryEvent::kSketchRetry);
+          ctx.recovery().note(RecoveryEvent::kSketchRetry);
           k_prime *= 4.0;
           sampled = hh_sparse.leverage_sample(k_prime);
         }
         Vec d_sparse(m, 0.0);
         if (sampled.size() + 1 < n) {
           ++res.dense_fallbacks;
-          note_recovery(RecoveryEvent::kDenseFallback);
+          ctx.recovery().note(RecoveryEvent::kDenseFallback);
           d_sparse = d_weights;
           sparsifier_edge_sum += m;
         } else {
@@ -273,7 +276,7 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
         //    δy = H^{-1} A^T Φ''^{-1/2} g  with g = -γ ∇Ψ^♭  (dual step)
         Vec rhs_dy = linalg::scale(v1, -opts.gamma / dmax);
         rhs_dy[static_cast<std::size_t>(a.dropped())] = 0.0;
-        auto dy = linalg::solve_sdd(lap, rhs_dy, opts.solve).x;
+        auto dy = linalg::solve_sdd(ctx, lap, rhs_dy, opts.solve).x;
         dy[static_cast<std::size_t>(a.dropped())] = 0.0;
         //    δy + δc adds the feasibility correction H^{-1}(A^T x̄ - b).
         Vec rhs_q(n);
@@ -281,7 +284,7 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
           rhs_q[i] = (-opts.gamma * v1[i] - rp[i]) / dmax;
         });
         rhs_q[static_cast<std::size_t>(a.dropped())] = 0.0;
-        auto q = linalg::solve_sdd(lap, rhs_q, opts.solve).x;
+        auto q = linalg::solve_sdd(ctx, lap, rhs_q, opts.solve).x;
         q[static_cast<std::size_t>(a.dropped())] = 0.0;
 
         // 4. Sampled primal correction (the R matrix of eq. (5)).
@@ -390,7 +393,7 @@ RobustIpmResult robust_ipm(const IpmLp& lp, Vec x0, Vec y0, double mu0,
         return res;
       }
       ++res.structure_rebuilds;
-      note_recovery(RecoveryEvent::kStructureRebuild);
+      ctx.recovery().note(RecoveryEvent::kStructureRebuild);
       seed_shift += 7919;  // fresh seeds for every randomized structure
     }
   }

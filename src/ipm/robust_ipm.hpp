@@ -74,7 +74,11 @@ struct RobustIpmResult {
   std::int32_t dense_fallbacks = 0;      ///< solves on the dense edge set
 };
 
-RobustIpmResult robust_ipm(const IpmLp& lp, linalg::Vec x0, linalg::Vec y0, double mu0,
-                           const RobustIpmOptions& opts = {});
+/// Follow the central path with the sublinear ds stack. `ctx` scopes fault
+/// injection, recovery telemetry, and PRAM accounting for the whole ds stack
+/// to the calling solve; randomness still derives from opts.seed so results
+/// are a function of (lp, x0, y0, mu0, opts) alone.
+RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, linalg::Vec x0,
+                           linalg::Vec y0, double mu0, const RobustIpmOptions& opts = {});
 
 }  // namespace pmcf::ipm

@@ -87,8 +87,12 @@ bool cancel_one_negative_cycle(const Residual& r) {
 
 }  // namespace
 
-RoundRepairResult round_and_repair(const graph::Digraph& g, const std::vector<std::int64_t>& b,
+RoundRepairResult round_and_repair(core::SolverContext& ctx, const graph::Digraph& g,
+                                   const std::vector<std::int64_t>& b,
                                    const linalg::Vec& x_frac) {
+  // Callers may invoke this without installing bindings (e.g. direct tests);
+  // pin the charges to the supplied context either way.
+  const core::ContextScope scope(ctx);
   const auto n = static_cast<std::size_t>(g.num_vertices());
   const auto m = static_cast<std::size_t>(g.num_arcs());
   RoundRepairResult res;

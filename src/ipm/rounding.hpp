@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/solve_status.hpp"
+#include "core/solver_context.hpp"
 #include "graph/digraph.hpp"
 #include "linalg/vec_ops.hpp"
 
@@ -33,7 +34,8 @@ struct RoundRepairResult {
 
 /// Round `x_frac` to the exact optimal integral solution of
 /// min c^T x, A^T x = b, 0 <= x <= u (data taken from g; b over all rows).
-RoundRepairResult round_and_repair(const graph::Digraph& g,
+/// PRAM work/depth for the repair is charged against `ctx`'s tracker.
+RoundRepairResult round_and_repair(core::SolverContext& ctx, const graph::Digraph& g,
                                    const std::vector<std::int64_t>& b,
                                    const linalg::Vec& x_frac);
 

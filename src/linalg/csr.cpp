@@ -17,8 +17,7 @@ Vec Csr::apply(const Vec& x) const {
 void Csr::apply_into(const Vec& x, Vec& y) const {
   assert(x.size() == n_);
   assert(y.size() == n_);
-  auto& t = par::Tracker::instance();
-  par::ThreadPool* pool = t.enabled() ? nullptr : par::ThreadPool::global();
+  par::ThreadPool* pool = par::current_wall_pool();
   const std::size_t nnz = val_.size();
   const auto plan = pool == nullptr
                         ? par::ThreadPool::BlockPlan{}

@@ -51,7 +51,7 @@ inline void axpby(Vec& y, double a, const Vec& x, double b) {
 /// Fused CG iterate update: x += alpha*p, r -= alpha*mp, returns r.r.
 /// Replaces axpy + axpy + norm2^2 — three passes over four vectors become one.
 inline double cg_step_residual(Vec& x, Vec& r, const Vec& p, const Vec& mp, double alpha) {
-  if (par::Tracker::instance().enabled()) {
+  if (par::current_tracker().enabled()) {
     // Instrumented: the seed's exact primitive sequence (charge-identical).
     axpy(x, alpha, p);
     axpy(r, -alpha, mp);
@@ -71,7 +71,7 @@ inline double cg_step_residual(Vec& x, Vec& r, const Vec& p, const Vec& mp, doub
 /// Fused Jacobi-preconditioner refresh: z = dinv .* r, returns r.z.
 /// Replaces mul + dot — two passes become one.
 inline double precond_refresh(const Vec& dinv, const Vec& r, Vec& z) {
-  if (par::Tracker::instance().enabled()) {
+  if (par::current_tracker().enabled()) {
     mul_into(dinv, r, z);
     return dot(r, z);
   }

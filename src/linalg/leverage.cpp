@@ -54,11 +54,12 @@ namespace {
 /// One JL estimate with `k` sketch rows. May be silently wrong: the sketch
 /// is Monte-Carlo and the kSketchCorruption injection point simulates the
 /// failure mode by zeroing the estimate.
-Vec sketched_leverage_once(const IncidenceOp& a, const Vec& v, const Csr& lap, std::size_t k,
-                           par::Rng& rng, const SolveOptions& solve) {
+Vec sketched_leverage_once(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v,
+                           const Csr& lap, std::size_t k, par::Rng& rng,
+                           const SolveOptions& solve) {
   const std::size_t m = a.rows();
   Vec sigma(m, 0.0);
-  if (par::FaultInjector::should_fire(par::FaultKind::kSketchCorruption)) return sigma;
+  if (ctx.fault().should_fire(par::FaultKind::kSketchCorruption)) return sigma;
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
   // The k sketch rows are independent; in the PRAM model they run in parallel
   // (the loop below is the work-sum; depth is one solve + O(log)). The sketch
@@ -75,7 +76,7 @@ Vec sketched_leverage_once(const IncidenceOp& a, const Vec& v, const Csr& lap, s
     mul_into(v, jr, vj);
     a.apply_transpose_into(vj, rhs);
     rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
-    const SolveResult sol = solve_sdd(lap, rhs, solve);
+    const SolveResult sol = solve_sdd(ctx, lap, rhs, solve);
     // contribution: (B y)_e^2 = (v_e (A y)_e)^2
     a.apply_into(sol.x, z);
     par::parallel_for(0, m, [&](std::size_t e) {
@@ -101,7 +102,7 @@ bool plausible_leverage(const Vec& sigma, std::size_t cols) {
 
 }  // namespace
 
-Vec leverage_scores(const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
+Vec leverage_scores(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
                     const LeverageOptions& opts) {
   // Leverage scores are invariant under uniform scaling of v; normalize so
   // the dropped row's unit pin stays commensurate with the weights.
@@ -114,17 +115,17 @@ Vec leverage_scores(const IncidenceOp& a, const Vec& v_in, par::Rng& rng,
   constexpr std::int32_t kMaxAttempts = 3;
   auto k = static_cast<std::size_t>(opts.sketch_dim);
   for (std::int32_t attempt = 0; attempt < kMaxAttempts; ++attempt, k *= 2) {
-    if (attempt > 0) note_recovery(RecoveryEvent::kSketchRetry);
+    if (attempt > 0) ctx.recovery().note(RecoveryEvent::kSketchRetry);
     // Attempt 0 consumes `rng` exactly as the non-resilient version did;
     // retries keep drawing from the same stream, i.e. fresh Rademacher rows.
-    Vec sigma = sketched_leverage_once(a, v, lap, k, rng, opts.solve);
+    Vec sigma = sketched_leverage_once(ctx, a, v, lap, k, rng, opts.solve);
     if (plausible_leverage(sigma, a.cols())) return sigma;
   }
 
   // Sketch persistently implausible: fall back to the dense oracle when the
   // O(n^3) cost is affordable, else report a typed sketch failure.
   if (a.cols() <= 512) {
-    note_recovery(RecoveryEvent::kExactLeverageFallback);
+    ctx.recovery().note(RecoveryEvent::kExactLeverageFallback);
     return leverage_scores_exact(a, v);
   }
   throw ComponentError(SolveStatus::kSketchFailure, "linalg::leverage_scores",

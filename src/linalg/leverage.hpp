@@ -6,6 +6,7 @@
 //  - sketched: the standard JL estimator [LS13 App. B.2, as cited in C.1] —
 //    O~(1/eps^2) SDD solves plus O(km) work, O~(1) depth per solve batch.
 
+#include "core/solver_context.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/sdd_solver.hpp"
@@ -22,8 +23,9 @@ struct LeverageOptions {
   SolveOptions solve;
 };
 
-/// JL-sketched leverage scores, clamped to [0, 1].
-Vec leverage_scores(const IncidenceOp& a, const Vec& v, par::Rng& rng,
+/// JL-sketched leverage scores, clamped to [0, 1]. Sketch-retry recovery and
+/// the kSketchCorruption injection point are scoped to `ctx`.
+Vec leverage_scores(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v, par::Rng& rng,
                     const LeverageOptions& opts = {});
 
 }  // namespace pmcf::linalg

@@ -11,8 +11,8 @@ double lewis_p(std::size_t m, std::size_t n) {
   return 1.0 - 1.0 / (4.0 * std::log(ratio));
 }
 
-Vec lewis_weights(const IncidenceOp& a, const Vec& v, const Vec& z, double p,
-                  par::Rng& rng, const LewisOptions& opts) {
+Vec lewis_weights(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v, const Vec& z,
+                  double p, par::Rng& rng, const LewisOptions& opts) {
   const std::size_t m = a.rows();
   const double expo = 0.5 - 1.0 / p;
 
@@ -23,7 +23,7 @@ Vec lewis_weights(const IncidenceOp& a, const Vec& v, const Vec& z, double p,
     // scaled rows: tau^{1/2 - 1/p} .* v
     par::parallel_for(0, m, [&](std::size_t i) { scaled[i] = std::pow(tau[i], expo) * v[i]; });
     Vec sigma = opts.exact_leverage ? leverage_scores_exact(a, scaled)
-                                    : leverage_scores(a, scaled, rng, opts.leverage);
+                                    : leverage_scores(ctx, a, scaled, rng, opts.leverage);
     double max_rel = 0.0;
     for (std::size_t i = 0; i < m; ++i) {
       next[i] = sigma[i] + z[i];
@@ -36,12 +36,12 @@ Vec lewis_weights(const IncidenceOp& a, const Vec& v, const Vec& z, double p,
   return tau;
 }
 
-Vec ipm_lewis_weights(const IncidenceOp& a, const Vec& v, par::Rng& rng,
-                      const LewisOptions& opts) {
+Vec ipm_lewis_weights(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v,
+                      par::Rng& rng, const LewisOptions& opts) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   const double reg = static_cast<double>(n) / static_cast<double>(m);
-  return lewis_weights(a, v, constant(m, reg), lewis_p(m, n), rng, opts);
+  return lewis_weights(ctx, a, v, constant(m, reg), lewis_p(m, n), rng, opts);
 }
 
 }  // namespace pmcf::linalg

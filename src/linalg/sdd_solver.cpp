@@ -9,7 +9,8 @@
 
 namespace pmcf::linalg {
 
-SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
+SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
+                      const SolveOptions& opts) {
   const std::size_t n = m.dim();
   SolveResult res;
   res.x.assign(n, 0.0);
@@ -19,7 +20,7 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
     res.status = SolveStatus::kOk;
     return res;
   }
-  if (par::FaultInjector::should_fire(par::FaultKind::kCgStagnation)) {
+  if (ctx.fault().should_fire(par::FaultKind::kCgStagnation)) {
     // Injected stagnation: report the zero iterate as a hard breakdown.
     res.relative_residual = 1.0;
     res.status = SolveStatus::kNumericalFailure;
@@ -63,7 +64,7 @@ SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts) {
   return res;
 }
 
-ResilientSolveResult solve_sdd_resilient(const Csr& m, const Vec& b,
+ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m, const Vec& b,
                                          const ResilientSolveOptions& opts) {
   ResilientSolveResult out;
   SolveOptions attempt = opts.base;
@@ -71,10 +72,10 @@ ResilientSolveResult solve_sdd_resilient(const Csr& m, const Vec& b,
     if (k > 0) {
       attempt.tolerance *= opts.escalation_factor;
       attempt.max_iters *= 2;
-      note_recovery(RecoveryEvent::kCgToleranceEscalation);
+      ctx.recovery().note(RecoveryEvent::kCgToleranceEscalation);
       ++out.tolerance_escalations;
     }
-    const SolveResult r = solve_sdd(m, b, attempt);
+    const SolveResult r = solve_sdd(ctx, m, b, attempt);
     out.iterations += r.iterations;
     if (r.converged) {
       out.x = r.x;
@@ -93,7 +94,7 @@ ResilientSolveResult solve_sdd_resilient(const Csr& m, const Vec& b,
       for (std::int64_t k = m.offsets()[r]; k < m.offsets()[r + 1]; ++k)
         dense.at(r, static_cast<std::size_t>(m.cols()[static_cast<std::size_t>(k)])) +=
             m.vals()[static_cast<std::size_t>(k)];
-    note_recovery(RecoveryEvent::kDenseFallback);
+    ctx.recovery().note(RecoveryEvent::kDenseFallback);
     out.x = dense.solve(b);
     bool finite = true;
     for (const double v : out.x) finite = finite && std::isfinite(v);

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "core/solve_status.hpp"
+#include "core/solver_context.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/vec_ops.hpp"
 
@@ -35,8 +36,10 @@ struct SolveResult {
   SolveStatus status = SolveStatus::kIterationLimit;  ///< kOk iff converged
 };
 
-/// Solve M x = b for SPD M by Jacobi-preconditioned CG.
-SolveResult solve_sdd(const Csr& m, const Vec& b, const SolveOptions& opts = {});
+/// Solve M x = b for SPD M by Jacobi-preconditioned CG. `ctx` scopes the
+/// fault-injection points and PRAM accounting to the calling solve.
+SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
+                      const SolveOptions& opts = {});
 
 struct ResilientSolveOptions {
   SolveOptions base;
@@ -57,8 +60,9 @@ struct ResilientSolveResult {
 /// Solve M x = b with the Newton-system recovery policy: CG at the requested
 /// tolerance, then bounded tolerance escalation (each retry also doubles the
 /// iteration budget), then dense Gaussian elimination when dim fits the
-/// guardrail. Returns kNumericalFailure only when every rung fails.
-ResilientSolveResult solve_sdd_resilient(const Csr& m, const Vec& b,
+/// guardrail. Returns kNumericalFailure only when every rung fails. Recovery
+/// events are recorded against `ctx`'s log.
+ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m, const Vec& b,
                                          const ResilientSolveOptions& opts = {});
 
 }  // namespace pmcf::linalg

@@ -1,0 +1,71 @@
+#include "mcf/engine.hpp"
+
+#include "parallel/scheduler.hpp"
+
+namespace pmcf {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates (seed, salt) pairs into context seeds.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config) : config_(config) {}
+
+par::ThreadPool* Engine::pool() const {
+  if (config_.pool != nullptr) return config_.pool;
+  return config_.use_global_pool ? par::ThreadPool::global() : nullptr;
+}
+
+EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::SolveOptions& opts,
+                                          std::uint64_t salt) const {
+  core::ContextOptions copts;
+  copts.seed = mix_seed(config_.seed, salt);
+  copts.instrument = config_.instrument;
+  copts.pool = config_.pool;
+  copts.use_global_pool = config_.use_global_pool;
+  core::SolverContext ctx(copts);
+
+  EngineSolveResult out;
+  if (inst.kind == Instance::Kind::kMaxFlow) {
+    out.result = mcf::min_cost_max_flow(ctx, *inst.graph, inst.source, inst.sink, opts);
+  } else {
+    out.result = mcf::min_cost_b_flow(ctx, *inst.graph, inst.demands, opts);
+  }
+  out.pram = ctx.tracker().snapshot();
+  return out;
+}
+
+EngineSolveResult Engine::solve(const Instance& inst, const mcf::SolveOptions& opts) const {
+  // Offset past the batch-index salt space so direct calls and batch entries
+  // never collide on a context stream.
+  const std::uint64_t salt =
+      (1ULL << 32) + solve_calls_.fetch_add(1, std::memory_order_relaxed);
+  return solve_with_salt(inst, opts, salt);
+}
+
+std::vector<EngineSolveResult> Engine::solve_batch(const std::vector<Instance>& batch,
+                                                   const mcf::SolveOptions& opts) const {
+  std::vector<EngineSolveResult> results(batch.size());
+  par::ThreadPool* p = pool();
+  if (p == nullptr || p->num_threads() <= 1 || batch.size() <= 1) {
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      results[i] = solve_with_salt(batch[i], opts, i);
+    return results;
+  }
+  // One solve per block (grain 1): whole solves are the unit of stealing.
+  // Each task installs its own context, so the bindings inherited from this
+  // (forking) thread are immediately shadowed for the solve's duration.
+  p->run_blocked(0, batch.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) results[i] = solve_with_salt(batch[i], opts, i);
+  });
+  return results;
+}
+
+}  // namespace pmcf

@@ -1,0 +1,117 @@
+#pragma once
+// pmcf::Engine — the concurrency-first facade over the min-cost-flow stack
+// (DESIGN.md §9).
+//
+// The layered API (mcf::min_cost_max_flow + SolverContext) is explicit about
+// execution state; Engine packages the common serving pattern on top of it:
+//
+//   - solve() is reentrant: any number of threads may call it concurrently on
+//     one Engine. Each call builds a private SolverContext (tracker, fault
+//     injector, recovery sink, RNG stream), so per-solve SolveStats are exact
+//     and two solves never share mutable state.
+//   - solve_batch() fans a vector of instances across the work-stealing pool,
+//     one solve per task. Results and stats are bit-identical to solving the
+//     same instances serially in index order: each solve is a pure function
+//     of (instance, options) — per-solve seeds derive from the engine seed
+//     and the batch index, never from scheduling order.
+//
+// Instrumented engines (the default) run each solve single-threaded under
+// its own PRAM tracker — batch throughput then comes purely from solving
+// many instances at once. Wall-clock engines (instrument = false) let each
+// solve's inner primitives use the pool too (nested fork-join is supported).
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/solver_context.hpp"
+#include "graph/digraph.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace pmcf {
+
+/// One solve job: a max-flow or b-flow instance over a borrowed graph (the
+/// graph must outlive the solve).
+struct Instance {
+  enum class Kind { kMaxFlow, kBFlow };
+
+  Kind kind = Kind::kMaxFlow;
+  const graph::Digraph* graph = nullptr;
+  graph::Vertex source = 0;             ///< kMaxFlow
+  graph::Vertex sink = 0;               ///< kMaxFlow
+  std::vector<std::int64_t> demands;    ///< kBFlow: net inflow per vertex
+
+  static Instance max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t) {
+    Instance inst;
+    inst.kind = Kind::kMaxFlow;
+    inst.graph = &g;
+    inst.source = s;
+    inst.sink = t;
+    return inst;
+  }
+
+  static Instance b_flow(const graph::Digraph& g, std::vector<std::int64_t> b) {
+    Instance inst;
+    inst.kind = Kind::kBFlow;
+    inst.graph = &g;
+    inst.demands = std::move(b);
+    return inst;
+  }
+};
+
+struct EngineConfig {
+  /// Master seed; per-solve context seeds are derived from it (mixed with
+  /// the batch index / call counter) so distinct solves get distinct streams.
+  std::uint64_t seed = 0x5eedf00dULL;
+  /// PRAM-instrument each solve (single-threaded per solve, exact work/depth
+  /// in stats). false = wall-clock mode, inner primitives may use the pool.
+  bool instrument = true;
+  /// Pool for solve_batch fan-out (and, in wall-clock mode, inner
+  /// primitives). nullptr + use_global_pool → ThreadPool::global().
+  par::ThreadPool* pool = nullptr;
+  bool use_global_pool = true;
+};
+
+/// Result of one batch entry: the solve result plus the PRAM cost measured
+/// by that solve's own tracker (all-zero in wall-clock mode).
+struct EngineSolveResult {
+  mcf::MinCostFlowResult result;
+  par::Cost pram;  ///< work/depth charged inside this solve only
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  /// Solve one instance. Reentrant: safe to call from many threads sharing
+  /// this Engine (and its pool) concurrently; each call runs under a private
+  /// SolverContext, so returned stats cover exactly this solve.
+  [[nodiscard]] EngineSolveResult solve(const Instance& inst,
+                                        const mcf::SolveOptions& opts = {}) const;
+
+  /// Solve every instance of `batch`, fanning across the pool (one solve per
+  /// task; serial fallback when no pool is bound). results[i] is
+  /// bit-identical to solve(batch[i], opts) with context seed derived from
+  /// index i — independent of thread count and scheduling.
+  [[nodiscard]] std::vector<EngineSolveResult> solve_batch(
+      const std::vector<Instance>& batch, const mcf::SolveOptions& opts = {}) const;
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  /// The pool solve_batch fans across (nullptr = serial).
+  [[nodiscard]] par::ThreadPool* pool() const;
+
+ private:
+  /// One solve under a fresh context derived from `salt`.
+  [[nodiscard]] EngineSolveResult solve_with_salt(const Instance& inst,
+                                                  const mcf::SolveOptions& opts,
+                                                  std::uint64_t salt) const;
+
+  EngineConfig config_;
+  /// Distinct salt per direct solve() call so concurrent callers get
+  /// distinct context RNG streams (results don't depend on it — solver
+  /// randomness seeds from SolveOptions — but forked streams must differ).
+  mutable std::atomic<std::uint64_t> solve_calls_{0};
+};
+
+}  // namespace pmcf

@@ -71,19 +71,25 @@ std::vector<Method> cascade_tiers(const SolveOptions& opts) {
   return {opts.method};
 }
 
-/// Captures the process-global recovery/fault counters at construction and
-/// writes the per-solve deltas into SolveStats at the end.
+/// Captures the solve context's recovery/fault counters at construction and
+/// writes the per-solve deltas into SolveStats at the end. Reading from the
+/// context's own sink (not any process-global registry) keeps the counts
+/// exact under concurrent solves.
 struct TelemetryScope {
-  RecoverySnapshot rec0 = recovery_snapshot();
-  std::uint64_t faults0 = par::FaultInjector::instance().fired_total();
+  core::SolverContext* ctx;
+  RecoverySnapshot rec0;
+  std::uint64_t faults0;
+
+  explicit TelemetryScope(core::SolverContext& c)
+      : ctx(&c), rec0(c.recovery().snapshot()), faults0(c.fault().fired_total()) {}
 
   void finish(SolveStats& stats) const {
-    const RecoverySnapshot d = recovery_snapshot().since(rec0);
+    const RecoverySnapshot d = ctx->recovery().snapshot().since(rec0);
     stats.cg_tolerance_escalations = d.of(RecoveryEvent::kCgToleranceEscalation);
     stats.dense_fallbacks = d.of(RecoveryEvent::kDenseFallback);
     stats.sketch_retries = d.of(RecoveryEvent::kSketchRetry);
     stats.structure_rebuilds = d.of(RecoveryEvent::kStructureRebuild);
-    stats.injected_faults = par::FaultInjector::instance().fired_total() - faults0;
+    stats.injected_faults = ctx->fault().fired_total() - faults0;
   }
 };
 
@@ -158,8 +164,9 @@ AugmentedLp augment(const Digraph& core, const std::vector<std::int64_t>& b) {
 /// kIterationLimit is soft: round_and_repair produces the exact optimum from
 /// any finite fractional iterate, so a truncated path-following run still
 /// yields a correct answer. Nothing escapes as an exception.
-MinCostFlowResult solve_core(const Digraph& core, const std::vector<std::int64_t>& b,
-                             Method tier, const SolveOptions& opts) {
+MinCostFlowResult solve_core(core::SolverContext& ctx, const Digraph& core,
+                             const std::vector<std::int64_t>& b, Method tier,
+                             const SolveOptions& opts) {
   MinCostFlowResult res;
   try {
     AugmentedLp aug = augment(core, b);
@@ -172,7 +179,7 @@ MinCostFlowResult solve_core(const Digraph& core, const std::vector<std::int64_t
       ropts.mu_end = opts.ipm.mu_end;
       ropts.max_iters = opts.ipm.max_iters;
       ropts.solve = opts.ipm.solve;
-      const auto r = ipm::robust_ipm(aug.lp, aug.x0, y0, mu0, ropts);
+      const auto r = ipm::robust_ipm(ctx, aug.lp, aug.x0, y0, mu0, ropts);
       res.stats.ipm_iterations = r.iterations;
       res.stats.final_mu = r.mu;
       res.stats.final_centrality = r.final_centrality;
@@ -185,7 +192,7 @@ MinCostFlowResult solve_core(const Digraph& core, const std::vector<std::int64_t
       }
       x_final = r.x;
     } else {
-      ipm::IpmResult r = ipm::reference_ipm(aug.lp, aug.x0, y0, mu0, opts.ipm);
+      ipm::IpmResult r = ipm::reference_ipm(ctx, aug.lp, aug.x0, y0, mu0, opts.ipm);
       res.stats.ipm_iterations = r.iterations;
       res.stats.final_mu = r.mu;
       res.stats.final_centrality = r.final_centrality;
@@ -200,7 +207,7 @@ MinCostFlowResult solve_core(const Digraph& core, const std::vector<std::int64_t
 
     // Drop auxiliary arcs and round on the core problem.
     Vec x_core(x_final.begin(), x_final.begin() + static_cast<std::ptrdiff_t>(aug.num_core));
-    const auto repaired = ipm::round_and_repair(core, b, x_core);
+    const auto repaired = ipm::round_and_repair(ctx, core, b, x_core);
     res.stats.imbalance_routed = repaired.imbalance_routed;
     res.stats.cycles_canceled = repaired.cycles_canceled;
     res.arc_flow = repaired.flow;
@@ -238,8 +245,12 @@ const char* to_string(Method m) {
   return "?";
 }
 
-MinCostFlowResult min_cost_max_flow(const Digraph& g, Vertex s, Vertex t,
-                                    const SolveOptions& opts) {
+MinCostFlowResult min_cost_max_flow(core::SolverContext& ctx, const Digraph& g, Vertex s,
+                                    Vertex t, const SolveOptions& opts) {
+  // Bind the context for the duration of the solve: every par::charge,
+  // injection draw, and note_recovery below (including from pool workers,
+  // which inherit the forker's bindings) resolves to `ctx`.
+  const core::ContextScope ctx_scope(ctx);
   const Vertex nv = g.num_vertices();
   if (s < 0 || s >= nv || t < 0 || t >= nv)
     return invalid_input("mcf::min_cost_max_flow", "source or sink vertex out of range");
@@ -271,7 +282,7 @@ MinCostFlowResult min_cost_max_flow(const Digraph& g, Vertex s, Vertex t,
     ts = core.add_arc(t, s, ts_cap, -*cost_mass);
   }
 
-  const TelemetryScope scope;
+  const TelemetryScope scope(ctx);
   MinCostFlowResult res;
   std::int32_t tiers_attempted = 0;
   for (std::size_t attempt = 0; attempt < tiers.size(); ++attempt) {
@@ -292,7 +303,7 @@ MinCostFlowResult min_cost_max_flow(const Digraph& g, Vertex s, Vertex t,
       }
     } else {
       const std::vector<std::int64_t> b(static_cast<std::size_t>(nv), 0);
-      res = solve_core(core, b, tier, opts);
+      res = solve_core(ctx, core, b, tier, opts);
       if (res.status == SolveStatus::kOk) {
         res.flow_value = res.arc_flow[static_cast<std::size_t>(ts)];
         res.arc_flow.resize(static_cast<std::size_t>(g.num_arcs()));
@@ -304,14 +315,16 @@ MinCostFlowResult min_cost_max_flow(const Digraph& g, Vertex s, Vertex t,
     res.stats.answered_by = tier;
     res.stats.tiers_attempted = tiers_attempted;
     if (res.status == SolveStatus::kOk || is_instance_error(res.status)) break;
-    if (attempt + 1 < tiers.size()) note_recovery(RecoveryEvent::kTierDegradation);
+    if (attempt + 1 < tiers.size()) ctx.recovery().note(RecoveryEvent::kTierDegradation);
   }
   scope.finish(res.stats);
   return res;
 }
 
-MinCostFlowResult min_cost_b_flow(const Digraph& g, const std::vector<std::int64_t>& b,
+MinCostFlowResult min_cost_b_flow(core::SolverContext& ctx, const Digraph& g,
+                                  const std::vector<std::int64_t>& b,
                                   const SolveOptions& opts) {
+  const core::ContextScope ctx_scope(ctx);
   const auto n = static_cast<std::size_t>(g.num_vertices());
   if (b.size() != n)
     return invalid_input("mcf::min_cost_b_flow", "demand vector size does not match vertex count");
@@ -332,7 +345,7 @@ MinCostFlowResult min_cost_b_flow(const Digraph& g, const std::vector<std::int64
   for (const std::int64_t bv : b)
     if (bv > 0) demand_total += bv;
 
-  const TelemetryScope scope;
+  const TelemetryScope scope(ctx);
   MinCostFlowResult res;
   std::int32_t tiers_attempted = 0;
   const std::vector<Method> tiers = cascade_tiers(opts);
@@ -355,7 +368,7 @@ MinCostFlowResult min_cost_b_flow(const Digraph& g, const std::vector<std::int64
         res.failure_detail = ex.what();
       }
     } else {
-      res = solve_core(g, b, tier, opts);
+      res = solve_core(ctx, g, b, tier, opts);
     }
     if (res.status == SolveStatus::kOk) {
       // Feasibility check: A^T x must equal b exactly.
@@ -381,10 +394,20 @@ MinCostFlowResult min_cost_b_flow(const Digraph& g, const std::vector<std::int64
     res.stats.answered_by = tier;
     res.stats.tiers_attempted = tiers_attempted;
     if (res.status == SolveStatus::kOk || is_instance_error(res.status)) break;
-    if (attempt + 1 < tiers.size()) note_recovery(RecoveryEvent::kTierDegradation);
+    if (attempt + 1 < tiers.size()) ctx.recovery().note(RecoveryEvent::kTierDegradation);
   }
   scope.finish(res.stats);
   return res;
+}
+
+MinCostFlowResult min_cost_max_flow(const Digraph& g, Vertex s, Vertex t,
+                                    const SolveOptions& opts) {
+  return min_cost_max_flow(core::default_context(), g, s, t, opts);
+}
+
+MinCostFlowResult min_cost_b_flow(const Digraph& g, const std::vector<std::int64_t>& b,
+                                  const SolveOptions& opts) {
+  return min_cost_b_flow(core::default_context(), g, b, opts);
 }
 
 }  // namespace pmcf::mcf

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/solve_status.hpp"
+#include "core/solver_context.hpp"
 #include "graph/digraph.hpp"
 #include "ipm/reference_ipm.hpp"
 
@@ -57,8 +58,8 @@ struct SolveStats {
   Method answered_by = Method::kReferenceIpm;  ///< tier that produced the answer
   std::int32_t tiers_attempted = 0;            ///< 1 = no degradation happened
   /// Recovery events fired during this solve (all tiers combined). Counted
-  /// from the process-global registry, so concurrent solves on other threads
-  /// would be included; per-solve accuracy assumes one solve at a time.
+  /// from the solve's own SolverContext sink, so the numbers are exact even
+  /// when many solves run concurrently on other threads.
   std::uint64_t cg_tolerance_escalations = 0;
   std::uint64_t dense_fallbacks = 0;
   std::uint64_t sketch_retries = 0;
@@ -80,14 +81,24 @@ struct MinCostFlowResult {
   std::string failure_detail;     ///< empty when status == kOk
 };
 
-/// Exact min-cost max-flow from s to t.
+/// Exact min-cost max-flow from s to t. `ctx` scopes the solve's PRAM
+/// tracker, fault injector, recovery-event sink, and pool binding; many
+/// solves with distinct contexts may run concurrently from different
+/// threads. The ctx-less overload delegates to core::default_context() for
+/// single-solve callers and existing code.
+MinCostFlowResult min_cost_max_flow(core::SolverContext& ctx, const graph::Digraph& g,
+                                    graph::Vertex s, graph::Vertex t,
+                                    const SolveOptions& opts = {});
 MinCostFlowResult min_cost_max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t,
                                     const SolveOptions& opts = {});
 
 /// Exact min-cost b-flow: route integer demands (A^T x = b, sum(b) = 0,
 /// b[v] = net inflow required at v). Returns feasibility via flow_value ==
 /// total positive demand (kept for existing callers) and, equivalently,
-/// status == kOk vs kInfeasible.
+/// status == kOk vs kInfeasible. Context semantics as in min_cost_max_flow.
+MinCostFlowResult min_cost_b_flow(core::SolverContext& ctx, const graph::Digraph& g,
+                                  const std::vector<std::int64_t>& b,
+                                  const SolveOptions& opts = {});
 MinCostFlowResult min_cost_b_flow(const graph::Digraph& g, const std::vector<std::int64_t>& b,
                                   const SolveOptions& opts = {});
 

@@ -1,10 +1,9 @@
 #include "parallel/fault_injection.hpp"
 
+#include "core/solver_context.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::par {
-
-std::atomic<bool> FaultInjector::any_armed_{false};
 
 const char* to_string(FaultKind k) {
   switch (k) {
@@ -18,10 +17,7 @@ const char* to_string(FaultKind k) {
   return "Unknown";
 }
 
-FaultInjector& FaultInjector::instance() {
-  static FaultInjector injector;
-  return injector;
-}
+FaultInjector& FaultInjector::instance() { return core::default_context().fault(); }
 
 void FaultInjector::arm(FaultKind kind, double rate, std::uint64_t seed) {
   Point& p = points_[static_cast<std::size_t>(kind)];

@@ -9,12 +9,15 @@
 // given arm(kind, rate, seed) produces the same fire pattern on every run —
 // instrumented runs stay bit-reproducible under injection.
 //
-// The disabled path is a single relaxed atomic load and branch
-// (`should_fire` inlines to that), so production code pays nothing for the
-// hooks compiled into the hot paths.
+// Each SolverContext owns its own injector, so faults armed for one solve
+// never leak into a concurrent solve. The disabled path is a single relaxed
+// atomic load and branch (`should_fire` inlines to that), so production code
+// pays nothing for the hooks compiled into the hot paths.
 
 #include <atomic>
 #include <cstdint>
+
+#include "core/exec_bindings.hpp"
 
 namespace pmcf::par {
 
@@ -32,6 +35,11 @@ const char* to_string(FaultKind k);
 
 class FaultInjector {
  public:
+  FaultInjector() = default;
+
+  /// The default context's injector. Compatibility shim for tests that arm
+  /// faults without a scoped context; library code uses its SolverContext's
+  /// injector instead.
   static FaultInjector& instance();
 
   /// Arm `kind`: each subsequent draw at that point fires with probability
@@ -49,16 +57,15 @@ class FaultInjector {
   void reset_counters();
 
   /// The injection-point hook. Zero overhead when nothing is armed.
-  static bool should_fire(FaultKind kind) {
+  bool should_fire(FaultKind kind) {
     if (!any_armed_.load(std::memory_order_relaxed)) return false;
-    return instance().draw(kind);
+    return draw(kind);
   }
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
  private:
-  FaultInjector() = default;
   bool draw(FaultKind kind);
 
   struct Point {
@@ -69,22 +76,34 @@ class FaultInjector {
     std::atomic<std::uint64_t> fires{0};
   };
   Point points_[static_cast<std::size_t>(FaultKind::kNumFaultKinds)];
-  static std::atomic<bool> any_armed_;
+  std::atomic<bool> any_armed_{false};
 };
 
-/// RAII arm/disarm for tests: arms `kind` for the scope's lifetime and
-/// restores a fully disarmed point on exit.
+/// The injector consulted by this thread's injection points: the active
+/// SolverContext's, else the default context's.
+inline FaultInjector& current_injector() {
+  FaultInjector* f = core::current_bindings().injector;
+  return f != nullptr ? *f : FaultInjector::instance();
+}
+
+/// RAII arm/disarm for tests: arms `kind` on the given injector (default
+/// context's when omitted) for the scope's lifetime and restores a fully
+/// disarmed point on exit.
 class ScopedFault {
  public:
-  ScopedFault(FaultKind kind, double rate, std::uint64_t seed = 0) : kind_(kind) {
-    FaultInjector::instance().arm(kind, rate, seed);
+  ScopedFault(FaultKind kind, double rate, std::uint64_t seed = 0)
+      : ScopedFault(FaultInjector::instance(), kind, rate, seed) {}
+  ScopedFault(FaultInjector& injector, FaultKind kind, double rate, std::uint64_t seed = 0)
+      : injector_(&injector), kind_(kind) {
+    injector_->arm(kind, rate, seed);
   }
-  ~ScopedFault() { FaultInjector::instance().disarm(kind_); }
+  ~ScopedFault() { injector_->disarm(kind_); }
 
   ScopedFault(const ScopedFault&) = delete;
   ScopedFault& operator=(const ScopedFault&) = delete;
 
  private:
+  FaultInjector* injector_;
   FaultKind kind_;
 };
 

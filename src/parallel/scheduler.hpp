@@ -39,6 +39,16 @@ namespace pmcf::par {
 /// least a few hundred cheap iterations to amortize it.
 inline constexpr std::size_t kMinGrain = 128;
 
+/// Pool for wall-clock execution under the current bindings: nullptr while
+/// the current tracker instruments (PRAM mode is single-threaded and
+/// deterministic), else the active SolverContext's pool, else the process
+/// global. The single place the tracker-vs-pool decision is made.
+inline ThreadPool* current_wall_pool() {
+  if (current_tracker().enabled()) return nullptr;
+  const core::ExecBindings& b = core::current_bindings();
+  return b.pool_bound ? b.pool : ThreadPool::global();
+}
+
 namespace detail {
 
 /// Default grain: at least kMinGrain iterations per block and at most
@@ -56,7 +66,7 @@ template <class F>
 void parallel_for_grained(std::size_t lo, std::size_t hi, std::size_t grain, F&& f) {
   if (lo >= hi) return;
   const std::size_t n = hi - lo;
-  auto& t = Tracker::instance();
+  auto& t = current_tracker();
   if (t.enabled()) {
     const std::uint64_t d0 = t.depth();
     std::uint64_t max_d = 0;
@@ -69,7 +79,7 @@ void parallel_for_grained(std::size_t lo, std::size_t hi, std::size_t grain, F&&
     t.charge(n, 0);  // spawn/loop overhead, no extra span
     return;
   }
-  ThreadPool* pool = ThreadPool::global();
+  ThreadPool* pool = current_wall_pool();
   if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
     return;
@@ -95,7 +105,7 @@ void parallel_for(std::size_t lo, std::size_t hi, F&& f) {
 template <class F>
 void wall_for(std::size_t lo, std::size_t hi, F&& f) {
   if (lo >= hi) return;
-  ThreadPool* pool = Tracker::instance().enabled() ? nullptr : ThreadPool::global();
+  ThreadPool* pool = current_wall_pool();
   if (pool == nullptr || pool->num_threads() <= 1 || hi - lo < 2) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
     return;
@@ -115,7 +125,7 @@ template <class T, class Map, class Combine>
 T parallel_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& combine) {
   if (lo >= hi) return init;
   const std::size_t n = hi - lo;
-  auto& t = Tracker::instance();
+  auto& t = current_tracker();
   T acc = init;
   if (t.enabled()) {
     const std::uint64_t d0 = t.depth();
@@ -129,7 +139,7 @@ T parallel_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& c
     t.charge(n, 0);
     return acc;
   }
-  ThreadPool* pool = ThreadPool::global();
+  ThreadPool* pool = current_wall_pool();
   if (pool == nullptr || pool->num_threads() <= 1) {
     for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
     return acc;
@@ -157,7 +167,7 @@ template <class T, class Map, class Combine>
 T wall_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& combine) {
   T acc = init;
   if (lo >= hi) return acc;
-  ThreadPool* pool = Tracker::instance().enabled() ? nullptr : ThreadPool::global();
+  ThreadPool* pool = current_wall_pool();
   const auto plan = pool == nullptr
                         ? ThreadPool::BlockPlan{}
                         : pool->plan_blocks(lo, hi, detail::auto_grain(hi - lo, pool->num_threads()));
@@ -182,8 +192,7 @@ T wall_reduce(std::size_t lo, std::size_t hi, T init, Map&& map, Combine&& combi
 /// block sums, then per-block local scans offset by the block prefix.
 template <class T>
 std::pair<std::vector<T>, T> exclusive_scan(const std::vector<T>& in) {
-  auto& tr = Tracker::instance();
-  ThreadPool* pool = tr.enabled() ? nullptr : ThreadPool::global();
+  ThreadPool* pool = current_wall_pool();
   const auto plan = pool == nullptr
                         ? ThreadPool::BlockPlan{}
                         : pool->plan_blocks(0, in.size(),
@@ -227,8 +236,7 @@ std::pair<std::vector<T>, T> exclusive_scan(const std::vector<T>& in) {
 /// evaluated exactly once per index.
 template <class Pred>
 std::vector<std::size_t> pack_indices(std::size_t n, Pred&& pred) {
-  auto& tr = Tracker::instance();
-  ThreadPool* pool = tr.enabled() ? nullptr : ThreadPool::global();
+  ThreadPool* pool = current_wall_pool();
   const auto plan = pool == nullptr
                         ? ThreadPool::BlockPlan{}
                         : pool->plan_blocks(0, n, detail::auto_grain(n, pool->num_threads()));
@@ -312,8 +320,7 @@ void parallel_merge(ThreadPool& pool, It a, std::size_t la, It b, std::size_t lb
 template <class It, class Less = std::less<>>
 void parallel_sort(It first, It last, Less less = {}) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
-  auto& tr = Tracker::instance();
-  ThreadPool* pool = tr.enabled() ? nullptr : ThreadPool::global();
+  ThreadPool* pool = current_wall_pool();
   if (pool == nullptr || pool->num_threads() <= 1 || n < 2 * kMinGrain) {
     std::sort(first, last, less);
     const auto lg = ceil_log2(std::max<std::size_t>(n, 1));

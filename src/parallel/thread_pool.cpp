@@ -46,7 +46,7 @@ std::size_t ThreadPool::slot_for_this_thread() const {
 }
 
 void ThreadPool::maybe_inject_fault() {
-  if (FaultInjector::should_fire(FaultKind::kTaskException))
+  if (current_injector().should_fire(FaultKind::kTaskException))
     throw std::runtime_error("injected thread-pool task fault");
 }
 
@@ -93,11 +93,17 @@ bool ThreadPool::try_get_task(std::size_t self, detail::Task& out) {
 }
 
 void ThreadPool::execute(const detail::Task& t) {
-  try {
-    maybe_inject_fault();
-    t.run(t.ctx, t.begin, t.end);
-  } catch (...) {
-    t.group->record_exception();
+  {
+    // Run under the forking thread's bindings so the task body charges /
+    // injects against the right SolverContext; restored before the latch
+    // opens (the group may be destroyed immediately after).
+    core::BindingsScope scope(t.group->bindings);
+    try {
+      maybe_inject_fault();
+      t.run(t.ctx, t.begin, t.end);
+    } catch (...) {
+      t.group->record_exception();
+    }
   }
   // Open the latch last: the group (and the body it points at) lives on the
   // forking thread's stack. The waiter only destroys it after observing

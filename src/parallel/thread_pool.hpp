@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/exec_bindings.hpp"
+
 namespace pmcf::par {
 
 namespace detail {
@@ -51,6 +53,10 @@ struct TaskGroup {
   std::condition_variable cv;
   bool all_done = false;     // guarded by mu; completer's last group access
   std::exception_ptr error;  // first failure; guarded by mu
+  /// Forking thread's execution bindings, installed on whichever thread runs
+  /// a task of this group so nested primitives and injection points resolve
+  /// to the forker's SolverContext (written once before submit).
+  core::ExecBindings bindings;
 
   void record_exception() noexcept {
     std::lock_guard<std::mutex> lk(mu);
@@ -115,6 +121,7 @@ class ThreadPool {
       return;
     }
     detail::TaskGroup group;
+    group.bindings = core::current_bindings();
     detail::Task tasks[detail::kMaxBlocks];
     std::size_t count = 0;
     for (std::size_t b = 1; b < plan.blocks; ++b) {

@@ -2,12 +2,11 @@
 
 #include <sstream>
 
+#include "core/solver_context.hpp"
+
 namespace pmcf::par {
 
-Tracker& Tracker::instance() {
-  static Tracker t;
-  return t;
-}
+Tracker& Tracker::instance() { return core::default_context().tracker(); }
 
 std::uint64_t ceil_log2(std::uint64_t n) {
   std::uint64_t b = 0;

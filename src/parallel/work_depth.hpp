@@ -5,12 +5,16 @@
 // primitive operations, *depth* (span) the longest chain of dependent
 // operations. Reproducing the paper's claims therefore means measuring these
 // two counters, not wall-clock time on whatever machine happens to run the
-// code. Every parallel primitive in pmcf charges this tracker; `parallel_for`
+// code. Every parallel primitive in pmcf charges the *current* tracker: the
+// one bound by the active SolverContext (core/solver_context.hpp), or the
+// default context's tracker when no solve is in flight. `parallel_for`
 // contributes the maximum span of its iterations plus O(log n) for binary
-// forking. See DESIGN.md §5.1.
+// forking. See DESIGN.md §5.1 and §9.
 
 #include <cstdint>
 #include <string>
+
+#include "core/exec_bindings.hpp"
 
 namespace pmcf::par {
 
@@ -24,10 +28,20 @@ struct Cost {
   bool operator==(const Cost& o) const = default;
 };
 
-/// Global singleton accumulating work and span. Instrumented execution is
-/// single-threaded (deterministic), so plain counters suffice.
+/// Accumulates work and span for one solve. Instrumented execution is
+/// single-threaded (deterministic), so plain counters suffice; every
+/// SolverContext owns its own Tracker, making concurrent solves' accounting
+/// independent.
 class Tracker {
  public:
+  explicit Tracker(bool enabled = true) : enabled_(enabled) {}
+
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+
+  /// The default context's tracker. Compatibility shim for tests and benches
+  /// that instrument without a scoped context; library code resolves the
+  /// current tracker through its SolverContext instead.
   static Tracker& instance();
 
   void charge(std::uint64_t work, std::uint64_t depth) {
@@ -47,19 +61,25 @@ class Tracker {
   void set_enabled(bool on) { enabled_ = on; }
 
  private:
-  Tracker() = default;
   std::uint64_t work_ = 0;
   std::uint64_t depth_ = 0;
   bool enabled_ = true;
 };
 
+/// The tracker charged by this thread's instrumentation: the active
+/// SolverContext's, else the default context's.
+inline Tracker& current_tracker() {
+  Tracker* t = core::current_bindings().tracker;
+  return t != nullptr ? *t : Tracker::instance();
+}
+
 /// Charge `work` units of work and `depth` units of span (defaults to O(1)).
 inline void charge(std::uint64_t work, std::uint64_t depth = 1) {
-  Tracker::instance().charge(work, depth);
+  current_tracker().charge(work, depth);
 }
 
 /// Current cumulative (work, depth).
-inline Cost snapshot() { return Tracker::instance().snapshot(); }
+inline Cost snapshot() { return current_tracker().snapshot(); }
 
 /// Measures the cost of a scope: `CostScope s; ...; auto c = s.elapsed();`
 class CostScope {

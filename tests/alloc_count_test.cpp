@@ -20,6 +20,7 @@
 #include <new>
 
 #include "graph/generators.hpp"
+#include "core/solver_context.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/laplacian.hpp"
 #include "linalg/sdd_solver.hpp"
@@ -72,7 +73,7 @@ std::uint64_t allocs_during_solve(const linalg::Csr& lap, const linalg::Vec& b,
   opts.tolerance = 0.0;  // unreachable: the loop always runs max_iters times
   opts.max_iters = max_iters;
   const std::uint64_t before = g_alloc_count.load();
-  const auto res = linalg::solve_sdd(lap, b, opts);
+  const auto res = linalg::solve_sdd(pmcf::core::default_context(), lap, b, opts);
   const std::uint64_t after = g_alloc_count.load();
   EXPECT_FALSE(res.converged);
   EXPECT_EQ(res.iterations, max_iters);

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "ds/flat_norm.hpp"
+#include "core/solver_context.hpp"
 #include "ds/heavy_hitter.hpp"
 #include "ds/tau_sampler.hpp"
 #include "graph/generators.hpp"
@@ -158,7 +159,7 @@ std::vector<std::size_t> brute_heavy(const Digraph& g, const Vec& w, const Vec& 
 
 TEST(HeavyHitterTest, FindsAllHeavyRows) {
   HhFixture f(30, 150, 95);
-  HeavyHitter hh(f.g, f.weights);
+  HeavyHitter hh(pmcf::core::default_context(), f.g, f.weights);
   par::Rng rng(96);
   for (int trial = 0; trial < 10; ++trial) {
     Vec h(30);
@@ -174,7 +175,7 @@ TEST(HeavyHitterTest, FindsAllHeavyRows) {
 
 TEST(HeavyHitterTest, ScaleChangesAnswers) {
   HhFixture f(20, 80, 97);
-  HeavyHitter hh(f.g, f.weights);
+  HeavyHitter hh(pmcf::core::default_context(), f.g, f.weights);
   Vec h(20);
   par::Rng rng(98);
   for (auto& x : h) x = rng.next_double();
@@ -191,7 +192,7 @@ TEST(HeavyHitterTest, ScaleChangesAnswers) {
 TEST(HeavyHitterTest, ZeroWeightRowsNeverReturned) {
   HhFixture f(15, 50, 99);
   f.weights[3] = 0.0;
-  HeavyHitter hh(f.g, f.weights);
+  HeavyHitter hh(pmcf::core::default_context(), f.g, f.weights);
   Vec h(15, 0.0);
   h[0] = 100.0;
   const auto got = hh.heavy_query(h, 1e-9);
@@ -201,7 +202,7 @@ TEST(HeavyHitterTest, ZeroWeightRowsNeverReturned) {
 TEST(HeavyHitterTest, SampleCoversLargeEntries) {
   // Rows carrying most of ||GAh||² must be sampled with high probability.
   HhFixture f(25, 100, 100);
-  HeavyHitter hh(f.g, f.weights);
+  HeavyHitter hh(pmcf::core::default_context(), f.g, f.weights);
   Vec h(25, 0.0);
   par::Rng rng(101);
   for (auto& x : h) x = 0.05 * rng.next_double();
@@ -235,7 +236,7 @@ TEST(HeavyHitterTest, SampleCoversLargeEntries) {
 
 TEST(HeavyHitterTest, LeverageSampleBoundsAndCoverage) {
   HhFixture f(20, 90, 102);
-  HeavyHitter hh(f.g, f.weights);
+  HeavyHitter hh(pmcf::core::default_context(), f.g, f.weights);
   const auto bound = hh.leverage_bound({0, 5, 10}, 0.2);
   for (const double p : bound) {
     EXPECT_GE(p, 0.0);
@@ -248,7 +249,7 @@ TEST(HeavyHitterTest, LeverageSampleBoundsAndCoverage) {
 TEST(HeavyHitterTest, QueryWorkIsOutputSensitive) {
   // With a localized h, the query must not scan all m arcs.
   HhFixture f(400, 2400, 103);
-  HeavyHitter hh(f.g, f.weights);
+  HeavyHitter hh(pmcf::core::default_context(), f.g, f.weights);
   Vec h(400, 0.0);  // all-zero: nothing heavy, scans ~ cluster vertex sums
   const auto got = hh.heavy_query(h, 0.5);
   EXPECT_TRUE(got.empty());

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "expander/defs.hpp"
+#include "core/solver_context.hpp"
 #include "expander/dynamic_decomp.hpp"
 #include "expander/pruning.hpp"
 #include "expander/static_decomp.hpp"
@@ -255,7 +256,7 @@ DynamicExpanderDecomposition::EdgeSpec spec(Vertex u, Vertex v, std::int64_t id)
 TEST(DynamicDecompTest, InsertThenEnumerate) {
   par::Rng rng(61);
   UndirectedGraph g = graph::random_regular_expander(50, 3, rng);
-  DynamicExpanderDecomposition dec(50, {.phi = 0.1});
+  DynamicExpanderDecomposition dec(pmcf::core::default_context(), 50, {.phi = 0.1});
   std::vector<DynamicExpanderDecomposition::EdgeSpec> edges;
   for (const EdgeId e : g.live_edges()) {
     const auto ep = g.endpoints(e);
@@ -278,7 +279,7 @@ TEST(DynamicDecompTest, InsertThenEnumerate) {
 TEST(DynamicDecompTest, EraseRemovesEdges) {
   par::Rng rng(62);
   UndirectedGraph g = graph::random_regular_expander(40, 4, rng);
-  DynamicExpanderDecomposition dec(40, {.phi = 0.1});
+  DynamicExpanderDecomposition dec(pmcf::core::default_context(), 40, {.phi = 0.1});
   std::vector<DynamicExpanderDecomposition::EdgeSpec> edges;
   for (const EdgeId e : g.live_edges()) {
     const auto ep = g.endpoints(e);
@@ -294,7 +295,7 @@ TEST(DynamicDecompTest, EraseRemovesEdges) {
 TEST(DynamicDecompTest, ClusterVertexSumStaysNearLinear) {
   par::Rng rng(63);
   UndirectedGraph g = graph::gnp_undirected(120, 0.08, rng);
-  DynamicExpanderDecomposition dec(120, {.phi = 0.1});
+  DynamicExpanderDecomposition dec(pmcf::core::default_context(), 120, {.phi = 0.1});
   std::vector<DynamicExpanderDecomposition::EdgeSpec> edges;
   for (const EdgeId e : g.live_edges()) {
     const auto ep = g.endpoints(e);
@@ -308,7 +309,7 @@ TEST(DynamicDecompTest, ChurnKeepsConsistency) {
   // Interleaved inserts and erases; the location map must stay exact.
   par::Rng rng(64);
   const Vertex n = 60;
-  DynamicExpanderDecomposition dec(n, {.phi = 0.12});
+  DynamicExpanderDecomposition dec(pmcf::core::default_context(), n, {.phi = 0.12});
   std::set<std::int64_t> live_ids;
   std::int64_t next_id = 0;
   for (int step = 0; step < 30; ++step) {
@@ -351,7 +352,7 @@ TEST(DynamicDecompTest, ChurnKeepsConsistency) {
 TEST(DynamicDecompTest, ClustersAreExpandersAfterChurn) {
   par::Rng rng(65);
   UndirectedGraph g = graph::random_regular_expander(48, 4, rng);
-  DynamicExpanderDecomposition dec(48, {.phi = 0.1});
+  DynamicExpanderDecomposition dec(pmcf::core::default_context(), 48, {.phi = 0.1});
   std::vector<DynamicExpanderDecomposition::EdgeSpec> edges;
   for (const EdgeId e : g.live_edges()) {
     const auto ep = g.endpoints(e);

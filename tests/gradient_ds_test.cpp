@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "ds/dual_maintenance.hpp"
+#include "core/solver_context.hpp"
 #include "ds/gradient_maintenance.hpp"
 #include "ds/heavy_sampler.hpp"
 #include "graph/generators.hpp"
@@ -28,7 +29,7 @@ TEST(DualMaintenanceTest, ApproxStaysWithinAccuracy) {
   Vec v0(120, 0.0), w(120, 1.0);
   DualMaintenanceOptions opts;
   opts.eps = 0.25;
-  DualMaintenance dm(g, v0, w, opts);
+  DualMaintenance dm(pmcf::core::default_context(), g, v0, w, opts);
   for (int step = 0; step < 40; ++step) {
     Vec h(static_cast<std::size_t>(n), 0.0);
     for (int k = 0; k < 3; ++k)
@@ -47,7 +48,7 @@ TEST(DualMaintenanceTest, ChangedIndicesAreReported) {
   par::Rng rng(112);
   const Vertex n = 20;
   const Digraph g = graph::random_flow_network(n, 80, 4, 4, rng);
-  DualMaintenance dm(g, Vec(80, 0.0), Vec(80, 1.0), {.eps = 0.1});
+  DualMaintenance dm(pmcf::core::default_context(), g, Vec(80, 0.0), Vec(80, 1.0), {.eps = 0.1});
   Vec h(static_cast<std::size_t>(n), 0.0);
   h[3] = 10.0;
   const auto res = dm.add(h);
@@ -65,7 +66,7 @@ TEST(DualMaintenanceTest, SmallDriftTriggersNoUpdates) {
   par::Rng rng(113);
   const Vertex n = 20;
   const Digraph g = graph::random_flow_network(n, 80, 4, 4, rng);
-  DualMaintenance dm(g, Vec(80, 0.0), Vec(80, 1.0), {.eps = 1.0});
+  DualMaintenance dm(pmcf::core::default_context(), g, Vec(80, 0.0), Vec(80, 1.0), {.eps = 1.0});
   Vec h(static_cast<std::size_t>(n), 1e-6);
   h[static_cast<std::size_t>(n - 1)] = 0.0;
   const auto res = dm.add(h);
@@ -78,7 +79,7 @@ TEST(DualMaintenanceTest, SetAccuracyTightensEntries) {
   const Digraph g = graph::random_flow_network(n, 60, 4, 4, rng);
   DualMaintenanceOptions opts;
   opts.eps = 0.5;
-  DualMaintenance dm(g, Vec(60, 0.0), Vec(60, 1.0), opts);
+  DualMaintenance dm(pmcf::core::default_context(), g, Vec(60, 0.0), Vec(60, 1.0), opts);
   Vec h(static_cast<std::size_t>(n), 0.0);
   h[2] = 0.3;  // drift below 0.5 tolerance
   dm.add(h);
@@ -214,7 +215,7 @@ TEST(HeavySamplerTest, InverseProbabilitiesAreUnbiasedWeights) {
     w[i] = 0.5 + rng.next_double();
     tau[i] = 0.05 + 0.1 * rng.next_double();
   }
-  HeavySampler hs(g, w, tau);
+  HeavySampler hs(pmcf::core::default_context(), g, w, tau);
   Vec h(static_cast<std::size_t>(n));
   for (auto& x : h) x = rng.next_double() - 0.5;
   h[static_cast<std::size_t>(n - 1)] = 0.0;
@@ -237,7 +238,7 @@ TEST(HeavySamplerTest, OutputSizeScalesWithSqrtN) {
   const Digraph g = graph::random_flow_network(n, m, 4, 4, rng);
   Vec w(static_cast<std::size_t>(m), 1.0);
   Vec tau(static_cast<std::size_t>(m), static_cast<double>(n) / static_cast<double>(m));
-  HeavySampler hs(g, w, tau);
+  HeavySampler hs(pmcf::core::default_context(), g, w, tau);
   Vec h(static_cast<std::size_t>(n));
   for (auto& x : h) x = rng.next_double() - 0.5;
   h[static_cast<std::size_t>(n - 1)] = 0.0;

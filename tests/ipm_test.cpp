@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "baselines/ssp.hpp"
+#include "core/solver_context.hpp"
 #include "graph/generators.hpp"
 #include "ipm/barrier.hpp"
 #include "ipm/reference_ipm.hpp"
@@ -43,7 +44,7 @@ TEST(RoundingTest, ExactInputPassesThrough) {
   g.add_arc(1, 2, 4, 1);
   g.add_arc(2, 0, 4, 1);
   const Vec x{0.0, 0.0, 0.0};
-  const auto r = ipm::round_and_repair(g, {0, 0, 0}, x);
+  const auto r = ipm::round_and_repair(pmcf::core::default_context(), g, {0, 0, 0}, x);
   EXPECT_TRUE(r.feasible);
   EXPECT_EQ(r.cost, 0);
   EXPECT_EQ(r.cycles_canceled, 0);
@@ -56,7 +57,7 @@ TEST(RoundingTest, NegativeCycleGetsCanceled) {
   g.add_arc(1, 2, 4, -2);
   g.add_arc(2, 0, 4, 1);
   const Vec x{0.0, 0.0, 0.0};
-  const auto r = ipm::round_and_repair(g, {0, 0, 0}, x);
+  const auto r = ipm::round_and_repair(pmcf::core::default_context(), g, {0, 0, 0}, x);
   EXPECT_TRUE(r.feasible);
   EXPECT_EQ(r.flow, (std::vector<std::int64_t>{4, 4, 4}));
   EXPECT_EQ(r.cost, -12);
@@ -72,7 +73,7 @@ TEST(RoundingTest, ImbalanceIsRepaired) {
   g.add_arc(2, 0, 4, 1);
   const Vec x{2.4, 1.6, 2.0};  // rounds to {2, 2, 2}: feasible by luck; use skew
   const Vec x2{2.6, 1.4, 2.0};  // rounds to {3, 1, 2}: imbalanced
-  const auto r = ipm::round_and_repair(g, {0, 0, 0}, x2);
+  const auto r = ipm::round_and_repair(pmcf::core::default_context(), g, {0, 0, 0}, x2);
   EXPECT_TRUE(r.feasible);
   std::vector<std::int64_t> net(3, 0);
   for (std::size_t k = 0; k < 3; ++k) {

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "graph/generators.hpp"
+#include "core/solver_context.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/incidence.hpp"
@@ -121,7 +122,7 @@ TEST(SddSolverTest, SolvesRandomLaplacianSystems) {
     Vec xtrue(a.cols());
     for (auto& v : xtrue) v = rng.next_double() - 0.5;
     const Vec b = lap.apply(xtrue);
-    const auto res = solve_sdd(lap, b, {.tolerance = 1e-12, .max_iters = 5000});
+    const auto res = solve_sdd(pmcf::core::default_context(), lap, b, {.tolerance = 1e-12, .max_iters = 5000});
     EXPECT_TRUE(res.converged);
     for (std::size_t i = 0; i < xtrue.size(); ++i) EXPECT_NEAR(res.x[i], xtrue[i], 1e-6);
   }
@@ -131,7 +132,7 @@ TEST(SddSolverTest, ZeroRhsReturnsZero) {
   const graph::Digraph g = triangle();
   const IncidenceOp a(g);
   const Csr lap = reduced_laplacian(g, {1.0, 1.0, 1.0}, a.dropped());
-  const auto res = solve_sdd(lap, Vec(3, 0.0));
+  const auto res = solve_sdd(pmcf::core::default_context(), lap, Vec(3, 0.0));
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.x, Vec(3, 0.0));
 }
@@ -188,7 +189,7 @@ TEST(LeverageTest, SketchedApproximatesExact) {
   for (auto& x : v) x = 0.2 + rng.next_double();
   const Vec exact = leverage_scores_exact(a, v);
   par::Rng rng2(77);
-  const Vec approx = leverage_scores(a, v, rng2, {.sketch_dim = 400, .solve = {}});
+  const Vec approx = leverage_scores(pmcf::core::default_context(), a, v, rng2, {.sketch_dim = 400, .solve = {}});
   for (std::size_t i = 0; i < exact.size(); ++i)
     EXPECT_NEAR(approx[i], exact[i], 0.25 * std::max(exact[i], 0.05));
 }
@@ -209,7 +210,7 @@ TEST(LewisTest, FixedPointResidualSmall) {
   opts.exact_leverage = true;
   opts.max_rounds = 200;
   opts.fixpoint_tol = 1e-10;
-  const Vec tau = ipm_lewis_weights(a, v, r2, opts);
+  const Vec tau = ipm_lewis_weights(pmcf::core::default_context(), a, v, r2, opts);
   // Recompute one fixed-point application and compare.
   const double p = lewis_p(a.rows(), a.cols());
   const double expo = 0.5 - 1.0 / p;
@@ -229,7 +230,7 @@ TEST(LewisTest, WeightsAboveRegularizer) {
   par::Rng r2(11);
   LewisOptions opts;
   opts.exact_leverage = true;
-  const Vec tau = ipm_lewis_weights(a, v, r2, opts);
+  const Vec tau = ipm_lewis_weights(pmcf::core::default_context(), a, v, r2, opts);
   const double reg = static_cast<double>(a.cols()) / static_cast<double>(a.rows());
   for (const double t : tau) EXPECT_GE(t, reg - 1e-9);
 }

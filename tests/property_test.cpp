@@ -10,6 +10,7 @@
 #include <numeric>
 
 #include "baselines/dinic.hpp"
+#include "core/solver_context.hpp"
 #include "baselines/ssp.hpp"
 #include "ds/flat_norm.hpp"
 #include "graph/bfs.hpp"
@@ -49,7 +50,7 @@ TEST_P(RoundingFuzz, ArbitraryFractionalInputYieldsOptimalCirculation) {
   for (std::size_t e = 0; e < x.size(); ++e)
     x[e] = rng.next_double() * static_cast<double>(g.arc(static_cast<graph::EdgeId>(e)).cap);
   std::vector<std::int64_t> b(static_cast<std::size_t>(n), 0);
-  const auto repaired = ipm::round_and_repair(g, b, x);
+  const auto repaired = ipm::round_and_repair(pmcf::core::default_context(), g, b, x);
   EXPECT_TRUE(repaired.feasible);
 
   // Oracle optimum of the same circulation: min-cost max-flow value via SSP
@@ -178,7 +179,7 @@ TEST_P(SpectralSweep, LewisWeightSumApproximatelyTwoN) {
   par::Rng r2(2500 + GetParam());
   linalg::LewisOptions opts;
   opts.exact_leverage = true;
-  const Vec tau = linalg::ipm_lewis_weights(a, v, r2, opts);
+  const Vec tau = linalg::ipm_lewis_weights(pmcf::core::default_context(), a, v, r2, opts);
   const double n = static_cast<double>(a.cols());
   EXPECT_NEAR(linalg::sum(tau), 2.0 * n - 1.0, 0.15 * n);
 }
@@ -199,7 +200,7 @@ TEST_P(SpectralSweep, SddSolverMatchesDenseSolve) {
   Vec bvec(lap.dim());
   for (auto& x : bvec) x = rng.next_double() - 0.5;
   bvec[static_cast<std::size_t>(a.dropped())] = 0.0;
-  const auto iter = linalg::solve_sdd(lap, bvec, {.tolerance = 1e-12, .max_iters = 5000});
+  const auto iter = linalg::solve_sdd(pmcf::core::default_context(), lap, bvec, {.tolerance = 1e-12, .max_iters = 5000});
   const Vec direct = dense.solve(bvec);
   ASSERT_TRUE(iter.converged);
   for (std::size_t i = 0; i < bvec.size(); ++i) EXPECT_NEAR(iter.x[i], direct[i], 1e-6);

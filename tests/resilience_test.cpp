@@ -60,7 +60,7 @@ class FaultFixture : public ::testing::Test {
 
 TEST_F(FaultFixture, DisabledPathNeverFires) {
   for (int i = 0; i < 1000; ++i)
-    EXPECT_FALSE(FaultInjector::should_fire(FaultKind::kCgStagnation));
+    EXPECT_FALSE(FaultInjector::instance().should_fire(FaultKind::kCgStagnation));
   EXPECT_EQ(FaultInjector::instance().fired_total(), 0u);
 }
 
@@ -68,8 +68,8 @@ TEST_F(FaultFixture, RateOneAlwaysFiresRateZeroNever) {
   FaultInjector::instance().arm(FaultKind::kSketchCorruption, 1.0, 7);
   FaultInjector::instance().arm(FaultKind::kHeavyHitterMiss, 0.0, 7);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_TRUE(FaultInjector::should_fire(FaultKind::kSketchCorruption));
-    EXPECT_FALSE(FaultInjector::should_fire(FaultKind::kHeavyHitterMiss));
+    EXPECT_TRUE(FaultInjector::instance().should_fire(FaultKind::kSketchCorruption));
+    EXPECT_FALSE(FaultInjector::instance().should_fire(FaultKind::kHeavyHitterMiss));
   }
   EXPECT_EQ(FaultInjector::instance().fired(FaultKind::kSketchCorruption), 100u);
   EXPECT_EQ(FaultInjector::instance().fired(FaultKind::kHeavyHitterMiss), 0u);
@@ -81,7 +81,7 @@ TEST_F(FaultFixture, DrawPatternIsDeterministicInSeed) {
     std::vector<bool> fires;
     fires.reserve(200);
     for (int i = 0; i < 200; ++i)
-      fires.push_back(FaultInjector::should_fire(FaultKind::kCgStagnation));
+      fires.push_back(FaultInjector::instance().should_fire(FaultKind::kCgStagnation));
     FaultInjector::instance().disarm(FaultKind::kCgStagnation);
     return fires;
   };

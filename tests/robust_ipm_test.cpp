@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "baselines/ssp.hpp"
+#include "core/solver_context.hpp"
 #include "ds/lewis_maintenance.hpp"
 #include "graph/generators.hpp"
 #include "linalg/leverage.hpp"
@@ -30,7 +31,7 @@ TEST(LeverageMaintenanceTest, TracksExactUnderSlowDrift) {
   ds::LeverageMaintenanceOptions opts;
   opts.leverage.sketch_dim = 200;  // tight sketch for the tolerance below
   opts.period = 8;
-  ds::LeverageMaintenance lm(a, v, Vec(60, 0.0), opts);
+  ds::LeverageMaintenance lm(pmcf::core::default_context(), a, v, Vec(60, 0.0), opts);
   for (int step = 0; step < 20; ++step) {
     // Slow multiplicative drift of a few entries.
     std::vector<std::size_t> idx{static_cast<std::size_t>(rng.next_below(60))};
@@ -59,12 +60,12 @@ TEST(LewisMaintenanceTest, StaysNearFixedPoint) {
   ds::LewisMaintenanceOptions opts;
   opts.leverage.leverage.sketch_dim = 200;
   opts.leverage.period = 6;
-  ds::LewisMaintenance lm(a, w, linalg::constant(48, 12.0 / 48.0), opts);
+  ds::LewisMaintenance lm(pmcf::core::default_context(), a, w, linalg::constant(48, 12.0 / 48.0), opts);
   // Exact oracle.
   par::Rng r2(143);
   linalg::LewisOptions lopts;
   lopts.exact_leverage = true;
-  const Vec exact = linalg::ipm_lewis_weights(a, w, r2, lopts);
+  const Vec exact = linalg::ipm_lewis_weights(pmcf::core::default_context(), a, w, r2, lopts);
   const auto q = lm.query();
   for (std::size_t i = 0; i < 48; ++i)
     EXPECT_NEAR((*q.approx)[i], exact[i], 0.4 * std::max(exact[i], 0.05)) << "row " << i;

@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "core/solver_context.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/thread_pool.hpp"
@@ -150,6 +152,51 @@ TEST_F(SchedulerPropertyTest, PramCountersIndependentOfPoolConfig) {
   EXPECT_EQ(without_pool, with_pool);
   EXPECT_GT(without_pool.work, 0u);
   EXPECT_GT(without_pool.depth, 0u);
+}
+
+TEST_F(SchedulerPropertyTest, PerContextTrackersIsolatedUnderConcurrentSolves) {
+  // Per-solve determinism: a workload charged against a private context's
+  // tracker must report exactly the same work/depth whether it runs alone or
+  // while three sibling workloads (of different sizes!) run concurrently on
+  // other threads. Any charge leaking to the wrong tracker breaks equality.
+  constexpr std::size_t kWorkers = 4;
+  auto workload = [](std::size_t salt) {
+    core::ContextOptions copts;
+    copts.seed = 500 + salt;
+    copts.use_global_pool = false;
+    core::SolverContext ctx(copts);
+    const core::ContextScope scope(ctx);
+    const std::size_t n = 2048 + 512 * salt;  // distinct sizes per worker
+    std::vector<std::int64_t> v(n);
+    parallel_for(0, v.size(), [&](std::size_t i) { v[i] = static_cast<std::int64_t>(i % 13); });
+    (void)parallel_reduce<std::int64_t>(
+        0, v.size(), 0, [&](std::size_t i) { return v[i]; },
+        [](std::int64_t x, std::int64_t y) { return x + y; });
+    (void)pack_indices(v.size(), [&](std::size_t i) { return v[i] % 3 == 0; });
+    parallel_sort(v.begin(), v.end());
+    return ctx.tracker().snapshot();
+  };
+
+  Tracker::instance().reset();
+  std::vector<Cost> isolated(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) isolated[w] = workload(w);
+
+  std::vector<Cost> concurrent(kWorkers);
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    threads.emplace_back([&, w] { concurrent[w] = workload(w); });
+  for (auto& t : threads) t.join();
+
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    SCOPED_TRACE(w);
+    EXPECT_EQ(isolated[w], concurrent[w]);
+    EXPECT_GT(isolated[w].work, 0u);
+    EXPECT_GT(isolated[w].depth, 0u);
+  }
+  // And none of it may have touched the default context's tracker.
+  const Cost global_after = Tracker::instance().snapshot();
+  EXPECT_EQ(global_after.work, 0u);
 }
 
 TEST_F(SchedulerPropertyTest, ExceptionPropagatesFromPooledParallelFor) {
