@@ -36,8 +36,10 @@
 #include "core/solver_context.hpp"
 #include "graph/generators.hpp"
 #include "mcf/engine.hpp"
+#include "linalg/accel_cache.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/laplacian.hpp"
+#include "linalg/preconditioner.hpp"
 #include "linalg/sdd_solver.hpp"
 #include "mcf/min_cost_flow.hpp"
 #include "mcf/reachability.hpp"
@@ -52,7 +54,7 @@ using namespace pmcf;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
-  std::string out = "BENCH_pr3.json";
+  std::string out = "BENCH_pr4.json";
   std::vector<int> threads = {1, 2, 8};
   bool tiny = false;
   int reps = 5;
@@ -256,6 +258,88 @@ Workload make_spmv(bool tiny) {
           }};
 }
 
+Workload make_sdd_multi_rhs(bool tiny) {
+  // The blocked multi-RHS CG path (DESIGN.md §10): k right-hand sides against
+  // one Laplacian share a single nnz-balanced SpMV per iteration instead of k
+  // serial solves — the shape of the leverage-score sketch and the robust
+  // step's dy/q pair.
+  const auto n = static_cast<graph::Vertex>(tiny ? 64 : 512);
+  const std::int64_t m = static_cast<std::int64_t>(n) * 8;
+  const std::size_t k = tiny ? 8 : 32;
+  par::Rng rng(606);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, m, 100, 100, rng));
+  const linalg::IncidenceOp a(*g);
+  linalg::Vec d(a.rows());
+  for (auto& x : d) x = 0.5 + rng.next_double();
+  auto lap = std::make_shared<linalg::Csr>(linalg::reduced_laplacian(*g, d, a.dropped()));
+  auto precond = std::make_shared<linalg::SddPreconditioner>();
+  precond->build(*lap, linalg::PrecondKind::kIncompleteCholesky);
+  auto rhs = std::make_shared<std::vector<linalg::Vec>>(k, linalg::Vec(a.cols()));
+  for (auto& b : *rhs) {
+    for (auto& x : b) x = rng.next_double() - 0.5;
+    b[static_cast<std::size_t>(a.dropped())] = 0.0;
+  }
+  return {"sdd_multi_rhs", "component", [lap, precond, rhs] {
+            const auto sols =
+                linalg::solve_sdd_multi(pmcf::core::default_context(), *lap, *rhs, *precond,
+                                        {.tolerance = 1e-8, .max_iters = 2000});
+            for (const auto& s : sols)
+              if (!s.converged) std::abort();
+          }};
+}
+
+Workload make_precond_reuse(bool tiny) {
+  // The preconditioner/Laplacian lifecycle across IPM-style iterations:
+  // weights drift 5% per step, the Laplacian is value-refreshed in place,
+  // the incomplete-Cholesky factor is reused until drift crosses the
+  // staleness threshold, and each solve warm-starts from the previous
+  // iterate — the per-iteration pattern of the Newton loop.
+  const auto n = static_cast<graph::Vertex>(tiny ? 64 : 384);
+  const std::int64_t m = static_cast<std::int64_t>(n) * 8;
+  const int steps = tiny ? 6 : 16;
+  par::Rng rng(707);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, m, 100, 100, rng));
+  const linalg::IncidenceOp a(*g);
+  auto d0 = std::make_shared<linalg::Vec>(a.rows());
+  for (auto& x : *d0) x = 0.5 + rng.next_double();
+  auto b = std::make_shared<linalg::Vec>(a.cols());
+  for (auto& x : *b) x = rng.next_double() - 0.5;
+  (*b)[static_cast<std::size_t>(a.dropped())] = 0.0;
+  const auto dropped = a.dropped();
+  return {"precond_reuse", "component", [g, d0, b, dropped, steps] {
+            auto& ctx = pmcf::core::default_context();
+            linalg::AccelCache& cache = linalg::accel_cache(ctx);
+            linalg::Vec w = *d0;
+            for (int step = 0; step < steps; ++step) {
+              for (auto& x : w) x *= 1.05;
+              const linalg::Csr& lap = cache.laplacian(ctx, *g, w, dropped);
+              const linalg::SddPreconditioner& pc =
+                  cache.preconditioner(ctx, linalg::AccelSite::kNewton, lap, w);
+              linalg::Vec& warm = cache.warm_start(linalg::AccelSite::kNewton, 0, lap.dim());
+              const auto res = linalg::solve_sdd(ctx, lap, *b, pc,
+                                                 {.tolerance = 1e-8, .max_iters = 2000}, &warm);
+              if (!res.converged) std::abort();
+              warm = res.x;
+            }
+          }};
+}
+
+Workload make_ipm_iterations(bool tiny) {
+  // IPM-iteration-dominated end-to-end solve: bigger than the table1 row so
+  // the per-iteration costs (Laplacian refresh, cached preconditioner,
+  // batched leverage sketch, warm-started Newton) dominate setup/rounding.
+  const auto n = static_cast<graph::Vertex>(tiny ? 14 : 48);
+  par::Rng rng(53);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, 8 * n, 6, 6, rng));
+  return {"ipm_iterations", "table1", [g, n] {
+            mcf::SolveOptions opts;
+            opts.ipm.mu_end = 1e-3;
+            opts.ipm.leverage.sketch_dim = 12;
+            const auto res = mcf::min_cost_max_flow(*g, 0, n - 1, opts);
+            if (res.status != SolveStatus::kOk) std::abort();
+          }};
+}
+
 Workload make_engine_batch(bool tiny) {
   // Serving scenario: many independent small instances fanned across the
   // pool via Engine::solve_batch, one solve per task. Each solve runs under
@@ -401,6 +485,9 @@ int main(int argc, char** argv) {
   workloads.push_back(make_pack(opt.tiny));
   workloads.push_back(make_sort(opt.tiny));
   workloads.push_back(make_spmv(opt.tiny));
+  workloads.push_back(make_sdd_multi_rhs(opt.tiny));
+  workloads.push_back(make_precond_reuse(opt.tiny));
+  workloads.push_back(make_ipm_iterations(opt.tiny));
   workloads.push_back(make_engine_batch(opt.tiny));
 
   std::vector<WorkloadReport> reports;

@@ -29,6 +29,21 @@
 
 namespace pmcf::core {
 
+/// Counters for the solver acceleration layer (DESIGN.md §10). Owned by the
+/// SolverContext so per-solve deltas are exact under concurrent batches; the
+/// linalg cache increments them, the mcf TelemetryScope reads them out into
+/// SolveStats.
+struct AccelTelemetry {
+  std::uint64_t precond_builds = 0;       ///< preconditioner factorizations
+  std::uint64_t precond_reuses = 0;       ///< solves served by a cached factor
+  std::uint64_t precond_fallbacks = 0;    ///< IC(0) breakdowns degraded to Jacobi
+  std::uint64_t laplacian_builds = 0;     ///< full CSR pattern constructions
+  std::uint64_t laplacian_refreshes = 0;  ///< value-only in-place rewrites
+  std::uint64_t multi_rhs_solves = 0;     ///< blocked multi-RHS CG calls
+  std::uint64_t multi_rhs_columns = 0;    ///< RHS columns across those calls
+  std::uint64_t warm_start_hits = 0;      ///< CG solves seeded from a cached iterate
+};
+
 struct ContextOptions {
   std::uint64_t seed = 0x5eedf00dULL;  ///< master RNG stream seed
   /// PRAM accounting on: execution is single-threaded and deterministic.
@@ -50,11 +65,31 @@ class SolverContext {
   SolverContext(const SolverContext&) = delete;
   SolverContext& operator=(const SolverContext&) = delete;
 
+  ~SolverContext() {
+    if (scratch_ != nullptr) scratch_destroy_(scratch_);
+  }
+
   [[nodiscard]] par::Tracker& tracker() { return tracker_; }
   [[nodiscard]] const par::Tracker& tracker() const { return tracker_; }
   [[nodiscard]] par::FaultInjector& fault() { return fault_; }
   [[nodiscard]] RecoveryLog& recovery() { return recovery_; }
   [[nodiscard]] const RecoveryLog& recovery() const { return recovery_; }
+  [[nodiscard]] AccelTelemetry& accel() { return accel_; }
+  [[nodiscard]] const AccelTelemetry& accel() const { return accel_; }
+
+  /// Lazily-created, type-erased per-solve scratch slot. The linalg
+  /// acceleration cache (preconditioners, Laplacian pattern, warm-start
+  /// iterates, CG block scratch) lives here so core carries no linalg
+  /// dependency; the first caller's factory wins and the destructor it
+  /// supplied runs when the context dies. Contexts are single-solve, so no
+  /// synchronization is needed.
+  [[nodiscard]] void* ensure_scratch(void* (*make)(), void (*destroy)(void*)) {
+    if (scratch_ == nullptr) {
+      scratch_ = make();
+      scratch_destroy_ = destroy;
+    }
+    return scratch_;
+  }
 
   /// The solve's master randomness stream.
   [[nodiscard]] par::Rng& rng() { return rng_; }
@@ -95,6 +130,9 @@ class SolverContext {
   par::FaultInjector fault_;
   RecoveryLog recovery_;
   par::Rng rng_;
+  AccelTelemetry accel_;
+  void* scratch_ = nullptr;
+  void (*scratch_destroy_)(void*) = nullptr;
 };
 
 /// Installs `ctx` as the calling thread's current context for the scope

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/accel_cache.hpp"
 #include "linalg/laplacian.hpp"
 #include "linalg/lewis.hpp"
 #include "linalg/sdd_solver.hpp"
@@ -30,18 +31,28 @@ void LeverageMaintenance::rebuild() {
   // Normalize scale (leverage scores are scale invariant).
   const double vmax = std::max(linalg::norm_inf(v_), 1e-300);
   const Vec vn = linalg::scale(v_, 1.0 / vmax);
-  const linalg::Csr lap = linalg::reduced_laplacian(a_->graph(), linalg::mul(vn, vn), a_->dropped());
+  const Vec w = linalg::mul(vn, vn);
+  // Shared assembly/preconditioner cache: rebuilds happen every few robust
+  // steps against slowly drifting weights, so the pattern refresh + cached
+  // factor amortize well here too. All k sketch solves share one blocked CG.
+  linalg::AccelCache& cache = linalg::accel_cache(*ctx_);
+  const linalg::Csr& lap = cache.laplacian(*ctx_, a_->graph(), w, a_->dropped());
+  const linalg::SddPreconditioner& precond =
+      cache.preconditioner(*ctx_, linalg::AccelSite::kLewisMaint, lap, w);
   projections_.assign(k, Vec());
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
+  std::vector<Vec> rhs(k);
   for (std::size_t r = 0; r < k; ++r) {
     Vec jr(m);
     for (std::size_t e = 0; e < m; ++e) jr[e] = rng_.rademacher() * inv_sqrt_k;
-    Vec rhs = a_->apply_transpose(linalg::mul(vn, jr));
-    rhs[static_cast<std::size_t>(a_->dropped())] = 0.0;
-    const auto sol = linalg::solve_sdd(*ctx_, lap, rhs, opts_.leverage.solve);
+    rhs[r] = a_->apply_transpose(linalg::mul(vn, jr));
+    rhs[r][static_cast<std::size_t>(a_->dropped())] = 0.0;
+  }
+  const auto sols = linalg::solve_sdd_multi(*ctx_, lap, rhs, precond, opts_.leverage.solve);
+  for (std::size_t r = 0; r < k; ++r) {
     // Cache A y_r scaled back: projections are in normalized units, matching
     // estimate_entry's use of v_i / vmax.
-    projections_[r] = a_->apply(sol.x);
+    projections_[r] = a_->apply(sols[r].x);
   }
   norm_scale_ = vmax;
   sigma_bar_.assign(m, 0.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ipm/barrier.hpp"
+#include "linalg/accel_cache.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/laplacian.hpp"
 #include "parallel/scheduler.hpp"
@@ -118,13 +119,22 @@ IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y
     const double dmax = linalg::norm_inf(d);
     linalg::scale_into(d, 1.0 / dmax, dn);
     linalg::scale_into(rhs, 1.0 / dmax, rhsn);
-    const linalg::Csr lap = linalg::reduced_laplacian(g, dn, a.dropped());
+    // Acceleration layer (DESIGN.md §10): the Laplacian pattern is fixed
+    // across iterations (value-only refresh), the incomplete-Cholesky
+    // preconditioner survives while the normalized weights drift slowly
+    // along the path, and δy warm-starts from the previous iteration's
+    // direction.
+    linalg::AccelCache& cache = linalg::accel_cache(ctx);
+    const linalg::Csr& lap = cache.laplacian(ctx, g, dn, a.dropped());
+    const linalg::SddPreconditioner& precond =
+        cache.preconditioner(ctx, linalg::AccelSite::kNewton, lap, dn);
+    linalg::Vec& warm_dy = cache.warm_start(linalg::AccelSite::kNewton, 0, n);
     // Newton system with the full recovery ladder: CG, tolerance
     // escalation, dense elimination. A rung that still fails ends the solve
     // with a typed status instead of stepping on a garbage direction.
     linalg::ResilientSolveOptions rso;
     rso.base = opts.solve;
-    auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso);
+    auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso, &precond, &warm_dy);
     res.cg_escalations += sol.tolerance_escalations;
     res.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
     if (sol.status != SolveStatus::kOk) {
@@ -134,6 +144,7 @@ IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y
     }
     Vec dy = std::move(sol.x);
     dy[static_cast<std::size_t>(a.dropped())] = 0.0;
+    warm_dy = dy;  // seed the next iteration's Newton solve
     a.apply_into(dy, a_dy);
     par::parallel_for(0, m, [&](std::size_t i) { dx[i] = -d[i] * (resid[i] + a_dy[i]); });
 

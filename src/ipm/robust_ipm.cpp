@@ -8,6 +8,7 @@
 #include "ds/heavy_sampler.hpp"
 #include "ds/lewis_maintenance.hpp"
 #include "ipm/barrier.hpp"
+#include "linalg/accel_cache.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/laplacian.hpp"
@@ -51,13 +52,20 @@ SolveStatus exact_center_step(core::SolverContext& ctx, const IpmLp& lp,
   Vec dn(m), rhsn(n);
   linalg::scale_into(d, 1.0 / dmax, dn);
   linalg::scale_into(rhs, 1.0 / dmax, rhsn);
-  const linalg::Csr lap = linalg::reduced_laplacian(a.graph(), dn, a.dropped());
+  // Shares the Newton acceleration slot with reference_ipm: fixed-pattern
+  // value refresh, drift-gated incomplete-Cholesky, warm-started direction.
+  linalg::AccelCache& cache = linalg::accel_cache(ctx);
+  const linalg::Csr& lap = cache.laplacian(ctx, a.graph(), dn, a.dropped());
+  const linalg::SddPreconditioner& precond =
+      cache.preconditioner(ctx, linalg::AccelSite::kNewton, lap, dn);
+  linalg::Vec& warm_dy = cache.warm_start(linalg::AccelSite::kNewton, 0, n);
   linalg::ResilientSolveOptions rso;
   rso.base = solve;
-  auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso);
+  auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso, &precond, &warm_dy);
   stats.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
   if (sol.status != SolveStatus::kOk) return SolveStatus::kNumericalFailure;
   sol.x[static_cast<std::size_t>(a.dropped())] = 0.0;
+  warm_dy = sol.x;  // seed the next centering solve
   const Vec a_dy = a.apply(sol.x);
   Vec dx(m);
   par::parallel_for(0, m, [&](std::size_t i) { dx[i] = -d[i] * (resid[i] + a_dy[i]); });
@@ -270,22 +278,41 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
         }
         ++sparsifier_solves;
         const double dmax = std::max(linalg::norm_inf(d_sparse), 1e-300);
-        const linalg::Csr lap =
-            linalg::reduced_laplacian(g, linalg::scale(d_sparse, 1.0 / dmax), a.dropped());
+        const Vec d_scaled = linalg::scale(d_sparse, 1.0 / dmax);
+        // Cached assembly (value-only refresh of the epoch-stable pattern).
+        // The sparsifier resamples its edge support every step, so the
+        // weight vector changes wholesale — the drift gate correctly
+        // refactors the (cheap, Jacobi) preconditioner nearly every step,
+        // while the two RHS of this step share one blocked CG: the δy
+        // steepest-descent system and its feasibility-corrected twin q
+        // solve against the same sparsified Laplacian.
+        linalg::AccelCache& cache = linalg::accel_cache(ctx);
+        const linalg::Csr& lap = cache.laplacian(ctx, g, d_scaled, a.dropped());
+        linalg::PrecondRequest preq;
+        preq.kind = linalg::PrecondKind::kJacobi;
+        const linalg::SddPreconditioner& precond =
+            cache.preconditioner(ctx, linalg::AccelSite::kRobustStep, lap, d_scaled, preq);
 
         //    δy = H^{-1} A^T Φ''^{-1/2} g  with g = -γ ∇Ψ^♭  (dual step)
-        Vec rhs_dy = linalg::scale(v1, -opts.gamma / dmax);
-        rhs_dy[static_cast<std::size_t>(a.dropped())] = 0.0;
-        auto dy = linalg::solve_sdd(ctx, lap, rhs_dy, opts.solve).x;
-        dy[static_cast<std::size_t>(a.dropped())] = 0.0;
+        std::vector<Vec> step_rhs(2);
+        step_rhs[0] = linalg::scale(v1, -opts.gamma / dmax);
+        step_rhs[0][static_cast<std::size_t>(a.dropped())] = 0.0;
         //    δy + δc adds the feasibility correction H^{-1}(A^T x̄ - b).
-        Vec rhs_q(n);
+        step_rhs[1].resize(n);
         par::parallel_for(0, n, [&](std::size_t i) {
-          rhs_q[i] = (-opts.gamma * v1[i] - rp[i]) / dmax;
+          step_rhs[1][i] = (-opts.gamma * v1[i] - rp[i]) / dmax;
         });
-        rhs_q[static_cast<std::size_t>(a.dropped())] = 0.0;
-        auto q = linalg::solve_sdd(ctx, lap, rhs_q, opts.solve).x;
+        step_rhs[1][static_cast<std::size_t>(a.dropped())] = 0.0;
+        linalg::Vec& warm_dy = cache.warm_start(linalg::AccelSite::kRobustStep, 0, n);
+        linalg::Vec& warm_q = cache.warm_start(linalg::AccelSite::kRobustStep, 1, n);
+        auto sols = linalg::solve_sdd_multi(ctx, lap, step_rhs, precond, opts.solve,
+                                            {&warm_dy, &warm_q});
+        Vec dy = std::move(sols[0].x);
+        dy[static_cast<std::size_t>(a.dropped())] = 0.0;
+        Vec q = std::move(sols[1].x);
         q[static_cast<std::size_t>(a.dropped())] = 0.0;
+        warm_dy = dy;
+        warm_q = q;
 
         // 4. Sampled primal correction (the R matrix of eq. (5)).
         const auto r_entries = sampler.sample(q);

@@ -28,12 +28,26 @@ class Csr {
   /// lengths cannot serialize the SpMV.
   void apply_into(const Vec& x, Vec& y) const;
 
+  /// Y = M X for a row-major n×k block (X[i*k + j] is column j of row i),
+  /// one nnz-balanced pass over the matrix shared by all k columns. Each
+  /// output entry accumulates in the same CSR order as apply_into, so column
+  /// j of the result is bit-identical to apply_into on column j alone.
+  void apply_block_into(const Vec& x, Vec& y, std::size_t k) const;
+
   /// Diagonal of M (for the Jacobi preconditioner).
   [[nodiscard]] Vec diagonal() const;
+
+  /// Diagonal into a caller-owned buffer (d.size() == dim()); no allocation.
+  void diagonal_into(Vec& d) const;
 
   [[nodiscard]] const std::vector<std::int64_t>& offsets() const { return off_; }
   [[nodiscard]] const std::vector<std::int32_t>& cols() const { return col_; }
   [[nodiscard]] const std::vector<double>& vals() const { return val_; }
+
+  /// Mutable value array, for owners that rewrite values over a fixed
+  /// sparsity pattern (Laplacian::refresh_values). The structure arrays stay
+  /// immutable through this interface.
+  [[nodiscard]] std::vector<double>& vals_mut() { return val_; }
 
   /// Build from coordinate triplets (duplicates are summed).
   static Csr from_triplets(std::size_t n,

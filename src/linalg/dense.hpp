@@ -28,6 +28,14 @@ class Dense {
   /// Solve this * x = b by partial-pivot Gaussian elimination (square only).
   [[nodiscard]] Vec solve(Vec b) const;
 
+  /// Like solve(), but a pivot below `rel_pivot_tol` times the largest
+  /// absolute entry pins that unknown to zero instead of throwing. Intended
+  /// for the degenerate systems the CG fallback can meet: a reduced
+  /// Laplacian whose row scale underflowed at the current reweighting is
+  /// effectively disconnected there, and the Newton direction on that
+  /// coordinate is arbitrary — zero is the safe choice.
+  [[nodiscard]] Vec solve_pinned(Vec b, double rel_pivot_tol = 1e-14) const;
+
   /// Inverse (square, nonsingular).
   [[nodiscard]] Dense inverse() const;
 

@@ -85,4 +85,74 @@ inline double precond_refresh(const Vec& dinv, const Vec& r, Vec& z) {
       [](double u, double v) { return u + v; });
 }
 
+// ---------------------------------------------------------------------------
+// Strided block kernels: column j of a row-major n×k block (slot i*k + j).
+//
+// These mirror the contiguous kernels above element for element. The wall
+// parallel_reduce's combining tree depends only on (range, grain, threads) —
+// never on the loop body — so a strided reduction over [0, n) produces the
+// same partial-sum tree as the contiguous one, and the blocked multi-RHS CG
+// in solve_sdd_multi stays bit-identical to k independent single-RHS solves
+// (asserted by tests/accel_test.cpp).
+// ---------------------------------------------------------------------------
+
+/// dot over column j: sum_i a[i*k+j] * b[i*k+j].
+inline double dot_strided(const Vec& a, const Vec& b, std::size_t k, std::size_t j,
+                          std::size_t n) {
+  return par::parallel_reduce<double>(
+      0, n, 0.0, [&](std::size_t i) { return a[i * k + j] * b[i * k + j]; },
+      [](double x, double y) { return x + y; });
+}
+
+/// Column-j twin of axpby: y_col = a*x_col + b*y_col.
+inline void axpby_strided(Vec& y, double a, const Vec& x, double b, std::size_t k,
+                          std::size_t j, std::size_t n) {
+  par::parallel_for(0, n, [&](std::size_t i) { y[i * k + j] = a * x[i * k + j] + b * y[i * k + j]; });
+}
+
+/// Column-j twin of cg_step_residual: x_col += alpha*p_col, r_col -= alpha*mp_col,
+/// returns r_col . r_col.
+inline double cg_step_residual_strided(Vec& x, Vec& r, const Vec& p, const Vec& mp,
+                                       double alpha, std::size_t k, std::size_t j,
+                                       std::size_t n) {
+  if (par::current_tracker().enabled()) {
+    par::parallel_for(0, n, [&](std::size_t i) { x[i * k + j] += alpha * p[i * k + j]; });
+    par::parallel_for(0, n, [&](std::size_t i) { r[i * k + j] -= alpha * mp[i * k + j]; });
+    return par::parallel_reduce<double>(
+        0, n, 0.0, [&](std::size_t i) { return r[i * k + j] * r[i * k + j]; },
+        [](double u, double v) { return u + v; });
+  }
+  return par::parallel_reduce<double>(
+      0, n, 0.0,
+      [&](std::size_t i) {
+        const std::size_t s = i * k + j;
+        x[s] += alpha * p[s];
+        const double ri = r[s] - alpha * mp[s];
+        r[s] = ri;
+        return ri * ri;
+      },
+      [](double u, double v) { return u + v; });
+}
+
+/// Column-j twin of precond_refresh with a contiguous dinv (length n):
+/// z_col = dinv .* r_col, returns r_col . z_col.
+inline double precond_refresh_strided(const Vec& dinv, const Vec& r, Vec& z, std::size_t k,
+                                      std::size_t j, std::size_t n) {
+  if (par::current_tracker().enabled()) {
+    par::parallel_for(0, n, [&](std::size_t i) { z[i * k + j] = dinv[i] * r[i * k + j]; });
+    return par::parallel_reduce<double>(
+        0, n, 0.0, [&](std::size_t i) { return r[i * k + j] * z[i * k + j]; },
+        [](double u, double v) { return u + v; });
+  }
+  return par::parallel_reduce<double>(
+      0, n, 0.0,
+      [&](std::size_t i) {
+        const std::size_t s = i * k + j;
+        const double zi = dinv[i] * r[s];
+        z[s] = zi;
+        return r[s] * zi;
+      },
+      [](double u, double v) { return u + v; });
+}
+
 }  // namespace pmcf::linalg

@@ -1,5 +1,6 @@
 #include "linalg/laplacian.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "parallel/scheduler.hpp"
@@ -46,6 +47,119 @@ Csr reduced_laplacian(const graph::Digraph& g, const Vec& d, graph::Vertex dropp
   vals.push_back(1.0);
   par::charge(d.size(), par::ceil_log2(std::max<std::size_t>(d.size(), 1)));
   return Csr::from_triplets(n, rows, cols, vals);
+}
+
+bool Laplacian::matches(const graph::Digraph& g, graph::Vertex dropped) const {
+  if (!bound() || dropped_ != dropped) return false;
+  if (n_ != static_cast<std::size_t>(g.num_vertices())) return false;
+  if (arc_from_.size() != static_cast<std::size_t>(g.num_arcs())) return false;
+  for (graph::EdgeId e = 0; e < g.num_arcs(); ++e) {
+    const auto& a = g.arc(e);
+    const auto i = static_cast<std::size_t>(e);
+    if (arc_from_[i] != static_cast<std::int32_t>(a.from) ||
+        arc_to_[i] != static_cast<std::int32_t>(a.to))
+      return false;
+  }
+  par::charge(arc_from_.size(), 1);
+  return true;
+}
+
+void Laplacian::build(const graph::Digraph& g, const Vec& d, graph::Vertex dropped) {
+  assert(d.size() == static_cast<std::size_t>(g.num_arcs()));
+  n_ = static_cast<std::size_t>(g.num_vertices());
+  dropped_ = dropped;
+  const auto m = static_cast<std::size_t>(g.num_arcs());
+  arc_from_.resize(m);
+  arc_to_.resize(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto& a = g.arc(static_cast<graph::EdgeId>(e));
+    arc_from_[e] = static_cast<std::int32_t>(a.from);
+    arc_to_[e] = static_cast<std::int32_t>(a.to);
+  }
+
+  // Pattern via the one-shot path (the from_triplets values are immediately
+  // rewritten below: duplicate summation order under the unstable triplet
+  // sort is unspecified, so canonical values always come from the
+  // contribution map — making build + refresh_values bit-consistent).
+  mat_ = reduced_laplacian(g, d, dropped);
+
+  // Contribution list in arc order (pin appended last), then a stable
+  // counting sort by CSR slot so each slot sums its arcs in ascending id.
+  const auto drop = static_cast<std::size_t>(dropped);
+  const auto& off = mat_.offsets();
+  const auto& col = mat_.cols();
+  auto slot_of = [&](std::size_t r, std::size_t c) {
+    const auto* first = col.data() + off[r];
+    const auto* last = col.data() + off[r + 1];
+    const auto* it = std::lower_bound(first, last, static_cast<std::int32_t>(c));
+    assert(it != last && *it == static_cast<std::int32_t>(c));
+    return static_cast<std::size_t>(off[r] + (it - first));
+  };
+  std::vector<std::int64_t> ent_slot;
+  std::vector<std::int32_t> ent_arc;
+  std::vector<std::int8_t> ent_sign;
+  ent_slot.reserve(4 * m + 1);
+  ent_arc.reserve(4 * m + 1);
+  ent_sign.reserve(4 * m + 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto u = static_cast<std::size_t>(arc_from_[e]);
+    const auto v = static_cast<std::size_t>(arc_to_[e]);
+    if (u != drop) {
+      ent_slot.push_back(static_cast<std::int64_t>(slot_of(u, u)));
+      ent_arc.push_back(static_cast<std::int32_t>(e));
+      ent_sign.push_back(1);
+    }
+    if (v != drop) {
+      ent_slot.push_back(static_cast<std::int64_t>(slot_of(v, v)));
+      ent_arc.push_back(static_cast<std::int32_t>(e));
+      ent_sign.push_back(1);
+    }
+    if (u != drop && v != drop) {
+      ent_slot.push_back(static_cast<std::int64_t>(slot_of(u, v)));
+      ent_arc.push_back(static_cast<std::int32_t>(e));
+      ent_sign.push_back(-1);
+      ent_slot.push_back(static_cast<std::int64_t>(slot_of(v, u)));
+      ent_arc.push_back(static_cast<std::int32_t>(e));
+      ent_sign.push_back(-1);
+    }
+  }
+  ent_slot.push_back(static_cast<std::int64_t>(slot_of(drop, drop)));
+  ent_arc.push_back(-1);  // the unit pin
+  ent_sign.push_back(1);
+
+  const std::size_t nnz = mat_.nnz();
+  slot_off_.assign(nnz + 1, 0);
+  for (const std::int64_t s : ent_slot) ++slot_off_[static_cast<std::size_t>(s) + 1];
+  for (std::size_t s = 0; s < nnz; ++s) slot_off_[s + 1] += slot_off_[s];
+  slot_arc_.resize(ent_slot.size());
+  slot_sign_.resize(ent_slot.size());
+  {
+    std::vector<std::int64_t> cur(slot_off_.begin(), slot_off_.end() - 1);
+    for (std::size_t t = 0; t < ent_slot.size(); ++t) {
+      const auto s = static_cast<std::size_t>(ent_slot[t]);
+      slot_arc_[static_cast<std::size_t>(cur[s])] = ent_arc[t];
+      slot_sign_[static_cast<std::size_t>(cur[s])] = ent_sign[t];
+      ++cur[s];
+    }
+  }
+  par::charge(ent_slot.size() + nnz, par::ceil_log2(std::max<std::size_t>(nnz, 2)));
+  refresh_values(d);
+}
+
+void Laplacian::refresh_values(const Vec& d) {
+  assert(bound() && d.size() == arc_from_.size());
+  auto& vals = mat_.vals_mut();
+  par::parallel_for(0, vals.size(), [&](std::size_t s) {
+    double acc = 0.0;
+    for (std::int64_t t = slot_off_[s]; t < slot_off_[s + 1]; ++t) {
+      const std::int32_t arc = slot_arc_[static_cast<std::size_t>(t)];
+      const double w = arc < 0 ? 1.0 : d[static_cast<std::size_t>(arc)];
+      acc += static_cast<double>(slot_sign_[static_cast<std::size_t>(t)]) * w;
+    }
+    vals[s] = acc;
+    const auto cnt = static_cast<std::uint64_t>(slot_off_[s + 1] - slot_off_[s]);
+    par::charge(cnt, par::ceil_log2(std::max<std::uint64_t>(cnt, 1)));
+  });
 }
 
 }  // namespace pmcf::linalg

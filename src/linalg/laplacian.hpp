@@ -3,6 +3,19 @@
 // incidence matrix with one column dropped and D a positive diagonal.
 // The dropped vertex's row is pinned to the identity so the matrix stays
 // n x n and SPD, matching the "remove one column" convention of Appendix A.
+//
+// Two interfaces:
+//  - reduced_laplacian: one-shot build (triplets + sort), kept for callers
+//    outside the IPM hot path.
+//  - Laplacian: caches the sparsity pattern and a slot→arc contribution map
+//    so re-weighting the same graph is a value-only parallel rewrite
+//    (refresh_values) instead of a full from_triplets construction. Values
+//    are *always* written through the contribution map — including on the
+//    initial build — so build(d1) + refresh_values(d2) is bit-identical to
+//    a fresh build(d2). See DESIGN.md §10.
+
+#include <cstdint>
+#include <vector>
 
 #include "graph/digraph.hpp"
 #include "linalg/csr.hpp"
@@ -12,5 +25,38 @@ namespace pmcf::linalg {
 
 /// M = A^T Diag(d) A (reduced at `dropped`; its row/col becomes e_dropped).
 Csr reduced_laplacian(const graph::Digraph& g, const Vec& d, graph::Vertex dropped);
+
+class Laplacian {
+ public:
+  [[nodiscard]] bool bound() const { return n_ > 0; }
+
+  /// Whether the cached pattern belongs to (g, dropped). Compared against a
+  /// stored copy of the arc list — not the graph's address — so a different
+  /// graph reallocated at the same address can never alias the cache.
+  [[nodiscard]] bool matches(const graph::Digraph& g, graph::Vertex dropped) const;
+
+  /// Full construction: pattern via from_triplets, then the slot→arc
+  /// contribution map, then a canonical value write (same path as refresh).
+  void build(const graph::Digraph& g, const Vec& d, graph::Vertex dropped);
+
+  /// Value-only rewrite for new arc weights over the fixed pattern.
+  /// Requires matches(g, dropped) for the graph `d` refers to.
+  /// Work O(nnz), depth O(log n), no allocation.
+  void refresh_values(const Vec& d);
+
+  [[nodiscard]] const Csr& matrix() const { return mat_; }
+  [[nodiscard]] graph::Vertex dropped() const { return dropped_; }
+
+ private:
+  std::size_t n_ = 0;
+  graph::Vertex dropped_ = 0;
+  std::vector<std::int32_t> arc_from_, arc_to_;  // identity of the cached graph
+  Csr mat_;
+  // CSR slot s sums contributions slot_arc_[t] (arc id, or -1 for the unit
+  // pin) with sign slot_sign_[t] for t in [slot_off_[s], slot_off_[s+1]).
+  std::vector<std::int64_t> slot_off_;
+  std::vector<std::int32_t> slot_arc_;
+  std::vector<std::int8_t> slot_sign_;
+};
 
 }  // namespace pmcf::linalg

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/solve_status.hpp"
+#include "linalg/accel_cache.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/laplacian.hpp"
 #include "parallel/fault_injection.hpp"
@@ -55,30 +56,34 @@ namespace {
 /// is Monte-Carlo and the kSketchCorruption injection point simulates the
 /// failure mode by zeroing the estimate.
 Vec sketched_leverage_once(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v,
-                           const Csr& lap, std::size_t k, par::Rng& rng,
-                           const SolveOptions& solve) {
+                           const Csr& lap, const SddPreconditioner& precond, std::size_t k,
+                           par::Rng& rng, const SolveOptions& solve) {
   const std::size_t m = a.rows();
   Vec sigma(m, 0.0);
   if (ctx.fault().should_fire(par::FaultKind::kSketchCorruption)) return sigma;
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
   // The k sketch rows are independent; in the PRAM model they run in parallel
-  // (the loop below is the work-sum; depth is one solve + O(log)). The sketch
-  // buffers are hoisted out of the row loop and reused across all k rows.
+  // (depth is one solve batch + O(log)). All k Rademacher rows are drawn up
+  // front — the solves consume no randomness, so the draw stream is the same
+  // as the historical solve-per-row interleaving — and the k SDD systems
+  // against the shared Laplacian go through one blocked multi-RHS CG.
   Vec jr(m);
   Vec vj(m);
   Vec z(m);
-  Vec rhs(a.cols());
+  std::vector<Vec> rhs(k, Vec(a.cols()));
   for (std::size_t r = 0; r < k; ++r) {
     // J_r: Rademacher row scaled by 1/sqrt(k).
     for (std::size_t e = 0; e < m; ++e) jr[e] = rng.rademacher() * inv_sqrt_k;
     par::charge(m, 1);
     // rhs = B^T J_r = A^T (v .* J_r)
     mul_into(v, jr, vj);
-    a.apply_transpose_into(vj, rhs);
-    rhs[static_cast<std::size_t>(a.dropped())] = 0.0;
-    const SolveResult sol = solve_sdd(ctx, lap, rhs, solve);
+    a.apply_transpose_into(vj, rhs[r]);
+    rhs[r][static_cast<std::size_t>(a.dropped())] = 0.0;
+  }
+  const std::vector<SolveResult> sols = solve_sdd_multi(ctx, lap, rhs, precond, solve);
+  for (std::size_t r = 0; r < k; ++r) {
     // contribution: (B y)_e^2 = (v_e (A y)_e)^2
-    a.apply_into(sol.x, z);
+    a.apply_into(sols[r].x, z);
     par::parallel_for(0, m, [&](std::size_t e) {
       const double t = v[e] * z[e];
       sigma[e] += t * t;
@@ -108,7 +113,13 @@ Vec leverage_scores(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v
   // the dropped row's unit pin stays commensurate with the weights.
   const double vmax = std::max(norm_inf(v_in), 1e-300);
   const Vec v = scale(v_in, 1.0 / vmax);
-  const Csr lap = reduced_laplacian(a.graph(), mul(v, v), a.dropped());
+  const Vec w = mul(v, v);
+  // Cached assembly + preconditioner: across IPM iterations the pattern is
+  // fixed (value-only refresh) and the weights drift slowly, so the site's
+  // incomplete-Cholesky factor usually survives several refreshes.
+  AccelCache& cache = accel_cache(ctx);
+  const Csr& lap = cache.laplacian(ctx, a.graph(), w, a.dropped());
+  const SddPreconditioner& precond = cache.preconditioner(ctx, AccelSite::kLeverage, lap, w);
 
   // Retry-with-reseed recovery: each retry widens the sketch (doubling the
   // JL rows) and draws fresh Rademacher rows from a split stream.
@@ -118,7 +129,7 @@ Vec leverage_scores(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v
     if (attempt > 0) ctx.recovery().note(RecoveryEvent::kSketchRetry);
     // Attempt 0 consumes `rng` exactly as the non-resilient version did;
     // retries keep drawing from the same stream, i.e. fresh Rademacher rows.
-    Vec sigma = sketched_leverage_once(ctx, a, v, lap, k, rng, opts.solve);
+    Vec sigma = sketched_leverage_once(ctx, a, v, lap, precond, k, rng, opts.solve);
     if (plausible_leverage(sigma, a.cols())) return sigma;
   }
 

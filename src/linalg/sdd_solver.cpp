@@ -1,7 +1,9 @@
 #include "linalg/sdd_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/accel_cache.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/kernels.hpp"
 #include "parallel/fault_injection.hpp"
@@ -9,32 +11,79 @@
 
 namespace pmcf::linalg {
 
-SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
-                      const SolveOptions& opts) {
+namespace {
+
+/// Per-call Jacobi for the legacy entry points: the diagonal is refreshed
+/// into cached storage (no allocation after the first call at a given dim),
+/// preserving the seed solver's semantics for callers that don't manage a
+/// preconditioner themselves. Not counted as a telemetry "build" — the
+/// hit-rate metric tracks the AccelCache slots, not this fallback.
+const SddPreconditioner& adhoc_jacobi(core::SolverContext& ctx, const Csr& m) {
+  SddPreconditioner& p = accel_cache(ctx).scratch().adhoc;
+  p.build(m, PrecondKind::kJacobi);
+  return p;
+}
+
+/// Warm-start rule shared by the single- and multi-RHS paths: a seed is only
+/// *attempted* when it has a nonzero entry (a zeroed slot is just a cold
+/// start and must not count as a hit).
+bool has_nonzero(const Vec& v) {
+  for (const double x : v)
+    if (x != 0.0) return true;
+  return false;
+}
+
+}  // namespace
+
+SolveInfo solve_sdd_into(core::SolverContext& ctx, const Csr& m, const Vec& b,
+                         const SddPreconditioner& precond, const SolveOptions& opts, Vec& x) {
   const std::size_t n = m.dim();
-  SolveResult res;
-  res.x.assign(n, 0.0);
+  SolveInfo res;
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
     res.converged = true;
     res.status = SolveStatus::kOk;
     return res;
   }
   if (ctx.fault().should_fire(par::FaultKind::kCgStagnation)) {
     // Injected stagnation: report the zero iterate as a hard breakdown.
+    std::fill(x.begin(), x.end(), 0.0);
     res.relative_residual = 1.0;
     res.status = SolveStatus::kNumericalFailure;
     return res;
   }
 
-  // All CG state is allocated once here; the inner loop below performs no
+  // All CG state lives in the context's cache; the loop below performs no
   // heap allocation (asserted by tests/alloc_count_test.cpp).
-  Vec dinv = map(m.diagonal(), [](double d) { return d > 0.0 ? 1.0 / d : 1.0; });
-  Vec r = b;                 // residual (x0 = 0)
-  Vec z = mul(dinv, r);      // preconditioned residual
-  Vec p = z;
-  Vec mp(n);                 // M p scratch
-  double rz = dot(r, z);
+  auto& scr = accel_cache(ctx).scratch();
+  scr.r.resize(n);
+  scr.z.resize(n);
+  scr.p.resize(n);
+  scr.mp.resize(n);
+  Vec& r = scr.r;
+  Vec& z = scr.z;
+  Vec& p = scr.p;
+  Vec& mp = scr.mp;
+
+  if (has_nonzero(x)) {
+    // Warm start: keep the seed only if it is no worse than the zero start
+    // (its residual norm does not exceed ||b||); NaN-poisoned or stale seeds
+    // fail the predicate and fall back to cold.
+    m.apply_into(x, mp);
+    sub_into(b, mp, r);
+    const double rnorm = norm2(r);
+    if (!(rnorm <= bnorm)) {
+      std::fill(x.begin(), x.end(), 0.0);
+      std::copy(b.begin(), b.end(), r.begin());
+    } else {
+      ++ctx.accel().warm_start_hits;
+    }
+  } else {
+    std::copy(b.begin(), b.end(), r.begin());
+  }
+  double rz = precond.apply(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
 
   for (std::int32_t it = 0; it < opts.max_iters; ++it) {
     m.apply_into(p, mp);
@@ -45,7 +94,7 @@ SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
       break;
     }
     const double alpha = rz / pmp;
-    const double rr = cg_step_residual(res.x, r, p, mp, alpha);
+    const double rr = cg_step_residual(x, r, p, mp, alpha);
     res.iterations = it + 1;
     const double rn = std::sqrt(rr);
     if (rn <= opts.tolerance * bnorm) {
@@ -54,7 +103,7 @@ SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
       res.status = SolveStatus::kOk;
       return res;
     }
-    const double rz_new = precond_refresh(dinv, r, z);
+    const double rz_new = precond.apply(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
     axpby(p, 1.0, z, beta);  // p = z + beta * p
@@ -64,9 +113,173 @@ SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
   return res;
 }
 
+SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
+                      const SddPreconditioner& precond, const SolveOptions& opts,
+                      const Vec* x0) {
+  SolveResult res;
+  if (x0 != nullptr && x0->size() == m.dim()) {
+    res.x = *x0;
+  } else {
+    res.x.assign(m.dim(), 0.0);
+  }
+  const SolveInfo info = solve_sdd_into(ctx, m, b, precond, opts, res.x);
+  res.relative_residual = info.relative_residual;
+  res.iterations = info.iterations;
+  res.converged = info.converged;
+  res.status = info.status;
+  return res;
+}
+
+SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
+                      const SolveOptions& opts) {
+  return solve_sdd(ctx, m, b, adhoc_jacobi(ctx, m), opts, nullptr);
+}
+
+std::vector<SolveResult> solve_sdd_multi(core::SolverContext& ctx, const Csr& m,
+                                         const std::vector<Vec>& rhs,
+                                         const SddPreconditioner& precond,
+                                         const SolveOptions& opts,
+                                         const std::vector<const Vec*>& x0) {
+  const std::size_t n = m.dim();
+  const std::size_t k = rhs.size();
+  std::vector<SolveResult> out(k);
+  if (k == 0) return out;
+  ++ctx.accel().multi_rhs_solves;
+  ctx.accel().multi_rhs_columns += k;
+
+  auto& scr = accel_cache(ctx).scratch();
+  scr.bb.resize(n * k);
+  scr.bx.resize(n * k);
+  scr.br.resize(n * k);
+  scr.bz.resize(n * k);
+  scr.bp.resize(n * k);
+  scr.bmp.resize(n * k);
+  scr.bnorm.assign(k, 0.0);
+  scr.rz.assign(k, 0.0);
+  scr.done_iter.assign(k, 0);
+  scr.active.assign(k, 0);
+  Vec& bb = scr.bb;
+  Vec& bx = scr.bx;
+  Vec& br = scr.br;
+  Vec& bz = scr.bz;
+  Vec& bp = scr.bp;
+  Vec& bmp = scr.bmp;
+
+  // Pack the right-hand sides and warm seeds into row-major n×k blocks.
+  for (std::size_t j = 0; j < k; ++j) {
+    const Vec& bj = rhs[j];
+    const Vec* seed = j < x0.size() ? x0[j] : nullptr;
+    const bool warm = seed != nullptr && seed->size() == n && has_nonzero(*seed);
+    par::parallel_for(0, n, [&](std::size_t i) {
+      bb[i * k + j] = bj[i];
+      bx[i * k + j] = warm ? (*seed)[i] : 0.0;
+    });
+  }
+
+  // Column entry, in ascending j: the ||b|| early-out, then the injection
+  // draw — the same order k successive solve_sdd calls would consume draws
+  // in, which is what keeps fault-injected runs bit-identical too.
+  std::size_t live = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    scr.bnorm[j] = std::sqrt(dot_strided(bb, bb, k, j, n));
+    if (scr.bnorm[j] == 0.0) {
+      out[j].converged = true;
+      out[j].status = SolveStatus::kOk;
+      par::parallel_for(0, n, [&](std::size_t i) { bx[i * k + j] = 0.0; });
+      continue;
+    }
+    if (ctx.fault().should_fire(par::FaultKind::kCgStagnation)) {
+      out[j].relative_residual = 1.0;
+      out[j].status = SolveStatus::kNumericalFailure;
+      par::parallel_for(0, n, [&](std::size_t i) { bx[i * k + j] = 0.0; });
+      continue;
+    }
+    scr.active[j] = 1;
+    ++live;
+  }
+
+  // Initial residuals for all live columns from one block SpMV (columns with
+  // a zero seed get r = b - M·0 = b, bit-equal to the cold start).
+  if (live > 0) {
+    m.apply_block_into(bx, bmp, k);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!scr.active[j]) continue;
+      const Vec* seed = j < x0.size() ? x0[j] : nullptr;
+      const bool warm = seed != nullptr && seed->size() == n && has_nonzero(*seed);
+      par::parallel_for(0, n, [&](std::size_t i) { br[i * k + j] = bb[i * k + j] - bmp[i * k + j]; });
+      const double rnorm = std::sqrt(dot_strided(br, br, k, j, n));
+      if (!(rnorm <= scr.bnorm[j])) {
+        par::parallel_for(0, n, [&](std::size_t i) {
+          bx[i * k + j] = 0.0;
+          br[i * k + j] = bb[i * k + j];
+        });
+      } else if (warm) {
+        ++ctx.accel().warm_start_hits;
+      }
+      scr.rz[j] = precond.apply_strided(br, bz, k, j);
+      par::parallel_for(0, n, [&](std::size_t i) { bp[i * k + j] = bz[i * k + j]; });
+    }
+  }
+
+  // Blocked CG: one shared SpMV over the n×k block per iteration; each live
+  // column then runs its own scalar recurrence with strided kernels whose
+  // reduction trees match the contiguous single-RHS ones.
+  for (std::int32_t it = 0; live > 0 && it < opts.max_iters; ++it) {
+    m.apply_block_into(bp, bmp, k);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!scr.active[j]) continue;
+      const double pmp = dot_strided(bp, bmp, k, j, n);
+      if (pmp <= 0.0 || !std::isfinite(pmp)) {
+        out[j].status = SolveStatus::kNumericalFailure;
+        scr.active[j] = 0;
+        --live;
+        continue;
+      }
+      const double alpha = scr.rz[j] / pmp;
+      const double rr = cg_step_residual_strided(bx, br, bp, bmp, alpha, k, j, n);
+      scr.done_iter[j] = it + 1;
+      const double rn = std::sqrt(rr);
+      if (rn <= opts.tolerance * scr.bnorm[j]) {
+        out[j].converged = true;
+        out[j].status = SolveStatus::kOk;
+        out[j].relative_residual = rn / scr.bnorm[j];
+        scr.active[j] = 0;
+        --live;
+        continue;
+      }
+      const double rz_new = precond.apply_strided(br, bz, k, j);
+      const double beta = rz_new / scr.rz[j];
+      scr.rz[j] = rz_new;
+      axpby_strided(bp, 1.0, bz, beta, k, j, n);
+    }
+  }
+
+  // Finalize: unconverged columns report the residual of their last iterate
+  // exactly as the single-RHS epilogue does.
+  for (std::size_t j = 0; j < k; ++j) {
+    out[j].iterations = scr.done_iter[j];
+    if (!out[j].converged && out[j].relative_residual == 0.0 && scr.bnorm[j] > 0.0) {
+      out[j].relative_residual = std::sqrt(dot_strided(br, br, k, j, n)) / scr.bnorm[j];
+      if (!std::isfinite(out[j].relative_residual))
+        out[j].status = SolveStatus::kNumericalFailure;
+    }
+    out[j].x.resize(n);
+    Vec& xj = out[j].x;
+    par::parallel_for(0, n, [&](std::size_t i) { xj[i] = bx[i * k + j]; });
+  }
+  return out;
+}
+
 ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m, const Vec& b,
-                                         const ResilientSolveOptions& opts) {
+                                         const ResilientSolveOptions& opts,
+                                         const SddPreconditioner* precond, const Vec* x0) {
   ResilientSolveResult out;
+  const SddPreconditioner& pc = precond != nullptr ? *precond : adhoc_jacobi(ctx, m);
+  // Escalation rungs warm-start from the best iterate produced so far: the
+  // seed survives even across a rung that stagnated outright (zero
+  // iterations), so injected kCgStagnation can no longer erase progress.
+  Vec& best = accel_cache(ctx).scratch().resilient_best;
+  const Vec* seed = x0;
   SolveOptions attempt = opts.base;
   for (std::int32_t k = 0; k <= opts.max_escalations; ++k) {
     if (k > 0) {
@@ -75,19 +288,25 @@ ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m,
       ctx.recovery().note(RecoveryEvent::kCgToleranceEscalation);
       ++out.tolerance_escalations;
     }
-    const SolveResult r = solve_sdd(ctx, m, b, attempt);
+    SolveResult r = solve_sdd(ctx, m, b, pc, attempt, seed);
     out.iterations += r.iterations;
     if (r.converged) {
-      out.x = r.x;
+      out.x = std::move(r.x);
       out.relative_residual = r.relative_residual;
       out.status = SolveStatus::kOk;
       return out;
     }
+    if (r.iterations > 0) {
+      best = std::move(r.x);
+      seed = &best;
+    }
   }
 
   // Last rung: exact dense solve. The reduced Laplacian pins the dropped
-  // row/column, so the system is nonsingular and partial-pivot elimination
-  // is safe; the O(dim^3) cost is gated by the guardrail.
+  // row/column, so the system is nonsingular in exact arithmetic; extreme
+  // reweightings can still underflow whole rows, so pinned elimination
+  // zeroes those degenerate coordinates instead of failing the solve. The
+  // O(dim^3) cost is gated by the guardrail.
   if (m.dim() <= opts.dense_fallback_max_dim) {
     Dense dense(m.dim(), m.dim());
     for (std::size_t r = 0; r < m.dim(); ++r)
@@ -95,7 +314,7 @@ ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m,
         dense.at(r, static_cast<std::size_t>(m.cols()[static_cast<std::size_t>(k)])) +=
             m.vals()[static_cast<std::size_t>(k)];
     ctx.recovery().note(RecoveryEvent::kDenseFallback);
-    out.x = dense.solve(b);
+    out.x = dense.solve_pinned(b);
     bool finite = true;
     for (const double v : out.x) finite = finite && std::isfinite(v);
     if (finite) {

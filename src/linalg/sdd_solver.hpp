@@ -3,22 +3,32 @@
 //
 // The paper's IPM calls a parallel SDD solver [PS14] as a black box returning
 // an eps-approximate solution to (A^T D A) x = b with near-linear work and
-// polylog depth. We provide the same contract via Jacobi-preconditioned
-// conjugate gradients. CG's iteration count is instance-dependent; the solver
+// polylog depth. We provide the same contract via preconditioned conjugate
+// gradients (Jacobi or a cached incomplete-Cholesky hybrid, see
+// preconditioner.hpp). CG's iteration count is instance-dependent; the solver
 // reports it so benches can separate the (substituted) inner-solver cost from
-// the outer algorithm's cost. See DESIGN.md §2.
+// the outer algorithm's cost. See DESIGN.md §2 and §10.
 //
 // Because CG can stall outright on ill-conditioned systems (and the
 // fault-injection point kCgStagnation simulates exactly that), results carry
 // a typed SolveStatus and `solve_sdd_resilient` wraps the recovery policy
-// used by the IPM layers: bounded tolerance escalation, then a dense
-// Gaussian-elimination fallback for systems small enough to afford it.
+// used by the IPM layers: bounded tolerance escalation (each rung warm-started
+// from the previous rung's best iterate), then a dense Gaussian-elimination
+// fallback for systems small enough to afford it.
+//
+// `solve_sdd_multi` batches k right-hand sides against one matrix into a
+// blocked CG sharing a single nnz-balanced SpMV pass per iteration; each
+// column's result is bit-identical to the corresponding single-RHS solve
+// (tests/accel_test.cpp), including the order fault-injection draws are
+// consumed in.
 
 #include <cstdint>
+#include <vector>
 
 #include "core/solve_status.hpp"
 #include "core/solver_context.hpp"
 #include "linalg/csr.hpp"
+#include "linalg/preconditioner.hpp"
 #include "linalg/vec_ops.hpp"
 
 namespace pmcf::linalg {
@@ -36,10 +46,49 @@ struct SolveResult {
   SolveStatus status = SolveStatus::kIterationLimit;  ///< kOk iff converged
 };
 
+/// Scalar metadata of a solve whose iterate lives in a caller-owned buffer.
+struct SolveInfo {
+  double relative_residual = 0.0;
+  std::int32_t iterations = 0;
+  bool converged = false;
+  SolveStatus status = SolveStatus::kIterationLimit;
+};
+
 /// Solve M x = b for SPD M by Jacobi-preconditioned CG. `ctx` scopes the
-/// fault-injection points and PRAM accounting to the calling solve.
+/// fault-injection points, PRAM accounting, and the solver's scratch cache
+/// to the calling solve. (The Jacobi diagonal is refreshed into cached
+/// storage each call; pass a prebuilt preconditioner to skip even that.)
 SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
                       const SolveOptions& opts = {});
+
+/// Preconditioned variant. `x0` (optional) seeds the iterate: a nonzero seed
+/// whose initial residual does not exceed ||b|| is kept (a warm-start hit in
+/// ctx telemetry), otherwise the solve falls back to the zero start — so a
+/// stale seed can never make the result worse than a cold solve.
+SolveResult solve_sdd(core::SolverContext& ctx, const Csr& m, const Vec& b,
+                      const SddPreconditioner& precond, const SolveOptions& opts,
+                      const Vec* x0 = nullptr);
+
+/// Allocation-free core: `x` carries the start iterate in (see the x0 rules
+/// above; pass a zeroed vector for a cold start) and the solution out. All
+/// other working state lives in the context's acceleration cache, so
+/// repeated calls perform no heap allocation (alloc_count_test).
+SolveInfo solve_sdd_into(core::SolverContext& ctx, const Csr& m, const Vec& b,
+                         const SddPreconditioner& precond, const SolveOptions& opts, Vec& x);
+
+/// Blocked multi-RHS CG: solve M x_j = rhs[j] for all j against one shared
+/// preconditioner, with one nnz-balanced SpMV over the row-major n×k block
+/// per iteration instead of k separate passes. Per-column stopping,
+/// breakdown, and fault-injection semantics exactly mirror k successive
+/// solve_sdd calls (columns draw injection points in ascending j at entry),
+/// and every column's result is bit-identical to its single-RHS twin.
+/// `x0[j]` (when provided and non-null) seeds column j under the warm-start
+/// rules above.
+std::vector<SolveResult> solve_sdd_multi(core::SolverContext& ctx, const Csr& m,
+                                         const std::vector<Vec>& rhs,
+                                         const SddPreconditioner& precond,
+                                         const SolveOptions& opts = {},
+                                         const std::vector<const Vec*>& x0 = {});
 
 struct ResilientSolveOptions {
   SolveOptions base;
@@ -58,11 +107,15 @@ struct ResilientSolveResult {
 };
 
 /// Solve M x = b with the Newton-system recovery policy: CG at the requested
-/// tolerance, then bounded tolerance escalation (each retry also doubles the
-/// iteration budget), then dense Gaussian elimination when dim fits the
-/// guardrail. Returns kNumericalFailure only when every rung fails. Recovery
-/// events are recorded against `ctx`'s log.
+/// tolerance, then bounded tolerance escalation (each retry doubles the
+/// iteration budget and warm-starts from the best iterate any earlier rung
+/// produced — progress is never discarded), then dense Gaussian elimination
+/// when dim fits the guardrail. Returns kNumericalFailure only when every
+/// rung fails. Recovery events are recorded against `ctx`'s log. `precond`
+/// (optional) replaces the per-call Jacobi; `x0` (optional) seeds rung 0.
 ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m, const Vec& b,
-                                         const ResilientSolveOptions& opts = {});
+                                         const ResilientSolveOptions& opts = {},
+                                         const SddPreconditioner* precond = nullptr,
+                                         const Vec* x0 = nullptr);
 
 }  // namespace pmcf::linalg

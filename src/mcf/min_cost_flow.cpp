@@ -79,9 +79,13 @@ struct TelemetryScope {
   core::SolverContext* ctx;
   RecoverySnapshot rec0;
   std::uint64_t faults0;
+  core::AccelTelemetry accel0;
 
   explicit TelemetryScope(core::SolverContext& c)
-      : ctx(&c), rec0(c.recovery().snapshot()), faults0(c.fault().fired_total()) {}
+      : ctx(&c),
+        rec0(c.recovery().snapshot()),
+        faults0(c.fault().fired_total()),
+        accel0(c.accel()) {}
 
   void finish(SolveStats& stats) const {
     const RecoverySnapshot d = ctx->recovery().snapshot().since(rec0);
@@ -90,6 +94,15 @@ struct TelemetryScope {
     stats.sketch_retries = d.of(RecoveryEvent::kSketchRetry);
     stats.structure_rebuilds = d.of(RecoveryEvent::kStructureRebuild);
     stats.injected_faults = ctx->fault().fired_total() - faults0;
+    const core::AccelTelemetry& a = ctx->accel();
+    stats.precond_builds = a.precond_builds - accel0.precond_builds;
+    stats.precond_reuses = a.precond_reuses - accel0.precond_reuses;
+    stats.precond_fallbacks = a.precond_fallbacks - accel0.precond_fallbacks;
+    stats.laplacian_builds = a.laplacian_builds - accel0.laplacian_builds;
+    stats.laplacian_refreshes = a.laplacian_refreshes - accel0.laplacian_refreshes;
+    stats.multi_rhs_solves = a.multi_rhs_solves - accel0.multi_rhs_solves;
+    stats.multi_rhs_columns = a.multi_rhs_columns - accel0.multi_rhs_columns;
+    stats.warm_start_hits = a.warm_start_hits - accel0.warm_start_hits;
   }
 };
 

@@ -65,6 +65,25 @@ struct SolveStats {
   std::uint64_t sketch_retries = 0;
   std::uint64_t structure_rebuilds = 0;
   std::uint64_t injected_faults = 0;  ///< fault-injection firings (testing)
+  // --- solver-acceleration telemetry (DESIGN.md §10) ----------------------
+  /// Preconditioner lifecycle across the solve's CG call sites: `builds`
+  /// counts factorizations, `reuses` counts solves served by a cached
+  /// factor whose weight drift stayed under the threshold.
+  std::uint64_t precond_builds = 0;
+  std::uint64_t precond_reuses = 0;
+  std::uint64_t precond_fallbacks = 0;    ///< IC(0) breakdowns degraded to Jacobi
+  std::uint64_t laplacian_builds = 0;     ///< full CSR pattern constructions
+  std::uint64_t laplacian_refreshes = 0;  ///< value-only in-place rewrites
+  std::uint64_t multi_rhs_solves = 0;     ///< blocked multi-RHS CG calls
+  std::uint64_t multi_rhs_columns = 0;    ///< RHS columns across those calls
+  std::uint64_t warm_start_hits = 0;      ///< CG solves seeded from a cached iterate
+
+  /// Fraction of preconditioner requests served from cache.
+  [[nodiscard]] double precond_hit_rate() const {
+    const std::uint64_t total = precond_builds + precond_reuses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(precond_reuses) / static_cast<double>(total);
+  }
 };
 
 struct MinCostFlowResult {

@@ -1,0 +1,317 @@
+// Tests for the solver acceleration layer (DESIGN.md §10):
+//  - solve_sdd_multi is bit-identical to k successive single-RHS solves, in
+//    instrumented and wall mode, under both preconditioner kinds, and with
+//    fault injection armed (the draw streams line up column by column);
+//  - the SddPreconditioner cache reuses a factor while weight drift stays
+//    under the threshold and rebuilds past it;
+//  - Laplacian::refresh_values produces bitwise the same matrix as a fresh
+//    build at the new weights (the canonical contribution-map summation);
+//  - warm-started escalation rungs recover from injected kCgStagnation with
+//    fewer total CG iterations than cold rungs;
+//  - SolveStats surfaces the acceleration telemetry of a full MCF solve.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solver_context.hpp"
+#include "graph/generators.hpp"
+#include "linalg/accel_cache.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/preconditioner.hpp"
+#include "linalg/sdd_solver.hpp"
+#include "linalg/vec_ops.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/fault_injection.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace pmcf {
+namespace {
+
+using linalg::Vec;
+
+struct Problem {
+  graph::Digraph g{0};
+  graph::Vertex dropped = 0;
+  Vec d;
+  linalg::Csr lap;
+  std::vector<Vec> rhs;
+};
+
+Problem make_problem(std::uint64_t seed, std::size_t k) {
+  par::Rng rng(seed);
+  Problem p;
+  p.g = graph::random_flow_network(48, 320, 40, 40, rng);
+  const linalg::IncidenceOp a(p.g);
+  p.dropped = a.dropped();
+  p.d.resize(a.rows());
+  for (auto& x : p.d) x = 0.25 + rng.next_double();
+  p.lap = linalg::reduced_laplacian(p.g, p.d, p.dropped);
+  p.rhs.assign(k, Vec(a.cols()));
+  for (auto& b : p.rhs) {
+    for (auto& x : b) x = rng.next_double() - 0.5;
+    b[static_cast<std::size_t>(p.dropped)] = 0.0;
+  }
+  return p;
+}
+
+void expect_bit_identical(const linalg::SolveResult& single, const linalg::SolveResult& multi,
+                          std::size_t j) {
+  EXPECT_EQ(single.iterations, multi.iterations) << "column " << j;
+  EXPECT_EQ(single.converged, multi.converged) << "column " << j;
+  EXPECT_EQ(single.status, multi.status) << "column " << j;
+  EXPECT_EQ(single.relative_residual, multi.relative_residual) << "column " << j;
+  ASSERT_EQ(single.x.size(), multi.x.size()) << "column " << j;
+  for (std::size_t i = 0; i < single.x.size(); ++i)
+    EXPECT_EQ(single.x[i], multi.x[i]) << "column " << j << " entry " << i;
+}
+
+void run_multi_vs_single(linalg::PrecondKind kind) {
+  const std::size_t k = 7;
+  const Problem p = make_problem(1234, k);
+  linalg::SddPreconditioner precond;
+  precond.build(p.lap, kind);
+  ASSERT_TRUE(precond.valid());
+  linalg::SolveOptions opts;
+  opts.tolerance = 1e-10;
+  opts.max_iters = 400;
+
+  core::SolverContext ctx_single, ctx_multi;
+  std::vector<linalg::SolveResult> singles;
+  singles.reserve(k);
+  for (std::size_t j = 0; j < k; ++j)
+    singles.push_back(linalg::solve_sdd(ctx_single, p.lap, p.rhs[j], precond, opts));
+  const auto multi = linalg::solve_sdd_multi(ctx_multi, p.lap, p.rhs, precond, opts);
+
+  ASSERT_EQ(multi.size(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_TRUE(singles[j].converged) << "column " << j;
+    expect_bit_identical(singles[j], multi[j], j);
+  }
+}
+
+class AccelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(false);
+  }
+  void TearDown() override {
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(true);
+  }
+};
+
+TEST_F(AccelTest, MultiRhsMatchesSinglesBitwiseJacobiWallSerial) {
+  run_multi_vs_single(linalg::PrecondKind::kJacobi);
+}
+
+TEST_F(AccelTest, MultiRhsMatchesSinglesBitwiseIncompleteCholeskyWallSerial) {
+  run_multi_vs_single(linalg::PrecondKind::kIncompleteCholesky);
+}
+
+TEST_F(AccelTest, MultiRhsMatchesSinglesBitwiseWallPool) {
+  par::ThreadPool::configure(4);
+  run_multi_vs_single(linalg::PrecondKind::kJacobi);
+  run_multi_vs_single(linalg::PrecondKind::kIncompleteCholesky);
+}
+
+TEST_F(AccelTest, MultiRhsMatchesSinglesBitwiseInstrumented) {
+  par::Tracker::instance().set_enabled(true);
+  par::Tracker::instance().reset();
+  run_multi_vs_single(linalg::PrecondKind::kJacobi);
+  run_multi_vs_single(linalg::PrecondKind::kIncompleteCholesky);
+}
+
+TEST_F(AccelTest, MultiRhsMatchesSinglesUnderFaultInjection) {
+  // Two identically-armed contexts: the multi-RHS path must consume its
+  // stagnation draws once per column in ascending order, exactly as k
+  // successive single solves would — so the injected failure pattern (and
+  // every surviving column's trajectory) is bit-identical.
+  const std::size_t k = 8;
+  const Problem p = make_problem(555, k);
+  linalg::SddPreconditioner precond;
+  precond.build(p.lap, linalg::PrecondKind::kJacobi);
+  linalg::SolveOptions opts;
+  opts.tolerance = 1e-10;
+  opts.max_iters = 400;
+
+  core::SolverContext ctx_single, ctx_multi;
+  ctx_single.fault().arm(par::FaultKind::kCgStagnation, 0.5, 99);
+  ctx_multi.fault().arm(par::FaultKind::kCgStagnation, 0.5, 99);
+
+  std::vector<linalg::SolveResult> singles;
+  singles.reserve(k);
+  for (std::size_t j = 0; j < k; ++j)
+    singles.push_back(linalg::solve_sdd(ctx_single, p.lap, p.rhs[j], precond, opts));
+  const auto multi = linalg::solve_sdd_multi(ctx_multi, p.lap, p.rhs, precond, opts);
+
+  ASSERT_EQ(multi.size(), k);
+  std::size_t failed = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (multi[j].status == SolveStatus::kNumericalFailure) ++failed;
+    expect_bit_identical(singles[j], multi[j], j);
+  }
+  EXPECT_GE(failed, 1u) << "rate-0.5 injection should hit at least one of 8 columns";
+  EXPECT_LT(failed, k) << "and at least one column should survive";
+  EXPECT_EQ(ctx_single.fault().fired_total(), ctx_multi.fault().fired_total());
+}
+
+TEST_F(AccelTest, PreconditionerCacheTracksWeightDrift) {
+  const Problem p = make_problem(321, 1);
+  core::SolverContext ctx;
+  linalg::AccelCache& cache = linalg::accel_cache(ctx);
+
+  const auto& p1 = cache.preconditioner(ctx, linalg::AccelSite::kNewton, p.lap, p.d);
+  EXPECT_TRUE(p1.valid());
+  EXPECT_EQ(ctx.accel().precond_builds, 1u);
+  EXPECT_EQ(ctx.accel().precond_reuses, 0u);
+
+  // Identical weights: served from cache.
+  (void)cache.preconditioner(ctx, linalg::AccelSite::kNewton, p.lap, p.d);
+  EXPECT_EQ(ctx.accel().precond_builds, 1u);
+  EXPECT_EQ(ctx.accel().precond_reuses, 1u);
+
+  // Small drift (1%) stays under the 0.5 threshold: still a cache hit.
+  Vec drifted = p.d;
+  for (auto& x : drifted) x *= 1.01;
+  const linalg::Csr lap_small = linalg::reduced_laplacian(p.g, drifted, p.dropped);
+  (void)cache.preconditioner(ctx, linalg::AccelSite::kNewton, lap_small, drifted);
+  EXPECT_EQ(ctx.accel().precond_builds, 1u);
+  EXPECT_EQ(ctx.accel().precond_reuses, 2u);
+
+  // Large drift (2x) exceeds the threshold: forced rebuild.
+  Vec doubled = p.d;
+  for (auto& x : doubled) x *= 2.0;
+  const linalg::Csr lap_big = linalg::reduced_laplacian(p.g, doubled, p.dropped);
+  (void)cache.preconditioner(ctx, linalg::AccelSite::kNewton, lap_big, doubled);
+  EXPECT_EQ(ctx.accel().precond_builds, 2u);
+  EXPECT_EQ(ctx.accel().precond_reuses, 2u);
+
+  // Distinct sites cache independently.
+  (void)cache.preconditioner(ctx, linalg::AccelSite::kLeverage, p.lap, p.d);
+  EXPECT_EQ(ctx.accel().precond_builds, 3u);
+}
+
+TEST_F(AccelTest, LaplacianRefreshMatchesFreshBuildBitwise) {
+  par::Rng rng(777);
+  const graph::Digraph g = graph::random_flow_network(40, 280, 30, 30, rng);
+  const linalg::IncidenceOp a(g);
+  Vec d1(a.rows()), d2(a.rows());
+  for (auto& x : d1) x = 0.1 + rng.next_double();
+  for (auto& x : d2) x = 0.1 + 2.0 * rng.next_double();
+
+  linalg::Laplacian refreshed;
+  refreshed.build(g, d1, a.dropped());
+  ASSERT_TRUE(refreshed.matches(g, a.dropped()));
+  refreshed.refresh_values(d2);
+
+  linalg::Laplacian fresh;
+  fresh.build(g, d2, a.dropped());
+
+  const linalg::Csr& ra = refreshed.matrix();
+  const linalg::Csr& rb = fresh.matrix();
+  ASSERT_EQ(ra.dim(), rb.dim());
+  ASSERT_EQ(ra.nnz(), rb.nnz());
+  for (std::size_t r = 0; r <= ra.dim(); ++r) EXPECT_EQ(ra.offsets()[r], rb.offsets()[r]);
+  for (std::size_t i = 0; i < ra.nnz(); ++i) {
+    EXPECT_EQ(ra.cols()[i], rb.cols()[i]) << "slot " << i;
+    EXPECT_EQ(ra.vals()[i], rb.vals()[i]) << "slot " << i;
+  }
+
+  // And the cache-level counters distinguish the two paths.
+  core::SolverContext ctx;
+  linalg::AccelCache& cache = linalg::accel_cache(ctx);
+  (void)cache.laplacian(ctx, g, d1, a.dropped());
+  EXPECT_EQ(ctx.accel().laplacian_builds, 1u);
+  EXPECT_EQ(ctx.accel().laplacian_refreshes, 0u);
+  (void)cache.laplacian(ctx, g, d2, a.dropped());
+  EXPECT_EQ(ctx.accel().laplacian_builds, 1u);
+  EXPECT_EQ(ctx.accel().laplacian_refreshes, 1u);
+}
+
+TEST_F(AccelTest, WarmRungsRecoverFromStagnationWithFewerIterations) {
+  // Arm stagnation so that the first resilient rung is killed by injection.
+  // A good caller seed must survive that rung (it ran zero CG iterations and
+  // may not clobber the seed) and make the retry converge in fewer total
+  // iterations than the cold ladder pays on the identical draw pattern.
+  const Problem p = make_problem(2024, 1);
+  linalg::SddPreconditioner precond;
+  precond.build(p.lap, linalg::PrecondKind::kJacobi);
+  linalg::ResilientSolveOptions ropts;
+  ropts.base.tolerance = 1e-10;
+  ropts.base.max_iters = 400;
+
+  // Reference solution (no faults) to use as the warm seed.
+  core::SolverContext clean;
+  const auto exact = linalg::solve_sdd_resilient(clean, p.lap, p.rhs[0], ropts, &precond, nullptr);
+  ASSERT_EQ(exact.status, SolveStatus::kOk);
+  const std::int32_t cold_iters_clean = exact.iterations;
+
+  // Find an injection seed whose first two draws are (fire, pass): rung 0
+  // stagnates, rung 1 runs.
+  std::uint64_t inj_seed = 0;
+  for (std::uint64_t s = 1; s < 200; ++s) {
+    core::SolverContext probe;
+    probe.fault().arm(par::FaultKind::kCgStagnation, 0.5, s);
+    const bool first = probe.fault().should_fire(par::FaultKind::kCgStagnation);
+    const bool second = probe.fault().should_fire(par::FaultKind::kCgStagnation);
+    if (first && !second) {
+      inj_seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(inj_seed, 0u) << "no (fire, pass) pattern in 200 seeds";
+
+  core::SolverContext ctx_warm, ctx_cold;
+  ctx_warm.fault().arm(par::FaultKind::kCgStagnation, 0.5, inj_seed);
+  ctx_cold.fault().arm(par::FaultKind::kCgStagnation, 0.5, inj_seed);
+
+  const auto warm =
+      linalg::solve_sdd_resilient(ctx_warm, p.lap, p.rhs[0], ropts, &precond, &exact.x);
+  const auto cold = linalg::solve_sdd_resilient(ctx_cold, p.lap, p.rhs[0], ropts, &precond, nullptr);
+
+  ASSERT_EQ(warm.status, SolveStatus::kOk);
+  ASSERT_EQ(cold.status, SolveStatus::kOk);
+  EXPECT_GE(ctx_warm.fault().fired(par::FaultKind::kCgStagnation), 1u);
+  // The cold ladder re-pays a full solve (at the escalated tolerance) on its
+  // surviving rung; the warm ladder starts from the cached iterate and must
+  // beat it. cold_iters_clean just documents the baseline cost.
+  EXPECT_GT(cold_iters_clean, 0);
+  EXPECT_LT(warm.iterations, cold.iterations)
+      << "warm-started escalation should save CG iterations under stagnation";
+  EXPECT_EQ(ctx_warm.accel().warm_start_hits, 1u);
+}
+
+TEST_F(AccelTest, SolveStatsSurfacesAccelTelemetry) {
+  par::Rng rng(31);
+  const graph::Digraph g = graph::random_flow_network(20, 90, 8, 8, rng);
+  mcf::SolveOptions opts;
+  opts.ipm.mu_end = 1e-3;
+  opts.ipm.max_iters = 4000;
+  opts.ipm.leverage.sketch_dim = 8;
+  const auto res = mcf::min_cost_max_flow(g, 0, 19, opts);
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  ASSERT_GT(res.stats.ipm_iterations, 0);
+
+  // The Laplacian pattern is built once and refreshed every iteration after
+  // that; preconditioners are built at least once; the leverage sketch goes
+  // through the blocked multi-RHS path; Newton warm starts hit after the
+  // first iteration.
+  EXPECT_GE(res.stats.laplacian_builds, 1u);
+  EXPECT_GT(res.stats.laplacian_refreshes, 0u);
+  EXPECT_GT(res.stats.precond_builds, 0u);
+  EXPECT_GT(res.stats.precond_reuses, 0u);
+  EXPECT_GT(res.stats.multi_rhs_solves, 0u);
+  EXPECT_GT(res.stats.multi_rhs_columns, res.stats.multi_rhs_solves);
+  EXPECT_GT(res.stats.warm_start_hits, 0u);
+  EXPECT_GT(res.stats.precond_hit_rate(), 0.0);
+  EXPECT_LE(res.stats.precond_hit_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace pmcf

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -80,6 +81,16 @@ std::uint64_t allocs_during_solve(const linalg::Csr& lap, const linalg::Vec& b,
   return after - before;
 }
 
+/// One throwaway solve so the context's AccelCache and CG scratch exist
+/// before the measured runs — their one-time creation is not what the
+/// per-iteration claim is about.
+void warm_up_context(const linalg::Csr& lap, const linalg::Vec& b) {
+  linalg::SolveOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iters = 2;
+  (void)linalg::solve_sdd(pmcf::core::default_context(), lap, b, opts);
+}
+
 class AllocCountTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -103,6 +114,7 @@ TEST_F(AllocCountTest, CgInnerLoopIsAllocationFree) {
   const linalg::Csr lap = linalg::reduced_laplacian(g, d, a.dropped());
 
   par::Tracker::instance().set_enabled(false);
+  warm_up_context(lap, b);
   const std::uint64_t short_run = allocs_during_solve(lap, b, 4);
   const std::uint64_t long_run = allocs_during_solve(lap, b, 64);
   EXPECT_EQ(short_run, long_run)
@@ -127,9 +139,48 @@ TEST_F(AllocCountTest, CgInnerLoopIsAllocationFreeInstrumented) {
 
   par::Tracker::instance().set_enabled(true);
   par::Tracker::instance().reset();
+  warm_up_context(lap, b);
   const std::uint64_t short_run = allocs_during_solve(lap, b, 4);
   const std::uint64_t long_run = allocs_during_solve(lap, b, 64);
   EXPECT_EQ(short_run, long_run);
+}
+
+TEST_F(AllocCountTest, RepeatedSolvesIntoCallerBufferAreZeroAlloc) {
+  // The strongest form of the claim: with a caller-owned iterate and a
+  // prebuilt preconditioner, solve_sdd_into performs literally zero heap
+  // allocations per call once the context scratch exists — the path an IPM
+  // iteration loop takes.
+  par::Rng rng(4242);
+  const graph::Digraph g = graph::random_flow_network(96, 768, 100, 100, rng);
+  const linalg::IncidenceOp a(g);
+  linalg::Vec d(a.rows());
+  for (auto& x : d) x = 0.5 + rng.next_double();
+  linalg::Vec b(a.cols());
+  for (auto& x : b) x = rng.next_double() - 0.5;
+  b[static_cast<std::size_t>(a.dropped())] = 0.0;
+  const linalg::Csr lap = linalg::reduced_laplacian(g, d, a.dropped());
+
+  par::Tracker::instance().set_enabled(false);
+  core::SolverContext& ctx = pmcf::core::default_context();
+  linalg::SddPreconditioner precond;
+  precond.build(lap, linalg::PrecondKind::kJacobi);
+  linalg::SolveOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iters = 16;
+  linalg::Vec x(lap.dim(), 0.0);
+  (void)linalg::solve_sdd_into(ctx, lap, b, precond, opts, x);  // warm-up
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int rep = 0; rep < 8; ++rep) {
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto info = linalg::solve_sdd_into(ctx, lap, b, precond, opts, x);
+    EXPECT_EQ(info.iterations, 16);
+  }
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << "solve_sdd_into allocated " << (after - before)
+      << " times across 8 repeated solves; the IPM hot path must be "
+         "allocation-free";
 }
 
 }  // namespace
