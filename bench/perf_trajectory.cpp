@@ -41,6 +41,8 @@
 #include "linalg/laplacian.hpp"
 #include "linalg/preconditioner.hpp"
 #include "linalg/sdd_solver.hpp"
+#include "core/deadline.hpp"
+#include "mcf/certify.hpp"
 #include "mcf/min_cost_flow.hpp"
 #include "mcf/reachability.hpp"
 #include "parallel/rng.hpp"
@@ -54,7 +56,7 @@ using namespace pmcf;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
-  std::string out = "BENCH_pr4.json";
+  std::string out = "BENCH_pr5.json";
   std::vector<int> threads = {1, 2, 8};
   bool tiny = false;
   int reps = 5;
@@ -376,6 +378,78 @@ Workload make_engine_batch(bool tiny) {
           }};
 }
 
+Workload make_engine_deadline_shed(bool tiny) {
+  // Serving under pressure (DESIGN.md §11): a batch where half the items
+  // carry already-expired deadlines and admission control only has slots for
+  // half of the rest. The measured path is the full lifecycle machinery —
+  // armed polls inside the admitted solves, typed deadline shedding at
+  // admission, and kLoadShed back-pressure — which must stay cheap relative
+  // to the solves themselves.
+  const std::size_t batch_size = tiny ? 8 : 24;
+  const auto n = static_cast<graph::Vertex>(tiny ? 10 : 14);
+  auto graphs = std::make_shared<std::deque<graph::Digraph>>();
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    par::Rng rng(9500 + 31 * i);
+    graphs->push_back(graph::random_flow_network(n, 4 * n, 6, 6, rng));
+  }
+  auto batch = std::make_shared<std::vector<Instance>>();
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    Instance inst = Instance::max_flow((*graphs)[i], 0, (*graphs)[i].num_vertices() - 1);
+    // Odd items expired before the batch was even submitted; even items get a
+    // generous (but armed) budget so every poll site pays the live-check cost.
+    inst.deadline = i % 2 == 1
+                        ? core::Deadline::at(core::Deadline::Clock::now() - std::chrono::seconds(1))
+                        : core::Deadline::in(std::chrono::hours(1));
+    batch->push_back(inst);
+  }
+  const std::size_t slots = batch_size / 2 + batch_size / 4;  // sheds the tail
+  return {"engine_deadline_shed", "serving", [graphs, batch, batch_size, slots] {
+            const Engine engine({.seed = 4243, .max_in_flight = slots});
+            mcf::SolveOptions opts;
+            opts.ipm.mu_end = 1e-3;
+            opts.ipm.leverage.sketch_dim = 8;
+            const auto results = engine.solve_batch(*batch, opts);
+            std::uint64_t work = 0;
+            std::uint64_t depth = 0;
+            for (std::size_t i = 0; i < results.size(); ++i) {
+              const SolveStatus st = results[i].result.status;
+              const SolveStatus want = i >= slots            ? SolveStatus::kLoadShed
+                                       : i % 2 == 1          ? SolveStatus::kDeadlineExceeded
+                                                             : SolveStatus::kOk;
+              if (st != want) std::abort();
+              work += results[i].pram.work;
+              depth = std::max(depth, results[i].pram.depth);
+            }
+            par::charge(work, depth);
+          }};
+}
+
+Workload make_certify_overhead(bool tiny) {
+  // The independent certification pass (exact __int128 feasibility + cost +
+  // Bellman-Ford optimality + BFS maximality) on the Table-1 MCF row's
+  // instance and solution. Compare this row's wall time against
+  // table1_mincostflow_reference_ipm to get the certification overhead as a
+  // fraction of the end-to-end solve — the acceptance bound is < 5%.
+  const auto n = static_cast<graph::Vertex>(tiny ? 12 : 32);
+  par::Rng rng(42);  // same instance as make_table1_mincostflow
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, 8 * n, 6, 6, rng));
+  mcf::SolveOptions opts;
+  opts.ipm.mu_end = 1e-3;
+  opts.ipm.leverage.sketch_dim = 8;
+  auto sol = std::make_shared<mcf::MinCostFlowResult>(mcf::min_cost_max_flow(*g, 0, n - 1, opts));
+  if (sol->status != SolveStatus::kOk) std::abort();
+  return {"certify_overhead", "table1", [g, n, sol] {
+            const auto report =
+                mcf::certify_max_flow(*g, 0, n - 1, sol->arc_flow, sol->flow_value, sol->cost);
+            if (!report.certified) std::abort();
+            // Model-level cost of the certificate: Bellman-Ford dominates at
+            // O(n·m) work; the passes over arcs/vertices are Θ(m + n).
+            const auto nn = static_cast<std::uint64_t>(g->num_vertices());
+            const auto mm = static_cast<std::uint64_t>(g->num_arcs());
+            par::charge(nn * mm + mm + nn, nn);
+          }};
+}
+
 // ---------------------------------------------------------------------------
 
 std::string json_escape(const std::string& s) {
@@ -489,6 +563,8 @@ int main(int argc, char** argv) {
   workloads.push_back(make_precond_reuse(opt.tiny));
   workloads.push_back(make_ipm_iterations(opt.tiny));
   workloads.push_back(make_engine_batch(opt.tiny));
+  workloads.push_back(make_engine_deadline_shed(opt.tiny));
+  workloads.push_back(make_certify_overhead(opt.tiny));
 
   std::vector<WorkloadReport> reports;
   for (const auto& w : workloads) {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "core/deadline.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::baselines {
@@ -86,6 +87,10 @@ McmfResult ssp_min_cost_max_flow(const graph::Digraph& g, Vertex s, Vertex t,
   std::vector<std::int64_t> dist(n);
   std::vector<std::int32_t> pre_arc(n);
   while (res.flow < flow_limit) {
+    // Cooperative lifecycle poll, once per augmentation (DESIGN.md §11). The
+    // baseline has no status channel of its own; the mcf driver converts the
+    // ComponentError back to kCanceled/kDeadlineExceeded.
+    core::throw_if_expired("baselines::ssp");
     // Dijkstra with reduced costs.
     dist.assign(n, kInfCost);
     pre_arc.assign(n, -1);
@@ -126,13 +131,19 @@ McmfResult ssp_min_cost_max_flow(const graph::Digraph& g, Vertex s, Vertex t,
       v = r.head[static_cast<std::size_t>(a ^ 1)];
     }
     res.flow += push;
+    // Charged per augmentation (not in one lump at the end) so the PRAM-work
+    // deadline can bind between augmentations; the loop-top poll above sees
+    // the running total. Summed over the loop plus the final extraction
+    // charge below, the totals are exactly the historical m*(flow+1) work
+    // and flow+1 depth.
+    par::charge(static_cast<std::uint64_t>(g.num_arcs()) * static_cast<std::uint64_t>(push),
+                static_cast<std::uint64_t>(push));
   }
   for (std::size_t k = 0; k < static_cast<std::size_t>(g.num_arcs()); ++k) {
     res.arc_flow[k] = r.cap[2 * k + 1];  // reverse capacity == flow sent
     res.cost += res.arc_flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
   }
-  par::charge(static_cast<std::uint64_t>(g.num_arcs()) * (static_cast<std::uint64_t>(res.flow) + 1),
-              static_cast<std::uint64_t>(res.flow) + 1);
+  par::charge(static_cast<std::uint64_t>(g.num_arcs()), 1);
   return res;
 }
 

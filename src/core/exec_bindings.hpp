@@ -26,14 +26,19 @@ class ThreadPool;
 
 namespace pmcf::core {
 
+class Lifecycle;
+
 /// The per-thread slots. Null members mean "fall back to the default
 /// context's instance"; `pool_bound` distinguishes a context bound to no pool
-/// (run sequentially) from one that defers to `ThreadPool::global()`.
+/// (run sequentially) from one that defers to `ThreadPool::global()`. The
+/// lifecycle slot has no default-context fallback — a null lifecycle simply
+/// means no deadline/cancellation is in force.
 struct ExecBindings {
   par::Tracker* tracker = nullptr;
   par::FaultInjector* injector = nullptr;
   RecoveryLog* recovery = nullptr;
   par::ThreadPool* pool = nullptr;
+  Lifecycle* lifecycle = nullptr;
   bool pool_bound = false;
 };
 

@@ -15,6 +15,9 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::kIterationLimit: return "IterationLimit";
     case SolveStatus::kSketchFailure: return "SketchFailure";
     case SolveStatus::kInternalError: return "InternalError";
+    case SolveStatus::kDeadlineExceeded: return "DeadlineExceeded";
+    case SolveStatus::kCanceled: return "Canceled";
+    case SolveStatus::kLoadShed: return "LoadShed";
   }
   return "Unknown";
 }
@@ -27,6 +30,7 @@ const char* to_string(RecoveryEvent e) {
     case RecoveryEvent::kExactLeverageFallback: return "ExactLeverageFallback";
     case RecoveryEvent::kStructureRebuild: return "StructureRebuild";
     case RecoveryEvent::kTierDegradation: return "TierDegradation";
+    case RecoveryEvent::kCertificationFailure: return "CertificationFailure";
     case RecoveryEvent::kNumRecoveryEvents: break;
   }
   return "Unknown";

@@ -26,6 +26,10 @@ enum class SolveStatus : std::int8_t {
   kIterationLimit,    ///< budget exhausted before convergence
   kSketchFailure,     ///< randomized structure failed its w.h.p. guarantee
   kInternalError,     ///< unexpected exception (e.g. worker-thread failure)
+  // --- lifecycle statuses (DESIGN.md §11) ---------------------------------
+  kDeadlineExceeded,  ///< wall-clock / PRAM-work budget expired mid-solve
+  kCanceled,          ///< caller canceled the solve cooperatively
+  kLoadShed,          ///< admission control refused the solve; never started
 };
 
 /// Stable human-readable name (e.g. "Ok", "SketchFailure").
@@ -39,6 +43,17 @@ const char* to_string(SolveStatus s);
 [[nodiscard]] constexpr bool is_instance_error(SolveStatus s) {
   return s == SolveStatus::kInfeasible || s == SolveStatus::kUnbounded ||
          s == SolveStatus::kInvalidInput;
+}
+
+/// True for statuses produced by the caller's lifecycle controls (deadline,
+/// cancellation, admission control) rather than by the instance or a solver
+/// malfunction. Instance-independent and terminal: the degradation cascade
+/// and the CG escalation ladder stop on these — retrying a lower tier after
+/// a deadline expiry or a cancellation would only burn more of the budget the
+/// caller just withdrew.
+[[nodiscard]] constexpr bool is_lifecycle_error(SolveStatus s) {
+  return s == SolveStatus::kDeadlineExceeded || s == SolveStatus::kCanceled ||
+         s == SolveStatus::kLoadShed;
 }
 
 /// Exception carrying a typed status + the failing component. Thrown by
@@ -78,6 +93,7 @@ enum class RecoveryEvent : std::int8_t {
   kExactLeverageFallback,      ///< JL sketch abandoned for the dense oracle
   kStructureRebuild,           ///< randomized structure rebuilt with new seed
   kTierDegradation,            ///< solver cascade dropped to a lower tier
+  kCertificationFailure,       ///< independent certificate rejected a kOk flow
   kNumRecoveryEvents,
 };
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "core/deadline.hpp"
 #include "core/exec_bindings.hpp"
 #include "core/solve_status.hpp"
 #include "parallel/fault_injection.hpp"
@@ -72,6 +73,20 @@ class SolverContext {
   [[nodiscard]] par::Tracker& tracker() { return tracker_; }
   [[nodiscard]] const par::Tracker& tracker() const { return tracker_; }
   [[nodiscard]] par::FaultInjector& fault() { return fault_; }
+  [[nodiscard]] Lifecycle& lifecycle() { return lifecycle_; }
+  [[nodiscard]] const Lifecycle& lifecycle() const { return lifecycle_; }
+
+  /// The cooperative lifecycle check (DESIGN.md §11): solver loops call this
+  /// at iteration boundaries and wind down with the returned status when it
+  /// is not kOk. Draws the kCancelRequest injection point first, so tests can
+  /// fire a deterministic "cancellation arrives here" at any poll site; an
+  /// injected cancellation latches until Lifecycle::clear(). One relaxed
+  /// branch per concern when nothing is armed.
+  [[nodiscard]] SolveStatus check_lifecycle() {
+    if (fault_.should_fire(par::FaultKind::kCancelRequest)) lifecycle_.force_cancel();
+    return lifecycle_.poll(tracker_);
+  }
+
   [[nodiscard]] RecoveryLog& recovery() { return recovery_; }
   [[nodiscard]] const RecoveryLog& recovery() const { return recovery_; }
   [[nodiscard]] AccelTelemetry& accel() { return accel_; }
@@ -89,6 +104,18 @@ class SolverContext {
       scratch_destroy_ = destroy;
     }
     return scratch_;
+  }
+
+  /// Drop the per-solve scratch (acceleration cache, warm starts, CG block
+  /// buffers). The public mcf entry points call this at solve start so a
+  /// reused context — including one whose previous solve was canceled
+  /// mid-flight — behaves bit-identically to a fresh context.
+  void reset_scratch() {
+    if (scratch_ != nullptr) {
+      scratch_destroy_(scratch_);
+      scratch_ = nullptr;
+      scratch_destroy_ = nullptr;
+    }
   }
 
   /// The solve's master randomness stream.
@@ -118,6 +145,7 @@ class SolverContext {
     b.tracker = &tracker_;
     b.injector = &fault_;
     b.recovery = &recovery_;
+    b.lifecycle = &lifecycle_;
     b.pool = opts_.pool != nullptr ? opts_.pool
                                    : (opts_.use_global_pool ? par::ThreadPool::global() : nullptr);
     b.pool_bound = true;
@@ -128,6 +156,7 @@ class SolverContext {
   ContextOptions opts_;
   par::Tracker tracker_;
   par::FaultInjector fault_;
+  Lifecycle lifecycle_;
   RecoveryLog recovery_;
   par::Rng rng_;
   AccelTelemetry accel_;

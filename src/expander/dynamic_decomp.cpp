@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/deadline.hpp"
 #include "core/solve_status.hpp"
 #include "core/solver_context.hpp"
 #include "parallel/fault_injection.hpp"
@@ -25,6 +26,10 @@ DynamicExpanderDecomposition::DynamicExpanderDecomposition(core::SolverContext& 
 
 void DynamicExpanderDecomposition::insert(const std::vector<EdgeSpec>& edges) {
   if (edges.empty()) return;
+  // Rebuild phases are the expensive part of the dynamic decomposition; a
+  // canceled/expired solve aborts here before tearing levels down. The owner
+  // (tier driver) converts the ComponentError back to a typed status.
+  core::throw_if_expired("expander::dynamic_decomp");
   // Injected Lemma 3.1 failure: the decomposition would hand out clusters
   // that are not phi-expanders. Surfaced as a typed error so owners can
   // rebuild with a fresh seed rather than silently consuming bad clusters.

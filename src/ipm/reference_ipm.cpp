@@ -55,6 +55,14 @@ IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y
   Vec atx(n), rp(n), rhs(n), rhsn(n);
 
   for (std::int32_t it = 0; it < opts.max_iters; ++it) {
+    // Cooperative lifecycle check (DESIGN.md §11): a canceled or expired
+    // solve winds down here, at outer-iteration granularity, with the typed
+    // status — never a partial kOk.
+    if (const SolveStatus ls = ctx.check_lifecycle(); ls != SolveStatus::kOk) {
+      res.status = ls;
+      res.detail = "ipm::reference_ipm: solve lifecycle expired";
+      return res;
+    }
     res.iterations = it + 1;
     barrier_hess_into(res.x, lp.cap, hess);
     barrier_grad_into(res.x, lp.cap, grad);
@@ -138,8 +146,12 @@ IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y
     res.cg_escalations += sol.tolerance_escalations;
     res.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
     if (sol.status != SolveStatus::kOk) {
-      res.status = SolveStatus::kNumericalFailure;
-      res.detail = "linalg::solve_sdd: Newton system solve failed after escalation + fallback";
+      // Lifecycle statuses pass through untouched — they describe the
+      // request, not the instance or the numerics.
+      res.status = is_lifecycle_error(sol.status) ? sol.status : SolveStatus::kNumericalFailure;
+      res.detail = is_lifecycle_error(sol.status)
+                       ? "ipm::reference_ipm: solve lifecycle expired during Newton solve"
+                       : "linalg::solve_sdd: Newton system solve failed after escalation + fallback";
       return res;
     }
     Vec dy = std::move(sol.x);

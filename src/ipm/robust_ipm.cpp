@@ -63,7 +63,8 @@ SolveStatus exact_center_step(core::SolverContext& ctx, const IpmLp& lp,
   rso.base = solve;
   auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso, &precond, &warm_dy);
   stats.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
-  if (sol.status != SolveStatus::kOk) return SolveStatus::kNumericalFailure;
+  if (sol.status != SolveStatus::kOk)
+    return is_lifecycle_error(sol.status) ? sol.status : SolveStatus::kNumericalFailure;
   sol.x[static_cast<std::size_t>(a.dropped())] = 0.0;
   warm_dy = sol.x;  // seed the next centering solve
   const Vec a_dy = a.apply(sol.x);
@@ -133,6 +134,14 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
   std::int32_t failed_epochs = 0;
 
   while (res.iterations < opts.max_iters) {
+    // Lifecycle poll at epoch granularity (the robust-step loop below polls
+    // per step as well); a canceled/expired solve winds down with the typed
+    // status, never a partial kOk.
+    if (const SolveStatus ls = ctx.check_lifecycle(); ls != SolveStatus::kOk) {
+      res.status = ls;
+      res.detail = "ipm::robust_ipm: solve lifecycle expired";
+      return res;
+    }
     try {
       // ---------------- epoch resync (exact, amortized over resync_every) ----
       ++res.resyncs;
@@ -149,8 +158,10 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
         const SolveStatus st =
             exact_center_step(ctx, lp, a, res.x, res.y, res.mu, tau, opts.solve, res);
         if (st != SolveStatus::kOk) {
-          res.status = SolveStatus::kNumericalFailure;
-          res.detail = "ipm::robust_ipm: exact re-centering step failed";
+          res.status = is_lifecycle_error(st) ? st : SolveStatus::kNumericalFailure;
+          res.detail = is_lifecycle_error(st)
+                           ? "ipm::robust_ipm: solve lifecycle expired during re-centering"
+                           : "ipm::robust_ipm: exact re-centering step failed";
           return res;
         }
       }
@@ -225,6 +236,11 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
 
       // ---------------- robust steps ----------------------------------------
       for (std::int32_t step = 0; step < resync_every && res.iterations < opts.max_iters; ++step) {
+        if (const SolveStatus ls = ctx.check_lifecycle(); ls != SolveStatus::kOk) {
+          res.status = ls;
+          res.detail = "ipm::robust_ipm: solve lifecycle expired mid-epoch";
+          return res;
+        }
         ++res.iterations;
         ++res.robust_steps;
         const par::CostScope step_scope;
@@ -307,6 +323,13 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
         linalg::Vec& warm_q = cache.warm_start(linalg::AccelSite::kRobustStep, 1, n);
         auto sols = linalg::solve_sdd_multi(ctx, lap, step_rhs, precond, opts.solve,
                                             {&warm_dy, &warm_q});
+        for (const auto& s : sols) {
+          if (is_lifecycle_error(s.status)) {
+            res.status = s.status;
+            res.detail = "ipm::robust_ipm: solve lifecycle expired during robust-step solve";
+            return res;
+          }
+        }
         Vec dy = std::move(sols[0].x);
         dy[static_cast<std::size_t>(a.dropped())] = 0.0;
         Vec q = std::move(sols[1].x);
@@ -411,6 +434,14 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
       par::charge(m, 1);
       failed_epochs = 0;
     } catch (const ComponentError& err) {
+      // A canceled/expired solve is not a broken certificate: the rebuild
+      // loop must not burn the budget the caller just withdrew. Pass the
+      // lifecycle status straight through.
+      if (is_lifecycle_error(err.status())) {
+        res.status = err.status();
+        res.detail = err.what();
+        return res;
+      }
       // A randomized structure failed its certificate mid-epoch. The exact
       // iterate res.x/res.y is still valid (x-bar progress since the last
       // resync is discarded); rebuild everything with fresh seeds.

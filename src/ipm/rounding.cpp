@@ -123,10 +123,18 @@ RoundRepairResult round_and_repair(core::SolverContext& ctx, const graph::Digrap
   par::charge(m + n, par::ceil_log2(std::max<std::size_t>(m + n, 2)));
 
   // Cancel negative cycles first: cycles do not change A^T x, and the SSP
-  // router below requires a residual graph free of negative cycles.
+  // router below requires a residual graph free of negative cycles. Each
+  // cancellation is a full Bellman-Ford, so the lifecycle poll sits at
+  // per-cycle granularity (DESIGN.md §11).
   {
     Residual r{&g, &res.flow};
-    while (cancel_one_negative_cycle(r)) ++res.cycles_canceled;
+    while (cancel_one_negative_cycle(r)) {
+      ++res.cycles_canceled;
+      if (const SolveStatus ls = ctx.check_lifecycle(); ls != SolveStatus::kOk) {
+        res.status = ls;
+        return res;
+      }
+    }
   }
 
   if (total_pos > 0) {
@@ -159,7 +167,13 @@ RoundRepairResult round_and_repair(core::SolverContext& ctx, const graph::Digrap
 
   // Optimality: cancel negative residual cycles until none remain.
   Residual r{&g, &res.flow};
-  while (cancel_one_negative_cycle(r)) ++res.cycles_canceled;
+  while (cancel_one_negative_cycle(r)) {
+    ++res.cycles_canceled;
+    if (const SolveStatus ls = ctx.check_lifecycle(); ls != SolveStatus::kOk) {
+      res.status = ls;
+      return res;
+    }
+  }
 
   for (std::size_t k = 0; k < m; ++k)
     res.cost += res.flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;

@@ -86,6 +86,14 @@ SolveInfo solve_sdd_into(core::SolverContext& ctx, const Csr& m, const Vec& b,
   std::copy(z.begin(), z.end(), p.begin());
 
   for (std::int32_t it = 0; it < opts.max_iters; ++it) {
+    // Lifecycle poll at CG-iteration granularity (DESIGN.md §11); the check
+    // is two relaxed branches when no deadline/cancel/fault is armed and
+    // performs no allocation (alloc_count_test still covers this loop).
+    if (const SolveStatus ls = ctx.check_lifecycle(); ls != SolveStatus::kOk) {
+      res.status = ls;
+      res.relative_residual = norm2(r) / bnorm;
+      return res;
+    }
     m.apply_into(p, mp);
     const double pmp = dot(p, mp);
     if (pmp <= 0.0 || !std::isfinite(pmp)) {
@@ -225,6 +233,18 @@ std::vector<SolveResult> solve_sdd_multi(core::SolverContext& ctx, const Csr& m,
   // column then runs its own scalar recurrence with strided kernels whose
   // reduction trees match the contiguous single-RHS ones.
   for (std::int32_t it = 0; live > 0 && it < opts.max_iters; ++it) {
+    // One lifecycle poll per blocked iteration: every still-live column
+    // reports the typed status, matching what k sequential canceled solves
+    // would have returned.
+    if (const SolveStatus ls = ctx.check_lifecycle(); ls != SolveStatus::kOk) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (!scr.active[j]) continue;
+        out[j].status = ls;
+        scr.active[j] = 0;
+      }
+      live = 0;
+      break;
+    }
     m.apply_block_into(bp, bmp, k);
     for (std::size_t j = 0; j < k; ++j) {
       if (!scr.active[j]) continue;
@@ -294,6 +314,15 @@ ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m,
       out.x = std::move(r.x);
       out.relative_residual = r.relative_residual;
       out.status = SolveStatus::kOk;
+      return out;
+    }
+    if (is_lifecycle_error(r.status)) {
+      // The request expired, not the numerics: stop the ladder — escalating
+      // or falling back to dense would spend exactly the budget the caller
+      // just withdrew.
+      out.x = std::move(r.x);
+      out.relative_residual = r.relative_residual;
+      out.status = r.status;
       return out;
     }
     if (r.iterations > 0) {

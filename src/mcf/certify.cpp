@@ -1,0 +1,157 @@
+#include "mcf/certify.hpp"
+
+#include <queue>
+#include <string>
+
+namespace pmcf::mcf {
+
+namespace {
+
+using graph::Digraph;
+using graph::EdgeId;
+using graph::Vertex;
+
+std::string at_arc(std::size_t k) { return " (arc " + std::to_string(k) + ")"; }
+std::string at_vertex(std::size_t v) { return " (vertex " + std::to_string(v) + ")"; }
+
+CertifyReport fail(std::string detail) {
+  CertifyReport r;
+  r.detail = std::move(detail);
+  return r;
+}
+
+CertifyReport pass() {
+  CertifyReport r;
+  r.certified = true;
+  return r;
+}
+
+/// Shape + capacity bounds + exact cost recomputation (shared by both
+/// variants). Returns certified=true when those properties hold.
+CertifyReport check_bounds_and_cost(const Digraph& g, const std::vector<std::int64_t>& arc_flow,
+                                    std::int64_t claimed_cost) {
+  const auto m = static_cast<std::size_t>(g.num_arcs());
+  if (arc_flow.size() != m)
+    return fail("flow vector has " + std::to_string(arc_flow.size()) + " entries for " +
+                std::to_string(m) + " arcs");
+  __int128 cost = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto& a = g.arc(static_cast<EdgeId>(k));
+    if (arc_flow[k] < 0) return fail("negative arc flow" + at_arc(k));
+    if (arc_flow[k] > a.cap) return fail("arc flow exceeds capacity" + at_arc(k));
+    cost += static_cast<__int128>(arc_flow[k]) * static_cast<__int128>(a.cost);
+  }
+  if (cost != static_cast<__int128>(claimed_cost))
+    return fail("claimed cost does not match the flow's exact cost");
+  return pass();
+}
+
+/// No negative-cost cycle in the residual graph of `arc_flow`: Bellman-Ford
+/// from a virtual source (all distances 0). A relaxation still possible
+/// after n rounds witnesses a negative cycle, i.e. a cheaper flow with the
+/// same net balance — the result is not cost-optimal.
+bool residual_has_negative_cycle(const Digraph& g, const std::vector<std::int64_t>& arc_flow) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto m = static_cast<std::size_t>(g.num_arcs());
+  std::vector<__int128> dist(n, 0);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto& a = g.arc(static_cast<EdgeId>(k));
+      const auto u = static_cast<std::size_t>(a.from);
+      const auto v = static_cast<std::size_t>(a.to);
+      if (arc_flow[k] < a.cap && dist[u] + a.cost < dist[v]) {
+        dist[v] = dist[u] + a.cost;
+        changed = true;
+      }
+      if (arc_flow[k] > 0 && dist[v] - a.cost < dist[u]) {
+        dist[u] = dist[v] - a.cost;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+/// An augmenting s->t path in the residual graph (BFS) witnesses that the
+/// flow is not maximum.
+bool residual_reaches(const Digraph& g, const std::vector<std::int64_t>& arc_flow, Vertex s,
+                      Vertex t) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto m = static_cast<std::size_t>(g.num_arcs());
+  // Residual adjacency built locally; nothing is borrowed from the solver.
+  std::vector<std::vector<std::int32_t>> out(n);  // vertex -> neighbor list
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto& a = g.arc(static_cast<EdgeId>(k));
+    if (arc_flow[k] < a.cap) out[static_cast<std::size_t>(a.from)].push_back(a.to);
+    if (arc_flow[k] > 0) out[static_cast<std::size_t>(a.to)].push_back(a.from);
+  }
+  std::vector<char> seen(n, 0);
+  std::queue<std::size_t> q;
+  q.push(static_cast<std::size_t>(s));
+  seen[static_cast<std::size_t>(s)] = 1;
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop();
+    if (v == static_cast<std::size_t>(t)) return true;
+    for (const std::int32_t w : out[v]) {
+      if (seen[static_cast<std::size_t>(w)]) continue;
+      seen[static_cast<std::size_t>(w)] = 1;
+      q.push(static_cast<std::size_t>(w));
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CertifyReport certify_b_flow(const Digraph& g, const std::vector<std::int64_t>& b,
+                             const std::vector<std::int64_t>& arc_flow,
+                             std::int64_t claimed_cost) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (b.size() != n) return fail("demand vector size does not match vertex count");
+  if (CertifyReport r = check_bounds_and_cost(g, arc_flow, claimed_cost); !r) return r;
+  std::vector<__int128> net(n, 0);
+  for (std::size_t k = 0; k < arc_flow.size(); ++k) {
+    const auto& a = g.arc(static_cast<EdgeId>(k));
+    net[static_cast<std::size_t>(a.to)] += arc_flow[k];
+    net[static_cast<std::size_t>(a.from)] -= arc_flow[k];
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    if (net[v] != static_cast<__int128>(b[v]))
+      return fail("net inflow does not match demand" + at_vertex(v));
+  if (residual_has_negative_cycle(g, arc_flow))
+    return fail("residual graph has a negative-cost cycle (flow is not cost-optimal)");
+  return pass();
+}
+
+CertifyReport certify_max_flow(const Digraph& g, Vertex s, Vertex t,
+                               const std::vector<std::int64_t>& arc_flow,
+                               std::int64_t claimed_flow, std::int64_t claimed_cost) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (s < 0 || static_cast<std::size_t>(s) >= n || t < 0 || static_cast<std::size_t>(t) >= n ||
+      s == t)
+    return fail("source/sink out of range");
+  if (CertifyReport r = check_bounds_and_cost(g, arc_flow, claimed_cost); !r) return r;
+  std::vector<__int128> net(n, 0);
+  for (std::size_t k = 0; k < arc_flow.size(); ++k) {
+    const auto& a = g.arc(static_cast<EdgeId>(k));
+    net[static_cast<std::size_t>(a.to)] += arc_flow[k];
+    net[static_cast<std::size_t>(a.from)] -= arc_flow[k];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == static_cast<std::size_t>(s) || v == static_cast<std::size_t>(t)) continue;
+    if (net[v] != 0) return fail("flow is not conserved" + at_vertex(v));
+  }
+  if (net[static_cast<std::size_t>(t)] != static_cast<__int128>(claimed_flow) ||
+      net[static_cast<std::size_t>(s)] != -static_cast<__int128>(claimed_flow))
+    return fail("claimed flow value does not match the net s->t flow");
+  if (residual_reaches(g, arc_flow, s, t))
+    return fail("residual graph has an augmenting s->t path (flow is not maximum)");
+  if (residual_has_negative_cycle(g, arc_flow))
+    return fail("residual graph has a negative-cost cycle (flow is not cost-optimal)");
+  return pass();
+}
+
+}  // namespace pmcf::mcf

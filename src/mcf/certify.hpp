@@ -1,0 +1,56 @@
+#pragma once
+// Independent solution certification (DESIGN.md §11).
+//
+// A serving deployment must not trust a kOk result just because the solver
+// produced it: the IPM, rounding, and repair stages share a lot of machinery,
+// and a bug anywhere in that chain could yield a confidently-wrong flow.
+// certify_* re-derives every claim of a result from the input instance alone,
+// in exact __int128 arithmetic, sharing no code or state with the solver:
+//
+//   - shape: one flow value per arc of the instance;
+//   - capacity: 0 <= f_e <= u_e on every arc;
+//   - conservation: net inflow matches the demand at every vertex (b-flow),
+//     or is zero away from s/t with +/- the claimed value at t/s (max-flow);
+//   - cost: sum f_e c_e equals the claimed cost exactly;
+//   - optimality: the residual graph has no negative-cost cycle
+//     (Bellman-Ford from a virtual source, O(n·m));
+//   - maximality (max-flow only): no augmenting s->t path in the residual
+//     graph (BFS).
+//
+// The mcf drivers run this on every kOk result by default
+// (SolveOptions::certify); a failure fires RecoveryEvent::kCertificationFailure
+// and re-enters the degradation cascade as a solver failure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcf::mcf {
+
+struct CertifyReport {
+  bool certified = false;
+  std::string detail;  ///< first violated property; empty when certified
+
+  explicit operator bool() const { return certified; }
+};
+
+/// Certify `arc_flow` as an exactly optimal b-flow (b[v] = required net
+/// inflow at v, the min_cost_b_flow convention).
+[[nodiscard]] CertifyReport certify_b_flow(const graph::Digraph& g,
+                                           const std::vector<std::int64_t>& b,
+                                           const std::vector<std::int64_t>& arc_flow,
+                                           std::int64_t claimed_cost);
+
+/// Certify `arc_flow` as an exactly optimal min-cost *maximum* s-t flow of
+/// value `claimed_flow`: feasibility + conservation, cost match, maximality
+/// (no augmenting path), and minimality among max flows (no negative
+/// residual cycle).
+[[nodiscard]] CertifyReport certify_max_flow(const graph::Digraph& g, graph::Vertex s,
+                                             graph::Vertex t,
+                                             const std::vector<std::int64_t>& arc_flow,
+                                             std::int64_t claimed_flow,
+                                             std::int64_t claimed_cost);
+
+}  // namespace pmcf::mcf

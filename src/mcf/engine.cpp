@@ -1,5 +1,7 @@
 #include "mcf/engine.hpp"
 
+#include <algorithm>
+
 #include "parallel/scheduler.hpp"
 
 namespace pmcf {
@@ -14,6 +16,23 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
   return z ^ (z >> 31);
 }
 
+/// The tighter of two budgets, bound by bound (an open bound never wins).
+core::Deadline merge_deadlines(const core::Deadline& a, const core::Deadline& b) {
+  core::Deadline d;
+  d.wall = std::min(a.wall, b.wall);
+  d.work = a.work == 0 ? b.work : (b.work == 0 ? a.work : std::min(a.work, b.work));
+  return d;
+}
+
+/// Typed load-shedding result: the request never reached a solver tier.
+EngineSolveResult shed_result() {
+  EngineSolveResult out;
+  out.result.status = SolveStatus::kLoadShed;
+  out.result.failure_component = "mcf::engine";
+  out.result.failure_detail = "admission control: no free in-flight slot (max_in_flight)";
+  return out;
+}
+
 }  // namespace
 
 Engine::Engine(EngineConfig config) : config_(config) {}
@@ -24,13 +43,18 @@ par::ThreadPool* Engine::pool() const {
 }
 
 EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::SolveOptions& opts,
-                                          std::uint64_t salt) const {
+                                          std::uint64_t salt, const core::Deadline& deadline,
+                                          const core::CancelToken* caller_token,
+                                          const core::CancelToken* engine_token) const {
   core::ContextOptions copts;
   copts.seed = mix_seed(config_.seed, salt);
   copts.instrument = config_.instrument;
   copts.pool = config_.pool;
   copts.use_global_pool = config_.use_global_pool;
   core::SolverContext ctx(copts);
+  ctx.lifecycle().set_deadline(merge_deadlines(deadline, inst.deadline));
+  if (caller_token != nullptr) ctx.lifecycle().bind_token(caller_token);
+  if (engine_token != nullptr) ctx.lifecycle().bind_token(engine_token);
 
   EngineSolveResult out;
   if (inst.kind == Instance::Kind::kMaxFlow) {
@@ -42,29 +66,99 @@ EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::Solve
   return out;
 }
 
-EngineSolveResult Engine::solve(const Instance& inst, const mcf::SolveOptions& opts) const {
+std::size_t Engine::acquire_slots(std::size_t want) const {
+  if (config_.max_in_flight == 0 || want == 0) return want;
+  std::size_t cur = in_flight_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::size_t avail = cur >= config_.max_in_flight ? 0 : config_.max_in_flight - cur;
+    const std::size_t take = std::min(want, avail);
+    if (take == 0) return 0;
+    if (in_flight_.compare_exchange_weak(cur, cur + take, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed))
+      return take;
+  }
+}
+
+void Engine::release_slots(std::size_t n) const {
+  if (config_.max_in_flight != 0 && n != 0) in_flight_.fetch_sub(n, std::memory_order_acq_rel);
+}
+
+std::shared_ptr<core::CancelToken> Engine::issue_handle(const SolveControl& control) const {
+  if (control.handle == nullptr) return nullptr;
+  auto token = std::make_shared<core::CancelToken>();
+  const SolveHandle h = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    registry_.emplace(h, token);
+  }
+  // Published before the solve begins: a racing Engine::cancel either finds
+  // the registry entry or the caller has not observed the handle yet.
+  control.handle->store(h, std::memory_order_release);
+  return token;
+}
+
+void Engine::retire_handle(const SolveControl& control) const {
+  if (control.handle == nullptr) return;
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_.erase(control.handle->load(std::memory_order_relaxed));
+}
+
+bool Engine::cancel(SolveHandle handle) const {
+  std::shared_ptr<core::CancelToken> token;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    const auto it = registry_.find(handle);
+    if (it == registry_.end()) return false;
+    token = it->second;
+  }
+  token->cancel();
+  return true;
+}
+
+EngineSolveResult Engine::solve(const Instance& inst, const mcf::SolveOptions& opts,
+                                const SolveControl& control) const {
+  if (acquire_slots(1) == 0) return shed_result();
+  const std::shared_ptr<core::CancelToken> engine_token = issue_handle(control);
   // Offset past the batch-index salt space so direct calls and batch entries
   // never collide on a context stream.
   const std::uint64_t salt =
       (1ULL << 32) + solve_calls_.fetch_add(1, std::memory_order_relaxed);
-  return solve_with_salt(inst, opts, salt);
+  EngineSolveResult out =
+      solve_with_salt(inst, opts, salt, control.deadline, control.cancel, engine_token.get());
+  retire_handle(control);
+  release_slots(1);
+  return out;
 }
 
 std::vector<EngineSolveResult> Engine::solve_batch(const std::vector<Instance>& batch,
-                                                   const mcf::SolveOptions& opts) const {
+                                                   const mcf::SolveOptions& opts,
+                                                   const SolveControl& control) const {
   std::vector<EngineSolveResult> results(batch.size());
+  // Admission is decided upfront, in index order, before any fan-out: the
+  // first `admitted` items get the free slots, the suffix is shed. The
+  // decision is thus independent of pool scheduling, preserving the
+  // serial == pooled bit-identity contract.
+  const std::size_t admitted = acquire_slots(batch.size());
+  for (std::size_t i = admitted; i < batch.size(); ++i) results[i] = shed_result();
+  const std::shared_ptr<core::CancelToken> engine_token =
+      admitted > 0 ? issue_handle(control) : nullptr;
+  const auto solve_one = [&](std::size_t i) {
+    results[i] =
+        solve_with_salt(batch[i], opts, i, control.deadline, control.cancel, engine_token.get());
+  };
   par::ThreadPool* p = pool();
-  if (p == nullptr || p->num_threads() <= 1 || batch.size() <= 1) {
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      results[i] = solve_with_salt(batch[i], opts, i);
-    return results;
+  if (p == nullptr || p->num_threads() <= 1 || admitted <= 1) {
+    for (std::size_t i = 0; i < admitted; ++i) solve_one(i);
+  } else {
+    // One solve per block (grain 1): whole solves are the unit of stealing.
+    // Each task installs its own context, so the bindings inherited from this
+    // (forking) thread are immediately shadowed for the solve's duration.
+    p->run_blocked(0, admitted, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) solve_one(i);
+    });
   }
-  // One solve per block (grain 1): whole solves are the unit of stealing.
-  // Each task installs its own context, so the bindings inherited from this
-  // (forking) thread are immediately shadowed for the solve's duration.
-  p->run_blocked(0, batch.size(), 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) results[i] = solve_with_salt(batch[i], opts, i);
-  });
+  if (admitted > 0) retire_handle(control);
+  release_slots(admitted);
   return results;
 }
 

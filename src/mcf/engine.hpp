@@ -22,8 +22,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "core/deadline.hpp"
 #include "core/solver_context.hpp"
 #include "graph/digraph.hpp"
 #include "mcf/min_cost_flow.hpp"
@@ -41,6 +45,9 @@ struct Instance {
   graph::Vertex source = 0;             ///< kMaxFlow
   graph::Vertex sink = 0;               ///< kMaxFlow
   std::vector<std::int64_t> demands;    ///< kBFlow: net inflow per vertex
+  /// Per-item budget, combined with the request-level SolveControl deadline
+  /// (the tighter of each bound wins). Open by default.
+  core::Deadline deadline = core::Deadline::unlimited();
 
   static Instance max_flow(const graph::Digraph& g, graph::Vertex s, graph::Vertex t) {
     Instance inst;
@@ -71,6 +78,31 @@ struct EngineConfig {
   /// primitives). nullptr + use_global_pool → ThreadPool::global().
   par::ThreadPool* pool = nullptr;
   bool use_global_pool = true;
+  /// Admission control (DESIGN.md §11): upper bound on solves in flight
+  /// across all threads sharing this Engine. 0 = unbounded. A request that
+  /// finds no free slot is *shed* immediately with SolveStatus::kLoadShed —
+  /// typed back-pressure instead of unbounded queueing. solve_batch admits a
+  /// deterministic prefix (index order) of whatever fits.
+  std::size_t max_in_flight = 0;
+};
+
+/// Opaque ticket for Engine::cancel. Published through SolveControl::handle
+/// *before* the solve starts, so a caller thread can cancel a solve another
+/// thread is blocked in.
+using SolveHandle = std::uint64_t;
+
+/// Per-request lifecycle controls for Engine::solve / solve_batch.
+struct SolveControl {
+  /// Request deadline; combined with each Instance's own (tighter wins).
+  core::Deadline deadline = core::Deadline::unlimited();
+  /// Caller-owned cancellation token; must outlive the call. Observed
+  /// cooperatively at the solver's lifecycle poll sites.
+  const core::CancelToken* cancel = nullptr;
+  /// When non-null, receives a handle for Engine::cancel before the solve
+  /// begins (for solve_batch, one handle cancels all in-flight items).
+  /// Atomic so a watcher thread can poll for publication (0 = not yet
+  /// published) while the solving thread blocks inside solve().
+  std::atomic<SolveHandle>* handle = nullptr;
 };
 
 /// Result of one batch entry: the solve result plus the PRAM cost measured
@@ -86,32 +118,68 @@ class Engine {
 
   /// Solve one instance. Reentrant: safe to call from many threads sharing
   /// this Engine (and its pool) concurrently; each call runs under a private
-  /// SolverContext, so returned stats cover exactly this solve.
+  /// SolverContext, so returned stats cover exactly this solve. `control`
+  /// carries the request's deadline/cancellation; under admission control a
+  /// full engine sheds the request with SolveStatus::kLoadShed.
   [[nodiscard]] EngineSolveResult solve(const Instance& inst,
-                                        const mcf::SolveOptions& opts = {}) const;
+                                        const mcf::SolveOptions& opts = {},
+                                        const SolveControl& control = {}) const;
 
   /// Solve every instance of `batch`, fanning across the pool (one solve per
   /// task; serial fallback when no pool is bound). results[i] is
   /// bit-identical to solve(batch[i], opts) with context seed derived from
-  /// index i — independent of thread count and scheduling.
+  /// index i — independent of thread count and scheduling. The request-level
+  /// `control` deadline combines with each item's Instance::deadline; under
+  /// admission control, the deterministic prefix of the batch that fits the
+  /// free slots is admitted and the rest is shed with kLoadShed (decided
+  /// upfront in index order, so serial and pooled runs agree exactly).
   [[nodiscard]] std::vector<EngineSolveResult> solve_batch(
-      const std::vector<Instance>& batch, const mcf::SolveOptions& opts = {}) const;
+      const std::vector<Instance>& batch, const mcf::SolveOptions& opts = {},
+      const SolveControl& control = {}) const;
+
+  /// Cancel the in-flight solve (or batch) identified by `handle`
+  /// (SolveControl::handle). Safe from any thread; returns false when the
+  /// solve already completed (its handle is retired). The solve observes the
+  /// cancellation at its next lifecycle poll and returns kCanceled.
+  bool cancel(SolveHandle handle) const;
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   /// The pool solve_batch fans across (nullptr = serial).
   [[nodiscard]] par::ThreadPool* pool() const;
+  /// Solves currently holding an admission slot (0 when unbounded).
+  [[nodiscard]] std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
  private:
-  /// One solve under a fresh context derived from `salt`.
+  /// One solve under a fresh context derived from `salt`, with the resolved
+  /// lifecycle configuration (deadline + up to two tokens) installed.
   [[nodiscard]] EngineSolveResult solve_with_salt(const Instance& inst,
                                                   const mcf::SolveOptions& opts,
-                                                  std::uint64_t salt) const;
+                                                  std::uint64_t salt,
+                                                  const core::Deadline& deadline,
+                                                  const core::CancelToken* caller_token,
+                                                  const core::CancelToken* engine_token) const;
+
+  /// Reserve up to `want` admission slots; returns how many were granted
+  /// (all-or-nothing is the caller's policy, prefix admission for batches).
+  [[nodiscard]] std::size_t acquire_slots(std::size_t want) const;
+  void release_slots(std::size_t n) const;
+
+  /// Create + register a fresh registry token when the caller asked for a
+  /// handle; null otherwise. retire_handle() drops the registry entry.
+  [[nodiscard]] std::shared_ptr<core::CancelToken> issue_handle(const SolveControl& control) const;
+  void retire_handle(const SolveControl& control) const;
 
   EngineConfig config_;
   /// Distinct salt per direct solve() call so concurrent callers get
   /// distinct context RNG streams (results don't depend on it — solver
   /// randomness seeds from SolveOptions — but forked streams must differ).
   mutable std::atomic<std::uint64_t> solve_calls_{0};
+  mutable std::atomic<std::size_t> in_flight_{0};
+  mutable std::atomic<SolveHandle> next_handle_{1};
+  mutable std::mutex registry_mu_;
+  mutable std::unordered_map<SolveHandle, std::shared_ptr<core::CancelToken>> registry_;
 };
 
 }  // namespace pmcf

@@ -8,6 +8,7 @@
 #include "baselines/ssp.hpp"
 #include "ipm/robust_ipm.hpp"
 #include "ipm/rounding.hpp"
+#include "mcf/certify.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -57,6 +58,41 @@ MinCostFlowResult invalid_input(std::string component, std::string detail) {
   return res;
 }
 
+/// Admission check at the public entry points: a request whose deadline has
+/// already passed (or whose token is already canceled) returns the typed
+/// status without touching the instance. Also drops stale per-solve scratch
+/// so a reused context — including one whose previous solve was canceled
+/// mid-flight — behaves bit-identically to a fresh one.
+std::optional<MinCostFlowResult> admit(core::SolverContext& ctx, const char* component) {
+  ctx.reset_scratch();
+  const SolveStatus ls = ctx.check_lifecycle();
+  if (ls == SolveStatus::kOk) return std::nullopt;
+  MinCostFlowResult res;
+  res.status = ls;
+  res.failure_component = component;
+  res.failure_detail = ls == SolveStatus::kCanceled ? "request canceled before the solve started"
+                                                    : "request deadline expired before the solve started";
+  return res;
+}
+
+/// Post-tier certification (DESIGN.md §11): re-derives every claim of a kOk
+/// result from the instance in exact arithmetic, independent of the solver.
+/// On failure, downgrades the result to a solver failure so the degradation
+/// cascade treats the tier as broken (a wrong answer never escapes as kOk).
+template <typename Check>
+void certify_or_degrade(core::SolverContext& ctx, MinCostFlowResult& res, const Check& check) {
+  if (res.status != SolveStatus::kOk) return;
+  const CertifyReport report = check();
+  if (report.certified) {
+    res.stats.certified = true;
+    return;
+  }
+  ctx.recovery().note(RecoveryEvent::kCertificationFailure);
+  res.status = SolveStatus::kInternalError;
+  res.failure_component = "mcf::certify";
+  res.failure_detail = report.detail;
+}
+
 /// The tiers the degradation cascade will try, strongest first.
 std::vector<Method> cascade_tiers(const SolveOptions& opts) {
   if (!opts.allow_degradation) return {opts.method};
@@ -93,6 +129,7 @@ struct TelemetryScope {
     stats.dense_fallbacks = d.of(RecoveryEvent::kDenseFallback);
     stats.sketch_retries = d.of(RecoveryEvent::kSketchRetry);
     stats.structure_rebuilds = d.of(RecoveryEvent::kStructureRebuild);
+    stats.certification_failures = d.of(RecoveryEvent::kCertificationFailure);
     stats.injected_faults = ctx->fault().fired_total() - faults0;
     const core::AccelTelemetry& a = ctx->accel();
     stats.precond_builds = a.precond_builds - accel0.precond_builds;
@@ -264,6 +301,7 @@ MinCostFlowResult min_cost_max_flow(core::SolverContext& ctx, const Digraph& g, 
   // injection draw, and note_recovery below (including from pool workers,
   // which inherit the forker's bindings) resolves to `ctx`.
   const core::ContextScope ctx_scope(ctx);
+  if (auto shed = admit(ctx, "mcf::min_cost_max_flow")) return std::move(*shed);
   const Vertex nv = g.num_vertices();
   if (s < 0 || s >= nv || t < 0 || t >= nv)
     return invalid_input("mcf::min_cost_max_flow", "source or sink vertex out of range");
@@ -308,6 +346,11 @@ MinCostFlowResult min_cost_max_flow(core::SolverContext& ctx, const Digraph& g, 
         res.flow_value = r.flow;
         res.cost = r.cost;
         res.arc_flow = r.arc_flow;
+      } catch (const ComponentError& err) {
+        res = MinCostFlowResult{};
+        res.status = err.status();
+        res.failure_component = err.component();
+        res.failure_detail = err.what();
       } catch (const std::exception& ex) {
         res = MinCostFlowResult{};
         res.status = SolveStatus::kInternalError;
@@ -325,9 +368,16 @@ MinCostFlowResult min_cost_max_flow(core::SolverContext& ctx, const Digraph& g, 
           res.cost += res.arc_flow[k] * g.arc(static_cast<graph::EdgeId>(k)).cost;
       }
     }
+    if (opts.certify) {
+      certify_or_degrade(ctx, res, [&] {
+        return certify_max_flow(g, s, t, res.arc_flow, res.flow_value, res.cost);
+      });
+    }
     res.stats.answered_by = tier;
     res.stats.tiers_attempted = tiers_attempted;
-    if (res.status == SolveStatus::kOk || is_instance_error(res.status)) break;
+    if (res.status == SolveStatus::kOk || is_instance_error(res.status) ||
+        is_lifecycle_error(res.status))
+      break;
     if (attempt + 1 < tiers.size()) ctx.recovery().note(RecoveryEvent::kTierDegradation);
   }
   scope.finish(res.stats);
@@ -338,6 +388,7 @@ MinCostFlowResult min_cost_b_flow(core::SolverContext& ctx, const Digraph& g,
                                   const std::vector<std::int64_t>& b,
                                   const SolveOptions& opts) {
   const core::ContextScope ctx_scope(ctx);
+  if (auto shed = admit(ctx, "mcf::min_cost_b_flow")) return std::move(*shed);
   const auto n = static_cast<std::size_t>(g.num_vertices());
   if (b.size() != n)
     return invalid_input("mcf::min_cost_b_flow", "demand vector size does not match vertex count");
@@ -374,6 +425,11 @@ MinCostFlowResult min_cost_b_flow(core::SolverContext& ctx, const Digraph& g,
         res = MinCostFlowResult{};
         res.cost = r.cost;
         res.arc_flow = std::move(r.arc_flow);
+      } catch (const ComponentError& err) {
+        res = MinCostFlowResult{};
+        res.status = err.status();
+        res.failure_component = err.component();
+        res.failure_detail = err.what();
       } catch (const std::exception& ex) {
         res = MinCostFlowResult{};
         res.status = SolveStatus::kInternalError;
@@ -404,9 +460,15 @@ MinCostFlowResult min_cost_b_flow(core::SolverContext& ctx, const Digraph& g,
     } else if (res.status == SolveStatus::kInfeasible) {
       res.flow_value = 0;
     }
+    if (opts.certify) {
+      certify_or_degrade(ctx, res,
+                         [&] { return certify_b_flow(g, b, res.arc_flow, res.cost); });
+    }
     res.stats.answered_by = tier;
     res.stats.tiers_attempted = tiers_attempted;
-    if (res.status == SolveStatus::kOk || is_instance_error(res.status)) break;
+    if (res.status == SolveStatus::kOk || is_instance_error(res.status) ||
+        is_lifecycle_error(res.status))
+      break;
     if (attempt + 1 < tiers.size()) ctx.recovery().note(RecoveryEvent::kTierDegradation);
   }
   scope.finish(res.stats);

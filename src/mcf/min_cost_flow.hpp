@@ -39,8 +39,18 @@ struct SolveOptions {
   /// malfunction (numerical/sketch/internal failure), silently retry with the
   /// next lower tier — kRobustIpm -> kReferenceIpm -> kCombinatorial. Instance
   /// errors (infeasible/invalid input) are terminal and never cascade. When
-  /// false, the selected tier's typed failure is returned as-is.
+  /// false, the selected tier's typed failure is returned as-is. Lifecycle
+  /// statuses (kCanceled / kDeadlineExceeded) are terminal like instance
+  /// errors: the cascade stops instead of spending budget the caller has
+  /// already withdrawn.
   bool allow_degradation = true;
+  /// Independent certification (DESIGN.md §11): every kOk result is
+  /// re-verified from the input instance in exact arithmetic (conservation,
+  /// capacity bounds, cost, optimality via negative-residual-cycle absence,
+  /// maximality for max-flow). A failure fires
+  /// RecoveryEvent::kCertificationFailure and re-enters the degradation
+  /// cascade as a solver failure — a wrong answer never escapes as kOk.
+  bool certify = true;
 };
 
 struct SolveStats {
@@ -65,6 +75,13 @@ struct SolveStats {
   std::uint64_t sketch_retries = 0;
   std::uint64_t structure_rebuilds = 0;
   std::uint64_t injected_faults = 0;  ///< fault-injection firings (testing)
+  // --- solve lifecycle & certification (DESIGN.md §11) --------------------
+  /// True iff the returned kOk flow passed the independent certification
+  /// pass (always false when SolveOptions::certify is off or status != kOk).
+  bool certified = false;
+  /// Certification failures across the solve's tier attempts (each one also
+  /// fired RecoveryEvent::kCertificationFailure and degraded the tier).
+  std::uint64_t certification_failures = 0;
   // --- solver-acceleration telemetry (DESIGN.md §10) ----------------------
   /// Preconditioner lifecycle across the solve's CG call sites: `builds`
   /// counts factorizations, `reuses` counts solves served by a cached

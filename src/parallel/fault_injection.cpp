@@ -12,6 +12,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kHeavyHitterMiss: return "HeavyHitterMiss";
     case FaultKind::kExpanderViolation: return "ExpanderViolation";
     case FaultKind::kTaskException: return "TaskException";
+    case FaultKind::kCancelRequest: return "CancelRequest";
     case FaultKind::kNumFaultKinds: break;
   }
   return "Unknown";

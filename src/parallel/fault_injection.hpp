@@ -27,6 +27,7 @@ enum class FaultKind : std::int8_t {
   kHeavyHitterMiss,     ///< HeavyHitter query/sample returns false negatives
   kExpanderViolation,   ///< dynamic expander decomposition certificate broken
   kTaskException,       ///< thread-pool worker task throws
+  kCancelRequest,       ///< caller cancellation arrives at a lifecycle poll
   kNumFaultKinds,
 };
 

@@ -266,6 +266,58 @@ TEST_F(FaultFixture, CleanSolveReportsNoInjectedFaults) {
   EXPECT_TRUE(res.failure_detail.empty());
 }
 
+// ---------- status / event taxonomy stays exhaustive ----------
+
+TEST(ResilienceTaxonomyTest, EverySolveStatusHasAStableName) {
+  constexpr SolveStatus kAll[] = {
+      SolveStatus::kOk,               SolveStatus::kInfeasible,
+      SolveStatus::kUnbounded,        SolveStatus::kInvalidInput,
+      SolveStatus::kNumericalFailure, SolveStatus::kIterationLimit,
+      SolveStatus::kSketchFailure,    SolveStatus::kInternalError,
+      SolveStatus::kDeadlineExceeded, SolveStatus::kCanceled,
+      SolveStatus::kLoadShed,
+  };
+  for (const SolveStatus s : kAll) EXPECT_STRNE(to_string(s), "Unknown");
+  EXPECT_STREQ(to_string(SolveStatus::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_STREQ(to_string(SolveStatus::kCanceled), "Canceled");
+  EXPECT_STREQ(to_string(SolveStatus::kLoadShed), "LoadShed");
+}
+
+TEST(ResilienceTaxonomyTest, StatusPredicateClassesAreDisjoint) {
+  constexpr SolveStatus kAll[] = {
+      SolveStatus::kOk,               SolveStatus::kInfeasible,
+      SolveStatus::kUnbounded,        SolveStatus::kInvalidInput,
+      SolveStatus::kNumericalFailure, SolveStatus::kIterationLimit,
+      SolveStatus::kSketchFailure,    SolveStatus::kInternalError,
+      SolveStatus::kDeadlineExceeded, SolveStatus::kCanceled,
+      SolveStatus::kLoadShed,
+  };
+  for (const SolveStatus s : kAll) {
+    // Ok / instance / lifecycle are mutually exclusive classes: the cascade's
+    // stop conditions would double-count a status in two classes.
+    EXPECT_LE(int{is_ok(s)} + int{is_instance_error(s)} + int{is_lifecycle_error(s)}, 1)
+        << to_string(s);
+  }
+  EXPECT_TRUE(is_lifecycle_error(SolveStatus::kDeadlineExceeded));
+  EXPECT_TRUE(is_lifecycle_error(SolveStatus::kCanceled));
+  EXPECT_TRUE(is_lifecycle_error(SolveStatus::kLoadShed));
+  EXPECT_FALSE(is_instance_error(SolveStatus::kDeadlineExceeded));
+  EXPECT_FALSE(is_instance_error(SolveStatus::kCanceled));
+  EXPECT_FALSE(is_instance_error(SolveStatus::kLoadShed));
+}
+
+TEST(ResilienceTaxonomyTest, EveryRecoveryEventHasAStableName) {
+  for (std::int8_t e = 0; e < static_cast<std::int8_t>(RecoveryEvent::kNumRecoveryEvents); ++e)
+    EXPECT_STRNE(to_string(static_cast<RecoveryEvent>(e)), "Unknown") << int{e};
+  EXPECT_STREQ(to_string(RecoveryEvent::kCertificationFailure), "CertificationFailure");
+}
+
+TEST(ResilienceTaxonomyTest, EveryFaultKindHasAStableName) {
+  for (std::int8_t k = 0; k < static_cast<std::int8_t>(FaultKind::kNumFaultKinds); ++k)
+    EXPECT_STRNE(par::to_string(static_cast<FaultKind>(k)), "Unknown") << int{k};
+  EXPECT_STREQ(par::to_string(FaultKind::kCancelRequest), "CancelRequest");
+}
+
 // ---------- thread-pool task faults ----------
 
 TEST_F(FaultFixture, TaskExceptionPropagatesOutOfPool) {
