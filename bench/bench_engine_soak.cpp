@@ -1,0 +1,129 @@
+// Open-loop sustained-load soak driver for pmcf::Engine (EXPERIMENTS.md
+// "Soak methodology"). Replays a seeded Poisson or bursty arrival schedule
+// against a bounded engine and prints the SoakReport as JSON; optional
+// --assert-* flags turn it into a pass/fail gate for the scheduled soak CI
+// job (exit 1 on violation).
+//
+// Usage:
+//   bench_engine_soak [--requests=N] [--arrivals=poisson|burst] [--seed=S]
+//                     [--util=X] [--slots=N] [--queue=N] [--workers=N]
+//                     [--chaos=RATE] [--cancel=RATE] [--unpaced]
+//                     [--out=FILE] [--assert-p0-goodput=X] [--assert-drained]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "soak_harness.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& detail) {
+  std::cerr << "bench_engine_soak: " << detail << "\n"
+            << "usage: bench_engine_soak [--requests=N] [--arrivals=poisson|burst]\n"
+            << "  [--seed=S] [--util=X] [--slots=N] [--queue=N] [--workers=N]\n"
+            << "  [--chaos=RATE] [--cancel=RATE] [--deadline-share=X]\n"
+            << "  [--deadline-scale=X] [--min-nodes=N] [--max-nodes=N]\n"
+            << "  [--unpaced] [--out=FILE] [--assert-p0-goodput=X] [--assert-drained]\n";
+  std::exit(2);
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size() || v < 0.0) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + " expects a non-negative number, got '" + text + "'");
+  }
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  const double v = parse_double(flag, text);
+  if (v != static_cast<double>(static_cast<std::size_t>(v)))
+    usage_error(flag + " expects an integer, got '" + text + "'");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmcf::soak::SoakConfig cfg;
+  std::string out_path;
+  double assert_p0_goodput = -1.0;
+  bool assert_drained = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::size_t prefix) { return arg.substr(prefix); };
+    if (arg.rfind("--requests=", 0) == 0) {
+      cfg.requests = parse_size("--requests", value(11));
+    } else if (arg == "--arrivals=poisson") {
+      cfg.arrivals = pmcf::soak::ArrivalProcess::kPoisson;
+    } else if (arg == "--arrivals=burst") {
+      cfg.arrivals = pmcf::soak::ArrivalProcess::kBurst;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.seed = parse_size("--seed", value(7));
+    } else if (arg.rfind("--util=", 0) == 0) {
+      cfg.target_util = parse_double("--util", value(7));
+    } else if (arg.rfind("--slots=", 0) == 0) {
+      cfg.slots = parse_size("--slots", value(8));
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      cfg.queue = parse_size("--queue", value(8));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      cfg.workers = parse_size("--workers", value(10));
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      cfg.chaos_cancel_rate = parse_double("--chaos", value(8));
+    } else if (arg.rfind("--cancel=", 0) == 0) {
+      cfg.cancel_rate = parse_double("--cancel", value(9));
+    } else if (arg.rfind("--deadline-share=", 0) == 0) {
+      cfg.deadline_share = parse_double("--deadline-share", value(17));
+    } else if (arg.rfind("--deadline-scale=", 0) == 0) {
+      cfg.deadline_scale = parse_double("--deadline-scale", value(17));
+    } else if (arg.rfind("--min-nodes=", 0) == 0) {
+      cfg.min_nodes = parse_size("--min-nodes", value(12));
+    } else if (arg.rfind("--max-nodes=", 0) == 0) {
+      cfg.max_nodes = parse_size("--max-nodes", value(12));
+    } else if (arg == "--unpaced") {
+      cfg.paced = false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value(6);
+    } else if (arg.rfind("--assert-p0-goodput=", 0) == 0) {
+      assert_p0_goodput = parse_double("--assert-p0-goodput", value(20));
+    } else if (arg == "--assert-drained") {
+      assert_drained = true;
+    } else {
+      usage_error("unknown argument: " + arg);
+    }
+  }
+
+  const pmcf::soak::SoakReport report = pmcf::soak::run_soak(cfg);
+  const std::string json = report.to_json();
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << json << "\n";
+  }
+  std::cout << json << "\n";
+
+  int rc = 0;
+  if (assert_p0_goodput >= 0.0 && report.goodput[0] < assert_p0_goodput) {
+    std::cerr << "FAIL: priority-0 goodput " << report.goodput[0] << " < "
+              << assert_p0_goodput << "\n";
+    rc = 1;
+  }
+  if (assert_drained && !report.drained) {
+    std::cerr << "FAIL: engine not drained (in_flight/queue nonzero after run)\n";
+    rc = 1;
+  }
+  if (report.metrics.terminal_total() != report.metrics.of(pmcf::EngineCounter::kSubmitted)) {
+    std::cerr << "FAIL: terminal outcomes (" << report.metrics.terminal_total()
+              << ") != submitted (" << report.metrics.of(pmcf::EngineCounter::kSubmitted)
+              << ")\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -49,6 +49,7 @@
 #include "parallel/scheduler.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/work_depth.hpp"
+#include "soak_harness.hpp"
 
 namespace {
 
@@ -56,7 +57,7 @@ using namespace pmcf;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
-  std::string out = "BENCH_pr5.json";
+  std::string out = "BENCH_pr6.json";
   std::vector<int> threads = {1, 2, 8};
   bool tiny = false;
   int reps = 5;
@@ -70,18 +71,25 @@ struct ThreadPoint {
 
 struct WorkloadReport {
   std::string name;
-  std::string kind;  // "table1" | "component"
+  std::string kind;  // "table1" | "component" | "serving" | "soak"
   std::uint64_t work = 0;
   std::uint64_t depth = 0;
   std::vector<ThreadPoint> points;
+  /// Pre-rendered JSON object with workload-specific metrics (soak reports:
+  /// latency percentiles, shed rate, per-priority goodput). Empty = absent.
+  std::string extras_json;
 };
 
 /// A workload is (setup-once state captured in the closure) + a body that can
-/// be run repeatedly. Bodies must be deterministic and self-contained.
+/// be run repeatedly. Bodies must be deterministic and self-contained. A
+/// workload with `standalone` set manages its own threads and timing (the
+/// soak harness drives client threads against a shared Engine); it is run
+/// once instead of going through the instrumented pass + thread sweep.
 struct Workload {
   std::string name;
   std::string kind;
   std::function<void()> body;
+  std::function<WorkloadReport()> standalone;
 };
 
 double time_once_ms(const std::function<void()>& body) {
@@ -424,6 +432,62 @@ Workload make_engine_deadline_shed(bool tiny) {
           }};
 }
 
+WorkloadReport run_soak_report(const std::string& name, const soak::SoakConfig& cfg) {
+  par::Tracker::instance().set_enabled(false);
+  const auto t0 = Clock::now();
+  const soak::SoakReport rep = soak::run_soak(cfg);
+  const auto t1 = Clock::now();
+  par::ThreadPool::configure(1);
+  par::Tracker::instance().set_enabled(true);
+  WorkloadReport out;
+  out.name = name;
+  out.kind = "soak";
+  out.points.push_back(
+      {static_cast<int>(cfg.workers),
+       std::chrono::duration<double, std::milli>(t1 - t0).count(), 1.0});
+  out.extras_json = rep.to_json(6);
+  return out;
+}
+
+soak::SoakConfig soak_base_config(bool tiny) {
+  soak::SoakConfig cfg;
+  // Full scale satisfies the acceptance floor of >= 1e5 requests; tiny keeps
+  // the CI smoke run to a couple of seconds. Both run at sustained 2x
+  // overload: half of what is offered must shed (typed kLoadShed) or expire,
+  // while priority-0 goodput stays high (eviction + DRR dequeue order).
+  cfg.requests = tiny ? 2000 : 100000;
+  // Engine/client/instance shape: SoakConfig defaults — the acceptance-gate
+  // shape (1 slot, queue 12, 16 workers, 2x overload, 16-28 node instances).
+  return cfg;
+}
+
+Workload make_engine_soak_poisson(bool tiny) {
+  Workload w;
+  w.name = "engine_soak_poisson";
+  w.kind = "soak";
+  w.standalone = [tiny] {
+    soak::SoakConfig cfg = soak_base_config(tiny);
+    cfg.arrivals = soak::ArrivalProcess::kPoisson;
+    cfg.seed = 0x50a40001ULL;
+    return run_soak_report("engine_soak_poisson", cfg);
+  };
+  return w;
+}
+
+Workload make_engine_soak_burst(bool tiny) {
+  Workload w;
+  w.name = "engine_soak_burst";
+  w.kind = "soak";
+  w.standalone = [tiny] {
+    soak::SoakConfig cfg = soak_base_config(tiny);
+    cfg.arrivals = soak::ArrivalProcess::kBurst;
+    cfg.seed = 0x50a40002ULL;
+    cfg.burst_factor = 8.0;
+    return run_soak_report("engine_soak_burst", cfg);
+  };
+  return w;
+}
+
 Workload make_certify_overhead(bool tiny) {
   // The independent certification pass (exact __int128 feasibility + cost +
   // Bellman-Ford optimality + BFS maximality) on the Table-1 MCF row's
@@ -477,6 +541,7 @@ void write_json(const std::string& path, const Options& opt,
     os << "      \"kind\": \"" << json_escape(r.kind) << "\",\n";
     os << "      \"pram_work\": " << r.work << ",\n";
     os << "      \"pram_depth\": " << r.depth << ",\n";
+    if (!r.extras_json.empty()) os << "      \"metrics\": " << r.extras_json << ",\n";
     os << "      \"runs\": [\n";
     for (std::size_t j = 0; j < r.points.size(); ++j) {
       const auto& p = r.points[j];
@@ -565,11 +630,13 @@ int main(int argc, char** argv) {
   workloads.push_back(make_engine_batch(opt.tiny));
   workloads.push_back(make_engine_deadline_shed(opt.tiny));
   workloads.push_back(make_certify_overhead(opt.tiny));
+  workloads.push_back(make_engine_soak_poisson(opt.tiny));
+  workloads.push_back(make_engine_soak_burst(opt.tiny));
 
   std::vector<WorkloadReport> reports;
   for (const auto& w : workloads) {
     std::cerr << "[perf_trajectory] " << w.name << " ..." << std::flush;
-    reports.push_back(measure(w, opt));
+    reports.push_back(w.standalone ? w.standalone() : measure(w, opt));
     const auto& r = reports.back();
     std::cerr << " work=" << r.work << " depth=" << r.depth;
     for (const auto& p : r.points)

@@ -1,12 +1,16 @@
 #include "mcf/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 
 #include "parallel/scheduler.hpp"
 
 namespace pmcf {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// SplitMix64 finalizer: decorrelates (seed, salt) pairs into context seeds.
 std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
@@ -24,22 +28,403 @@ core::Deadline merge_deadlines(const core::Deadline& a, const core::Deadline& b)
   return d;
 }
 
-/// Typed load-shedding result: the request never reached a solver tier.
-EngineSolveResult shed_result() {
+double to_us(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+std::size_t clamp_priority(std::uint32_t p) {
+  return std::min<std::size_t>(p, kNumPriorities - 1);
+}
+
+/// Typed refusal that never reached a solver tier. Both strings fit libstdc++
+/// SSO so the shed fast path stays allocation-free (AllocCountTest).
+EngineSolveResult refusal(SolveStatus status, const char* detail) {
   EngineSolveResult out;
-  out.result.status = SolveStatus::kLoadShed;
+  out.result.status = status;
   out.result.failure_component = "mcf::engine";
-  out.result.failure_detail = "admission control: no free in-flight slot (max_in_flight)";
+  out.result.failure_detail = detail;
   return out;
 }
 
+/// Queue poll tick: parked waiters re-check their cancel tokens at this
+/// cadence even without a grant/evict notification.
+constexpr std::chrono::milliseconds kQueuePollTick{2};
+
 }  // namespace
 
-Engine::Engine(EngineConfig config) : config_(config) {}
+// ---------------------------------------------------------------------------
+// Admission: a bounded backpressure queue in front of the slot pool, with
+// per-tenant quotas, deficit-round-robin fair share, and priority classes.
+//
+// All state lives behind one mutex. Waiters are stack-allocated in the
+// blocked caller's frame and linked into per-(tenant, priority) intrusive
+// FIFOs; a per-priority ring of tenant ids plus a DRR credit per tenant
+// decides who dequeues next. Slot handoff happens inside release(), under
+// the mutex, so a freed slot can never be stolen by a late arrival while an
+// eligible waiter is parked. Progress: a slot is only ever granted to a
+// thread that is actively blocked in acquire(), so every slot holder is a
+// running task and releases eventually — no circular wait.
+
+struct Engine::Admission {
+  struct Waiter {
+    std::condition_variable cv;
+    enum class State { kWaiting, kAdmitted, kEvicted } state = State::kWaiting;
+    std::uint32_t tenant = 0;
+    std::size_t priority = 0;
+    bool reserved = false;  ///< batch reservation: eviction-exempt
+    Waiter* prev = nullptr;
+    Waiter* next = nullptr;
+  };
+
+  struct Tenant {
+    std::size_t limit = 0;  ///< max in flight; 0 = uncapped
+    std::uint64_t weight = 1;
+    std::size_t in_flight = 0;
+    std::uint64_t credit[kNumPriorities] = {};
+    Waiter* head[kNumPriorities] = {};
+    Waiter* tail[kNumPriorities] = {};
+    bool in_ring[kNumPriorities] = {};
+  };
+
+  enum class Outcome {
+    kAcquired,
+    kShedNoCapacity,
+    kShedQueueFull,
+    kShedDeadline,
+    kShedEvicted,
+    kTimeout,
+    kCanceled,
+  };
+  struct AcquireResult {
+    Outcome outcome = Outcome::kAcquired;
+    bool queued = false;  ///< went through the parked-waiter path
+  };
+
+  Admission(const EngineConfig& cfg, std::atomic<std::size_t>* gauge)
+      : slots(cfg.max_in_flight),
+        max_queue(cfg.max_queue),
+        default_limit(cfg.default_tenant_slots),
+        default_weight(std::max<std::uint64_t>(1, cfg.default_tenant_weight)),
+        gauge_(gauge) {
+    for (const TenantQuota& q : cfg.quotas) {
+      Tenant& t = tenants_[q.tenant];
+      t.limit = q.max_in_flight;
+      t.weight = std::max<std::uint64_t>(1, q.weight);
+    }
+  }
+
+  AcquireResult acquire(std::uint32_t tenant_id, std::size_t priority,
+                        Clock::time_point wall, const core::CancelToken* t1,
+                        const core::CancelToken* t2, bool reserved_item,
+                        par::FaultInjector* chaos, EngineMetrics& metrics) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (reserved_item && pending_ > 0) --pending_;  // reservation → live waiter
+
+    const Tenant* t = find_tenant(tenant_id);
+    const std::size_t limit = t != nullptr ? t->limit : default_limit;
+    const bool quota_ok = limit == 0 || (t != nullptr ? t->in_flight : 0) < limit;
+    const bool slot_free = free_slots_locked() > 0;
+    if (slot_free && quota_ok) {
+      Tenant& tt = ensure_tenant(tenant_id);
+      ++tt.in_flight;
+      ++in_use_;
+      publish_gauge();
+      return {Outcome::kAcquired, false};
+    }
+
+    if (!reserved_item) {
+      // No free (eligible) slot and this request holds no reservation:
+      // shed or queue. Every shed decision here happens before the request
+      // touches instance scratch or a solver context — allocation-free.
+      if (max_queue == 0) return {Outcome::kShedNoCapacity, false};
+      if (wall != Clock::time_point::max() && ewma_us_ > 0.0) {
+        // Predict this request's queue wait from the service-time EWMA and
+        // its position; an unmeetable deadline sheds now instead of burning
+        // a slot (or queue residency) on a doomed request.
+        const double ahead = static_cast<double>(queue_len_ + pending_ + 1);
+        const double eff_slots = static_cast<double>(
+            std::max<std::size_t>(1, slots > reserved_ ? slots - reserved_ : 1));
+        const auto expected = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::micro>(ewma_us_ * ahead / eff_slots));
+        if (Clock::now() + expected > wall) return {Outcome::kShedDeadline, false};
+      }
+      if (queue_len_ + pending_ >= max_queue) {
+        // Full queue: a more important arrival bumps the least important
+        // (and newest) evictable waiter; otherwise the newcomer sheds.
+        if (!evict_locked(priority)) return {Outcome::kShedQueueFull, false};
+      }
+      if (slot_free) metrics.count(EngineCounter::kQuotaDeferred);
+    }
+
+    if (chaos != nullptr && chaos->should_fire(par::FaultKind::kCancelRequest))
+      return {Outcome::kCanceled, false};  // enqueue-point chaos draw
+
+    Waiter w;
+    w.tenant = tenant_id;
+    w.priority = priority;
+    w.reserved = reserved_item;
+    enqueue_locked(&w);
+
+    const bool has_deadline = wall != Clock::time_point::max();
+    while (true) {
+      if (w.state == Waiter::State::kAdmitted) break;
+      if (w.state == Waiter::State::kEvicted) return {Outcome::kShedEvicted, true};
+      if ((t1 != nullptr && t1->canceled()) || (t2 != nullptr && t2->canceled())) {
+        unlink_locked(&w);
+        return {Outcome::kCanceled, true};
+      }
+      const auto now = Clock::now();
+      if (has_deadline && now >= wall) {
+        unlink_locked(&w);
+        return {Outcome::kTimeout, true};
+      }
+      const auto tick = now + kQueuePollTick;
+      w.cv.wait_until(lock, has_deadline ? std::min(tick, wall) : tick);
+    }
+
+    if (chaos != nullptr && chaos->should_fire(par::FaultKind::kCancelRequest)) {
+      // Dequeue-point chaos draw: hand the just-granted slot onward.
+      --tenants_.at(tenant_id).in_flight;
+      --in_use_;
+      publish_gauge();
+      dispatch_locked();
+      return {Outcome::kCanceled, true};
+    }
+    return {Outcome::kAcquired, true};
+  }
+
+  /// Return a slot; fold the observed service time into the wait predictor
+  /// and hand the slot to the next DRR-eligible waiter under the same lock.
+  void release(std::uint32_t tenant_id, double solve_us) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --tenants_.at(tenant_id).in_flight;
+    --in_use_;
+    publish_gauge();
+    if (solve_us > 0.0)
+      ewma_us_ = ewma_us_ == 0.0 ? solve_us : 0.2 * solve_us + 0.8 * ewma_us_;
+    dispatch_locked();
+  }
+
+  /// Queueless batch admission: grab the deterministic prefix of `want`
+  /// that fits the free slots and the tenant's quota, all upfront.
+  std::size_t acquire_batch_upfront(std::uint32_t tenant_id, std::size_t want) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Tenant& t = ensure_tenant(tenant_id);
+    std::size_t room = free_slots_locked();
+    if (t.limit != 0) room = std::min(room, t.limit > t.in_flight ? t.limit - t.in_flight : 0);
+    const std::size_t n = std::min(want, room);
+    t.in_flight += n;
+    in_use_ += n;
+    publish_gauge();
+    return n;
+  }
+
+  /// Queued batch admission: reserve slots-plus-queue capacity for the
+  /// deterministic prefix; each item converts its reservation into a slot
+  /// (or an eviction-exempt parked waiter) when its task runs.
+  std::size_t reserve_batch(std::size_t want) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t occupied = queue_len_ + pending_;
+    const std::size_t free_queue = max_queue > occupied ? max_queue - occupied : 0;
+    const std::size_t n = std::min(want, free_slots_locked() + free_queue);
+    pending_ += n;
+    return n;
+  }
+
+  std::size_t reserve(std::size_t n) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t take = std::min(n, free_slots_locked());
+    reserved_ += take;
+    return take;
+  }
+
+  void restore(std::size_t n) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    reserved_ -= std::min(n, reserved_);
+    dispatch_locked();
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return queue_len_ + pending_;
+  }
+
+  const std::size_t slots;
+  const std::size_t max_queue;
+  const std::size_t default_limit;
+  const std::uint64_t default_weight;
+
+ private:
+  const Tenant* find_tenant(std::uint32_t id) const {
+    const auto it = tenants_.find(id);
+    return it == tenants_.end() ? nullptr : &it->second;
+  }
+
+  Tenant& ensure_tenant(std::uint32_t id) {
+    const auto it = tenants_.find(id);
+    if (it != tenants_.end()) return it->second;
+    Tenant& t = tenants_[id];
+    t.limit = default_limit;
+    t.weight = default_weight;
+    return t;
+  }
+
+  std::size_t free_slots_locked() const {
+    const std::size_t held = in_use_ + reserved_;
+    return slots > held ? slots - held : 0;
+  }
+
+  void publish_gauge() {
+    if (gauge_ != nullptr) gauge_->store(in_use_, std::memory_order_relaxed);
+  }
+
+  void enqueue_locked(Waiter* w) {
+    Tenant& t = ensure_tenant(w->tenant);
+    const std::size_t p = w->priority;
+    w->prev = t.tail[p];
+    w->next = nullptr;
+    if (t.tail[p] != nullptr)
+      t.tail[p]->next = w;
+    else
+      t.head[p] = w;
+    t.tail[p] = w;
+    if (!t.in_ring[p]) {
+      t.in_ring[p] = true;
+      t.credit[p] = t.weight;
+      rings_[p].push_back(w->tenant);
+    }
+    ++queue_len_;
+  }
+
+  void unlink_locked(Waiter* w) {
+    Tenant& t = tenants_.at(w->tenant);
+    const std::size_t p = w->priority;
+    if (w->prev != nullptr)
+      w->prev->next = w->next;
+    else
+      t.head[p] = w->next;
+    if (w->next != nullptr)
+      w->next->prev = w->prev;
+    else
+      t.tail[p] = w->prev;
+    w->prev = w->next = nullptr;
+    --queue_len_;  // ring entry is reaped lazily by pick_locked
+  }
+
+  /// Deficit round robin within the highest non-empty priority class: each
+  /// ring visit serves up to `weight` waiters from one tenant before the
+  /// cursor moves on, skipping tenants parked at their quota.
+  Waiter* pick_locked() {
+    for (std::size_t p = 0; p < kNumPriorities; ++p) {
+      auto& ring = rings_[p];
+      std::size_t skipped = 0;
+      while (!ring.empty() && skipped < ring.size()) {
+        if (cursor_[p] >= ring.size()) cursor_[p] = 0;
+        Tenant& t = tenants_.at(ring[cursor_[p]]);
+        if (t.head[p] == nullptr) {
+          t.in_ring[p] = false;
+          ring.erase(ring.begin() + static_cast<std::ptrdiff_t>(cursor_[p]));
+          continue;  // the erase shifted the next tenant under the cursor
+        }
+        if (t.limit != 0 && t.in_flight >= t.limit) {
+          cursor_[p] = (cursor_[p] + 1) % ring.size();
+          ++skipped;
+          continue;
+        }
+        if (t.credit[p] == 0) t.credit[p] = t.weight;
+        --t.credit[p];
+        Waiter* w = t.head[p];
+        unlink_locked(w);
+        if (t.credit[p] == 0 || t.head[p] == nullptr) {
+          t.credit[p] = t.weight;
+          if (!ring.empty()) cursor_[p] = (cursor_[p] + 1) % ring.size();
+        }
+        return w;
+      }
+    }
+    return nullptr;
+  }
+
+  void grant_locked(Waiter* w) {
+    ++in_use_;
+    ++tenants_.at(w->tenant).in_flight;
+    publish_gauge();
+    w->state = Waiter::State::kAdmitted;
+    w->cv.notify_one();
+  }
+
+  void dispatch_locked() {
+    while (free_slots_locked() > 0) {
+      Waiter* w = pick_locked();
+      if (w == nullptr) break;
+      grant_locked(w);
+    }
+  }
+
+  /// Bump the newest waiter of the least important class strictly below the
+  /// newcomer; batch reservations are exempt (their admission was already
+  /// decided deterministically). Returns false when nothing is evictable.
+  bool evict_locked(std::size_t newcomer_priority) {
+    for (std::size_t p = kNumPriorities; p-- > newcomer_priority + 1;) {
+      for (const std::uint32_t id : rings_[p]) {
+        Tenant& t = tenants_.at(id);
+        for (Waiter* w = t.tail[p]; w != nullptr; w = w->prev) {
+          if (w->reserved) continue;
+          unlink_locked(w);
+          w->state = Waiter::State::kEvicted;
+          w->cv.notify_one();
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  mutable std::mutex mu_;
+  std::size_t in_use_ = 0;
+  std::size_t reserved_ = 0;   ///< slots drained via reserve_capacity
+  std::size_t queue_len_ = 0;  ///< parked waiters
+  std::size_t pending_ = 0;    ///< latent batch reservations
+  double ewma_us_ = 0.0;       ///< service-time predictor for deadline shed
+  std::atomic<std::size_t>* gauge_;
+  std::unordered_map<std::uint32_t, Tenant> tenants_;
+  std::vector<std::uint32_t> rings_[kNumPriorities];
+  std::size_t cursor_[kNumPriorities] = {};
+};
+
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  if (config_.max_in_flight > 0)
+    admission_ = std::make_unique<Admission>(config_, &in_flight_);
+  if (config_.chaos_cancel_rate > 0.0)
+    chaos_.arm(par::FaultKind::kCancelRequest, config_.chaos_cancel_rate, config_.chaos_seed);
+}
+
+Engine::~Engine() = default;
 
 par::ThreadPool* Engine::pool() const {
   if (config_.pool != nullptr) return config_.pool;
   return config_.use_global_pool ? par::ThreadPool::global() : nullptr;
+}
+
+std::size_t Engine::queue_depth() const {
+  return admission_ != nullptr ? admission_->depth() : 0;
+}
+
+std::size_t Engine::reserve_capacity(std::size_t n) const {
+  return admission_ != nullptr ? admission_->reserve(n) : 0;
+}
+
+void Engine::restore_capacity(std::size_t n) const {
+  if (admission_ != nullptr) admission_->restore(n);
+}
+
+MetricsSnapshot Engine::metrics_snapshot() const {
+  MetricsSnapshot snap = metrics_.snapshot();
+  snap.in_flight = in_flight();
+  snap.queue_depth = queue_depth();
+  return snap;
 }
 
 EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::SolveOptions& opts,
@@ -66,23 +451,6 @@ EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::Solve
   return out;
 }
 
-std::size_t Engine::acquire_slots(std::size_t want) const {
-  if (config_.max_in_flight == 0 || want == 0) return want;
-  std::size_t cur = in_flight_.load(std::memory_order_relaxed);
-  while (true) {
-    const std::size_t avail = cur >= config_.max_in_flight ? 0 : config_.max_in_flight - cur;
-    const std::size_t take = std::min(want, avail);
-    if (take == 0) return 0;
-    if (in_flight_.compare_exchange_weak(cur, cur + take, std::memory_order_acq_rel,
-                                         std::memory_order_relaxed))
-      return take;
-  }
-}
-
-void Engine::release_slots(std::size_t n) const {
-  if (config_.max_in_flight != 0 && n != 0) in_flight_.fetch_sub(n, std::memory_order_acq_rel);
-}
-
 std::shared_ptr<core::CancelToken> Engine::issue_handle(const SolveControl& control) const {
   if (control.handle == nullptr) return nullptr;
   auto token = std::make_shared<core::CancelToken>();
@@ -91,7 +459,7 @@ std::shared_ptr<core::CancelToken> Engine::issue_handle(const SolveControl& cont
     const std::lock_guard<std::mutex> lock(registry_mu_);
     registry_.emplace(h, token);
   }
-  // Published before the solve begins: a racing Engine::cancel either finds
+  // Published before admission begins: a racing Engine::cancel either finds
   // the registry entry or the caller has not observed the handle yet.
   control.handle->store(h, std::memory_order_release);
   return token;
@@ -104,29 +472,89 @@ void Engine::retire_handle(const SolveControl& control) const {
 }
 
 bool Engine::cancel(SolveHandle handle) const {
+  metrics_.count(EngineCounter::kCancelRequests);
+  if (handle == 0) return false;  // never published
   std::shared_ptr<core::CancelToken> token;
   {
     const std::lock_guard<std::mutex> lock(registry_mu_);
     const auto it = registry_.find(handle);
-    if (it == registry_.end()) return false;
+    if (it == registry_.end()) return false;  // retired (or unknown): no-op
     token = it->second;
   }
+  metrics_.count(EngineCounter::kCancelHits);
   token->cancel();
   return true;
 }
 
+EngineSolveResult Engine::admit_and_solve(const Instance& inst, const mcf::SolveOptions& opts,
+                                          const SolveControl& control, std::uint64_t salt,
+                                          const core::CancelToken* engine_token,
+                                          AdmitMode mode) const {
+  const auto arrival = Clock::now();
+  const std::size_t priority = clamp_priority(control.priority);
+
+  if (admission_ != nullptr && mode != AdmitMode::kPreAcquired) {
+    const core::Deadline merged = merge_deadlines(control.deadline, inst.deadline);
+    par::FaultInjector* chaos = config_.chaos_cancel_rate > 0.0 ? &chaos_ : nullptr;
+    const auto acq = admission_->acquire(control.tenant, priority, merged.wall, control.cancel,
+                                         engine_token, mode == AdmitMode::kReservedAcquire,
+                                         chaos, metrics_);
+    switch (acq.outcome) {
+      case Admission::Outcome::kAcquired:
+        metrics_.count(acq.queued ? EngineCounter::kAdmittedQueued
+                                  : EngineCounter::kAdmittedImmediate);
+        break;
+      case Admission::Outcome::kShedNoCapacity:
+        metrics_.on_shed(priority, EngineCounter::kShedNoCapacity);
+        return refusal(SolveStatus::kLoadShed, "no capacity");
+      case Admission::Outcome::kShedQueueFull:
+        metrics_.on_shed(priority, EngineCounter::kShedQueueFull);
+        return refusal(SolveStatus::kLoadShed, "queue full");
+      case Admission::Outcome::kShedDeadline:
+        metrics_.on_shed(priority, EngineCounter::kShedDeadline);
+        return refusal(SolveStatus::kLoadShed, "deadline<wait");
+      case Admission::Outcome::kShedEvicted:
+        metrics_.on_shed(priority, EngineCounter::kShedEvicted);
+        return refusal(SolveStatus::kLoadShed, "evicted");
+      case Admission::Outcome::kTimeout:
+        metrics_.count(EngineCounter::kQueueTimeouts);
+        metrics_.on_outcome(priority, SolveStatus::kDeadlineExceeded);
+        return refusal(SolveStatus::kDeadlineExceeded, "queue wait");
+      case Admission::Outcome::kCanceled:
+        metrics_.count(EngineCounter::kQueueCancels);
+        metrics_.on_outcome(priority, SolveStatus::kCanceled);
+        return refusal(SolveStatus::kCanceled, "queued cancel");
+    }
+  } else if (admission_ == nullptr && mode == AdmitMode::kAcquire) {
+    metrics_.count(EngineCounter::kAdmittedImmediate);
+  }
+
+  const auto acquired_at = Clock::now();
+  metrics_.queue_wait.record(acquired_at - arrival);
+  EngineSolveResult out =
+      solve_with_salt(inst, opts, salt, control.deadline, control.cancel, engine_token);
+  const auto done = Clock::now();
+  metrics_.solve_time.record(done - acquired_at);
+  metrics_.latency.record(done - arrival);
+  metrics_.on_outcome(priority, out.result.status);
+  if (out.result.stats.certified) metrics_.count(EngineCounter::kCertified);
+  if (out.result.stats.certification_failures > 0)
+    metrics_.count(EngineCounter::kCertificationFailures, out.result.stats.certification_failures);
+  if (admission_ != nullptr) admission_->release(control.tenant, to_us(done - acquired_at));
+  return out;
+}
+
 EngineSolveResult Engine::solve(const Instance& inst, const mcf::SolveOptions& opts,
                                 const SolveControl& control) const {
-  if (acquire_slots(1) == 0) return shed_result();
-  const std::shared_ptr<core::CancelToken> engine_token = issue_handle(control);
+  metrics_.on_submitted(clamp_priority(control.priority));
   // Offset past the batch-index salt space so direct calls and batch entries
   // never collide on a context stream.
   const std::uint64_t salt =
       (1ULL << 32) + solve_calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<core::CancelToken> engine_token = issue_handle(control);
   EngineSolveResult out =
-      solve_with_salt(inst, opts, salt, control.deadline, control.cancel, engine_token.get());
+      admit_and_solve(inst, opts, control, salt, engine_token.get(), AdmitMode::kAcquire);
   retire_handle(control);
-  release_slots(1);
   return out;
 }
 
@@ -134,17 +562,37 @@ std::vector<EngineSolveResult> Engine::solve_batch(const std::vector<Instance>& 
                                                    const mcf::SolveOptions& opts,
                                                    const SolveControl& control) const {
   std::vector<EngineSolveResult> results(batch.size());
+  const std::size_t priority = clamp_priority(control.priority);
+  metrics_.on_submitted(priority, batch.size());
   // Admission is decided upfront, in index order, before any fan-out: the
-  // first `admitted` items get the free slots, the suffix is shed. The
-  // decision is thus independent of pool scheduling, preserving the
-  // serial == pooled bit-identity contract.
-  const std::size_t admitted = acquire_slots(batch.size());
-  for (std::size_t i = admitted; i < batch.size(); ++i) results[i] = shed_result();
+  // first `admitted` items fit the free slots (plus, with a queue, the free
+  // queue capacity), the suffix is shed. The decision is thus independent of
+  // pool scheduling, preserving the serial == pooled bit-identity contract.
+  std::size_t admitted = batch.size();
+  AdmitMode mode = AdmitMode::kPreAcquired;
+  if (admission_ != nullptr) {
+    if (config_.max_queue == 0) {
+      admitted = admission_->acquire_batch_upfront(control.tenant, batch.size());
+      metrics_.count(EngineCounter::kAdmittedImmediate, admitted);
+    } else {
+      admitted = admission_->reserve_batch(batch.size());
+      mode = AdmitMode::kReservedAcquire;
+    }
+    if (admitted < batch.size()) {
+      const EngineCounter kind = config_.max_queue == 0 ? EngineCounter::kShedNoCapacity
+                                                        : EngineCounter::kShedQueueFull;
+      const char* detail = config_.max_queue == 0 ? "no capacity" : "queue full";
+      metrics_.on_shed(priority, kind, batch.size() - admitted);
+      for (std::size_t i = admitted; i < batch.size(); ++i)
+        results[i] = refusal(SolveStatus::kLoadShed, detail);
+    }
+  } else {
+    metrics_.count(EngineCounter::kAdmittedImmediate, batch.size());
+  }
   const std::shared_ptr<core::CancelToken> engine_token =
       admitted > 0 ? issue_handle(control) : nullptr;
   const auto solve_one = [&](std::size_t i) {
-    results[i] =
-        solve_with_salt(batch[i], opts, i, control.deadline, control.cancel, engine_token.get());
+    results[i] = admit_and_solve(batch[i], opts, control, /*salt=*/i, engine_token.get(), mode);
   };
   par::ThreadPool* p = pool();
   if (p == nullptr || p->num_threads() <= 1 || admitted <= 1) {
@@ -158,7 +606,6 @@ std::vector<EngineSolveResult> Engine::solve_batch(const std::vector<Instance>& 
     });
   }
   if (admitted > 0) retire_handle(control);
-  release_slots(admitted);
   return results;
 }
 

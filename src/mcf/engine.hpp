@@ -1,6 +1,6 @@
 #pragma once
 // pmcf::Engine — the concurrency-first facade over the min-cost-flow stack
-// (DESIGN.md §9).
+// (DESIGN.md §9, overload hardening §12).
 //
 // The layered API (mcf::min_cost_max_flow + SolverContext) is explicit about
 // execution state; Engine packages the common serving pattern on top of it:
@@ -14,6 +14,12 @@
 //     same instances serially in index order: each solve is a pure function
 //     of (instance, options) — per-solve seeds derive from the engine seed
 //     and the batch index, never from scheduling order.
+//   - Under overload the Engine degrades deliberately instead of queueing
+//     without bound: a CAS slot pool caps solves in flight, a bounded
+//     backpressure queue absorbs bursts, per-tenant quotas and deficit-
+//     round-robin dequeue keep one hot tenant from starving the rest,
+//     priorities (0 = most important) shed low-priority work first, and a
+//     lock-free metrics surface (mcf/metrics.hpp) exports what happened.
 //
 // Instrumented engines (the default) run each solve single-threaded under
 // its own PRAM tracker — batch throughput then comes purely from solving
@@ -30,7 +36,9 @@
 #include "core/deadline.hpp"
 #include "core/solver_context.hpp"
 #include "graph/digraph.hpp"
+#include "mcf/metrics.hpp"
 #include "mcf/min_cost_flow.hpp"
+#include "parallel/fault_injection.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace pmcf {
@@ -67,6 +75,17 @@ struct Instance {
   }
 };
 
+/// Per-tenant admission limits for EngineConfig::quotas.
+struct TenantQuota {
+  std::uint32_t tenant = 0;
+  /// Cap on this tenant's solves in flight (0 = no per-tenant cap). A tenant
+  /// at its cap queues (kQuotaDeferred) even while slots are free.
+  std::size_t max_in_flight = 0;
+  /// Deficit-round-robin share: a tenant with weight w is served w requests
+  /// per rotation of its priority ring. Must be >= 1.
+  std::uint64_t weight = 1;
+};
+
 struct EngineConfig {
   /// Master seed; per-solve context seeds are derived from it (mixed with
   /// the batch index / call counter) so distinct solves get distinct streams.
@@ -78,17 +97,35 @@ struct EngineConfig {
   /// primitives). nullptr + use_global_pool → ThreadPool::global().
   par::ThreadPool* pool = nullptr;
   bool use_global_pool = true;
-  /// Admission control (DESIGN.md §11): upper bound on solves in flight
-  /// across all threads sharing this Engine. 0 = unbounded. A request that
-  /// finds no free slot is *shed* immediately with SolveStatus::kLoadShed —
-  /// typed back-pressure instead of unbounded queueing. solve_batch admits a
-  /// deterministic prefix (index order) of whatever fits.
+  /// Admission control (DESIGN.md §11–12): upper bound on solves in flight
+  /// across all threads sharing this Engine. 0 = unbounded (the queue,
+  /// quotas, and priorities below are then inert).
   std::size_t max_in_flight = 0;
+  /// Backpressure queue capacity in front of the slot pool. 0 = no queue:
+  /// a request that finds no free slot is shed immediately with
+  /// SolveStatus::kLoadShed, and solve_batch admits a deterministic prefix
+  /// (index order) of whatever fits the free slots — the pre-queue
+  /// behaviour. With a queue, overflow sheds typed kLoadShed, arrivals
+  /// whose deadline cannot be met given the predicted queue wait are shed
+  /// up front, and a full queue evicts a strictly-lower-priority waiter to
+  /// make room for a more important arrival.
+  std::size_t max_queue = 0;
+  /// Per-tenant overrides; tenants not listed get the defaults below.
+  std::vector<TenantQuota> quotas;
+  /// Defaults for tenants absent from `quotas` (same semantics).
+  std::size_t default_tenant_slots = 0;
+  std::uint64_t default_tenant_weight = 1;
+  /// Chaos engineering: probability that a kCancelRequest fault fires at the
+  /// admission queue's enqueue and dequeue points, turning the request into
+  /// a typed kCanceled result. Draws are deterministic in chaos_seed but
+  /// ordered by thread interleaving; 0 disables the injector entirely.
+  double chaos_cancel_rate = 0.0;
+  std::uint64_t chaos_seed = 0xc4a05eedULL;
 };
 
 /// Opaque ticket for Engine::cancel. Published through SolveControl::handle
-/// *before* the solve starts, so a caller thread can cancel a solve another
-/// thread is blocked in.
+/// *before* admission, so a caller thread can cancel a solve another thread
+/// is blocked in — including one still parked in the admission queue.
 using SolveHandle = std::uint64_t;
 
 /// Per-request lifecycle controls for Engine::solve / solve_batch.
@@ -96,13 +133,21 @@ struct SolveControl {
   /// Request deadline; combined with each Instance's own (tighter wins).
   core::Deadline deadline = core::Deadline::unlimited();
   /// Caller-owned cancellation token; must outlive the call. Observed
-  /// cooperatively at the solver's lifecycle poll sites.
+  /// cooperatively at the solver's lifecycle poll sites and, for queued
+  /// requests, at the admission queue's poll tick.
   const core::CancelToken* cancel = nullptr;
-  /// When non-null, receives a handle for Engine::cancel before the solve
+  /// When non-null, receives a handle for Engine::cancel before admission
   /// begins (for solve_batch, one handle cancels all in-flight items).
   /// Atomic so a watcher thread can poll for publication (0 = not yet
   /// published) while the solving thread blocks inside solve().
   std::atomic<SolveHandle>* handle = nullptr;
+  /// Fair-share accounting key; requests are queued and quota-checked per
+  /// tenant. Tenants need no registration — unknown ids get the
+  /// EngineConfig defaults.
+  std::uint32_t tenant = 0;
+  /// 0 (most important) … kNumPriorities-1. Under overload lower priorities
+  /// shed first; values past the ladder clamp to the least important class.
+  std::uint32_t priority = 0;
 };
 
 /// Result of one batch entry: the solve result plus the PRAM cost measured
@@ -115,12 +160,17 @@ struct EngineSolveResult {
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Solve one instance. Reentrant: safe to call from many threads sharing
   /// this Engine (and its pool) concurrently; each call runs under a private
   /// SolverContext, so returned stats cover exactly this solve. `control`
-  /// carries the request's deadline/cancellation; under admission control a
-  /// full engine sheds the request with SolveStatus::kLoadShed.
+  /// carries the request's deadline/cancellation/tenant/priority; under
+  /// admission control a full engine either parks the request in the
+  /// bounded queue (blocking this thread until a slot frees, the deadline
+  /// expires, or a token cancels) or sheds it with SolveStatus::kLoadShed.
   [[nodiscard]] EngineSolveResult solve(const Instance& inst,
                                         const mcf::SolveOptions& opts = {},
                                         const SolveControl& control = {}) const;
@@ -131,16 +181,20 @@ class Engine {
   /// index i — independent of thread count and scheduling. The request-level
   /// `control` deadline combines with each item's Instance::deadline; under
   /// admission control, the deterministic prefix of the batch that fits the
-  /// free slots is admitted and the rest is shed with kLoadShed (decided
-  /// upfront in index order, so serial and pooled runs agree exactly).
+  /// free slots plus free queue capacity is admitted (decided upfront in
+  /// index order, so serial and pooled runs agree exactly) and the rest is
+  /// shed with kLoadShed. Admitted items block for their slot inside their
+  /// own task; their queue reservations are exempt from eviction.
   [[nodiscard]] std::vector<EngineSolveResult> solve_batch(
       const std::vector<Instance>& batch, const mcf::SolveOptions& opts = {},
       const SolveControl& control = {}) const;
 
-  /// Cancel the in-flight solve (or batch) identified by `handle`
+  /// Cancel the in-flight or queued solve (or batch) identified by `handle`
   /// (SolveControl::handle). Safe from any thread; returns false when the
-  /// solve already completed (its handle is retired). The solve observes the
-  /// cancellation at its next lifecycle poll and returns kCanceled.
+  /// handle was never published or the solve already completed (its handle
+  /// is retired) — a clean no-op either way. A running solve observes the
+  /// cancellation at its next lifecycle poll and returns kCanceled; a
+  /// queued one at the admission queue's next poll tick.
   bool cancel(SolveHandle handle) const;
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
@@ -150,8 +204,25 @@ class Engine {
   [[nodiscard]] std::size_t in_flight() const {
     return in_flight_.load(std::memory_order_relaxed);
   }
+  /// Requests parked in (or reserved against) the admission queue.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Drain control: take up to `n` admission slots out of service (returns
+  /// how many were actually removed — never more than the currently free
+  /// slots). Reserved capacity is invisible to requests until
+  /// restore_capacity returns it, at which point parked waiters are
+  /// re-dispatched. No-op (returns 0) on an unbounded engine.
+  std::size_t reserve_capacity(std::size_t n) const;
+  void restore_capacity(std::size_t n) const;
+
+  /// Point-in-time copy of the serving metrics (monotonic counters,
+  /// latency/queue-wait/solve-time histograms, per-priority goodput) plus
+  /// the in_flight / queue_depth gauges. Lock-free on the recording side.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
 
  private:
+  struct Admission;  // bounded queue + tenant DRR + priorities (engine.cpp)
+
   /// One solve under a fresh context derived from `salt`, with the resolved
   /// lifecycle configuration (deadline + up to two tokens) installed.
   [[nodiscard]] EngineSolveResult solve_with_salt(const Instance& inst,
@@ -161,10 +232,20 @@ class Engine {
                                                   const core::CancelToken* caller_token,
                                                   const core::CancelToken* engine_token) const;
 
-  /// Reserve up to `want` admission slots; returns how many were granted
-  /// (all-or-nothing is the caller's policy, prefix admission for batches).
-  [[nodiscard]] std::size_t acquire_slots(std::size_t want) const;
-  void release_slots(std::size_t n) const;
+  /// How a request reaches its admission slot: a direct solve() acquires in
+  /// full; a batch item under a queue converts its pre-counted reservation
+  /// (blocking, eviction-exempt); a batch item on a queueless engine (or any
+  /// item of an unbounded one) had its slot taken upfront by solve_batch.
+  enum class AdmitMode { kAcquire, kReservedAcquire, kPreAcquired };
+
+  /// Full admission + solve + release for one request (shared by solve()
+  /// and each admitted solve_batch item).
+  [[nodiscard]] EngineSolveResult admit_and_solve(const Instance& inst,
+                                                  const mcf::SolveOptions& opts,
+                                                  const SolveControl& control,
+                                                  std::uint64_t salt,
+                                                  const core::CancelToken* engine_token,
+                                                  AdmitMode mode) const;
 
   /// Create + register a fresh registry token when the caller asked for a
   /// handle; null otherwise. retire_handle() drops the registry entry.
@@ -180,6 +261,9 @@ class Engine {
   mutable std::atomic<SolveHandle> next_handle_{1};
   mutable std::mutex registry_mu_;
   mutable std::unordered_map<SolveHandle, std::shared_ptr<core::CancelToken>> registry_;
+  mutable std::unique_ptr<Admission> admission_;  ///< null when unbounded
+  mutable EngineMetrics metrics_;
+  mutable par::FaultInjector chaos_;  ///< kCancelRequest at queue points
 };
 
 }  // namespace pmcf

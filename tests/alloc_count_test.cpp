@@ -12,19 +12,26 @@
 // around the solve calls. The runs use wall-clock mode without a pool: the
 // work-stealing dispatch path itself queues tasks in mutex-guarded deques
 // (which may allocate) and is out of scope for the kernel-level claim.
+//
+// The same technique asserts the Engine's overload-shed fast path (DESIGN.md
+// §12) is allocation-free: a typed kLoadShed refusal from a drained or
+// queue-full engine must never touch the heap.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 #include "graph/generators.hpp"
 #include "core/solver_context.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/laplacian.hpp"
 #include "linalg/sdd_solver.hpp"
+#include "mcf/engine.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/work_depth.hpp"
@@ -181,6 +188,80 @@ TEST_F(AllocCountTest, RepeatedSolvesIntoCallerBufferAreZeroAlloc) {
       << "solve_sdd_into allocated " << (after - before)
       << " times across 8 repeated solves; the IPM hot path must be "
          "allocation-free";
+}
+
+TEST_F(AllocCountTest, AdmissionShedFastPathIsAllocationFree) {
+  // Overload hardening (DESIGN.md §12): when a drained engine refuses a
+  // request, the typed kLoadShed refusal must not touch the heap — the shed
+  // decision happens before any solver context, scratch, or registry entry
+  // exists, and the refusal detail fits the small-string buffer. A serving
+  // layer drowning in overload must not add allocator pressure on top.
+  par::Rng rng(909);
+  const graph::Digraph g = graph::random_flow_network(12, 60, 6, 6, rng);
+  const Instance inst = Instance::max_flow(g, 0, g.num_vertices() - 1);
+  const mcf::SolveOptions opts;
+
+  par::Tracker::instance().set_enabled(false);
+  const Engine engine({.seed = 909, .use_global_pool = false, .max_in_flight = 1});
+  ASSERT_EQ(engine.reserve_capacity(1), 1u);
+  auto warm = engine.solve(inst, opts);  // warm any lazy one-time state
+  ASSERT_EQ(warm.result.status, SolveStatus::kLoadShed);
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int rep = 0; rep < 16; ++rep) {
+    const auto res = engine.solve(inst, opts);
+    EXPECT_EQ(res.result.status, SolveStatus::kLoadShed);
+    EXPECT_EQ(res.result.failure_detail, "no capacity");
+  }
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << "the no-capacity shed path allocated " << (after - before)
+      << " times across 16 refusals; shedding must be allocation-free";
+
+  engine.restore_capacity(1);
+  const auto ok = engine.solve(inst, opts);
+  EXPECT_EQ(ok.result.status, SolveStatus::kOk);
+}
+
+TEST_F(AllocCountTest, QueueFullShedFastPathIsAllocationFree) {
+  // Same claim for the bounded-queue overflow shed: a full queue refuses
+  // equal-priority arrivals without enqueueing (no waiter node, no tenant
+  // map insert — only parked requests register state).
+  par::Rng rng(910);
+  const graph::Digraph g = graph::random_flow_network(12, 60, 6, 6, rng);
+  const Instance inst = Instance::max_flow(g, 0, g.num_vertices() - 1);
+  const mcf::SolveOptions opts;
+
+  par::Tracker::instance().set_enabled(false);
+  const Engine engine(
+      {.seed = 910, .use_global_pool = false, .max_in_flight = 1, .max_queue = 1});
+  ASSERT_EQ(engine.reserve_capacity(1), 1u);
+
+  // Fill the queue with one parked waiter (it solves after the measurement).
+  EngineSolveResult parked_res;
+  std::thread parked([&] { parked_res = engine.solve(inst, opts); });
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (engine.queue_depth() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  auto warm = engine.solve(inst, opts);
+  ASSERT_EQ(warm.result.status, SolveStatus::kLoadShed);
+
+  const std::uint64_t before = g_alloc_count.load();
+  for (int rep = 0; rep < 16; ++rep) {
+    const auto res = engine.solve(inst, opts);
+    EXPECT_EQ(res.result.status, SolveStatus::kLoadShed);
+    EXPECT_EQ(res.result.failure_detail, "queue full");
+  }
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << "the queue-full shed path allocated " << (after - before)
+      << " times across 16 refusals; shedding must be allocation-free";
+
+  engine.restore_capacity(1);
+  parked.join();
+  EXPECT_EQ(parked_res.result.status, SolveStatus::kOk);
 }
 
 }  // namespace

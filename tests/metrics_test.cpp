@@ -1,0 +1,130 @@
+// Unit tests for the lock-free serving-metrics surface (mcf/metrics.hpp):
+// histogram bucketing and quantiles, counter naming, per-priority goodput,
+// and the snapshot consistency helpers the Engine tests and the soak
+// harness lean on. The Engine-integrated behaviour (every submission lands
+// in exactly one terminal counter) is asserted in EngineOverloadTest.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mcf/metrics.hpp"
+
+namespace pmcf {
+namespace {
+
+TEST(MetricsTest, CounterNamesAreStableAndUnique) {
+  const auto n = static_cast<std::size_t>(EngineCounter::kNumEngineCounters);
+  std::vector<const char*> names;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* s = to_string(static_cast<EngineCounter>(i));
+    ASSERT_NE(s, nullptr);
+    EXPECT_GT(std::strlen(s), 0u);
+    for (const char* seen : names) EXPECT_STRNE(s, seen);
+    names.push_back(s);
+  }
+  EXPECT_STREQ(to_string(EngineCounter::kSolvedOk), "SolvedOk");
+  EXPECT_STREQ(to_string(EngineCounter::kShedQueueFull), "ShedQueueFull");
+}
+
+TEST(MetricsTest, HistogramBucketBoundsPartitionTheAxis) {
+  // Bucket 0 catches sub-microsecond samples; after that, buckets tile the
+  // axis contiguously with ~19% relative width (4 sub-buckets per octave).
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.5), 0u);
+  for (std::size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    const double lo = HistogramSnapshot::bucket_lower_us(i);
+    const double hi = HistogramSnapshot::bucket_upper_us(i);
+    ASSERT_LT(lo, hi);
+    EXPECT_DOUBLE_EQ(hi, HistogramSnapshot::bucket_lower_us(i + 1));
+    EXPECT_EQ(LatencyHistogram::bucket_of(lo), i);
+    EXPECT_EQ(LatencyHistogram::bucket_of(hi - 1e-9 * hi), i);
+  }
+  // Out-of-range samples clamp into the last bucket instead of overflowing.
+  EXPECT_EQ(LatencyHistogram::bucket_of(1e18), kHistogramBuckets - 1);
+}
+
+TEST(MetricsTest, HistogramQuantilesBracketExactPercentiles) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record_us(static_cast<double>(i));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.mean_us(), 500.5, 1.0);
+  // ~19% bucket resolution: quantiles land within one bucket of the truth.
+  EXPECT_NEAR(snap.quantile_us(0.50), 500.0, 0.2 * 500.0);
+  EXPECT_NEAR(snap.quantile_us(0.99), 990.0, 0.2 * 990.0);
+  EXPECT_LE(snap.quantile_us(0.0), snap.quantile_us(0.5));
+  EXPECT_LE(snap.quantile_us(0.5), snap.quantile_us(0.999));
+  EXPECT_LE(snap.quantile_us(1.0), HistogramSnapshot::bucket_upper_us(
+                                       LatencyHistogram::bucket_of(1000.0)));
+}
+
+TEST(MetricsTest, EmptyHistogramIsAllZero) {
+  const HistogramSnapshot snap = LatencyHistogram{}.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean_us(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile_us(0.5), 0.0);
+}
+
+TEST(MetricsTest, DurationOverloadMatchesMicrosecondRecord) {
+  LatencyHistogram a, b;
+  a.record_us(1500.0);
+  b.record(std::chrono::microseconds(1500));
+  EXPECT_EQ(a.snapshot().buckets[LatencyHistogram::bucket_of(1500.0)],
+            b.snapshot().buckets[LatencyHistogram::bucket_of(1500.0)]);
+}
+
+TEST(MetricsTest, SnapshotAggregatesOutcomesAndGoodput) {
+  EngineMetrics m;
+  m.on_submitted(0, 3);
+  m.on_submitted(3, 2);
+  m.on_outcome(0, SolveStatus::kOk);
+  m.on_outcome(0, SolveStatus::kOk);
+  m.on_outcome(0, SolveStatus::kDeadlineExceeded);
+  m.on_shed(3, EngineCounter::kShedQueueFull);
+  m.on_outcome(3, SolveStatus::kCanceled);
+
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.of(EngineCounter::kSubmitted), 5u);
+  EXPECT_EQ(snap.of(EngineCounter::kSolvedOk), 2u);
+  EXPECT_EQ(snap.shed_total(), 1u);
+  EXPECT_EQ(snap.terminal_total(), 5u);  // drained: all submissions terminal
+  EXPECT_DOUBLE_EQ(snap.shed_rate(), 0.2);
+  EXPECT_NEAR(snap.priorities[0].goodput(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(snap.priorities[3].goodput(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.priorities[1].goodput(), 1.0);  // vacuous: nothing sent
+}
+
+TEST(MetricsTest, ConcurrentRecordingLosesNothing) {
+  // The recording side is relaxed atomics only; hammer it from several
+  // threads and require exact totals (runs under TSan via the Engine suites,
+  // plain here — the suite name keeps this file out of the TSan filter, and
+  // losing increments would already fail this exact-count check).
+  EngineMetrics m;
+  constexpr int kThreads = 4;
+  constexpr int kPer = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < kPer; ++i) {
+        m.on_submitted(static_cast<std::size_t>(i) % kNumPriorities);
+        m.latency.record_us(static_cast<double>(i % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.of(EngineCounter::kSubmitted),
+            static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_EQ(snap.latency.count, static_cast<std::uint64_t>(kThreads) * kPer);
+  std::uint64_t by_priority = 0;
+  for (const auto& p : snap.priorities) by_priority += p.submitted;
+  EXPECT_EQ(by_priority, snap.of(EngineCounter::kSubmitted));
+}
+
+}  // namespace
+}  // namespace pmcf
