@@ -57,10 +57,11 @@ using namespace pmcf;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
-  std::string out = "BENCH_pr6.json";
+  std::string out = "BENCH_pr7.json";
   std::vector<int> threads = {1, 2, 8};
   bool tiny = false;
   int reps = 5;
+  bool list = false;
 };
 
 struct ThreadPoint {
@@ -265,6 +266,70 @@ Workload make_spmv(bool tiny) {
   return {"csr_spmv", "component", [lap, x] {
             linalg::Vec y(x->size());
             for (int rep = 0; rep < 64; ++rep) lap->apply_into(rep % 2 ? y : *x, rep % 2 ? *x : y);
+          }};
+}
+
+Workload make_kernel_spmv(bool tiny) {
+  // The raw SpMV kernel through the Csr dispatch (DESIGN.md §13): in the
+  // serial wall configuration this runs the SELL-4-σ gather kernel over the
+  // RCM-renumbered layout; with PMCF_SIMD=OFF (or under the tracker) it is
+  // the plain CSR row walk. Values are refreshed between reps so the lazy
+  // value-regather path is part of what is measured, as it is inside an IPM.
+  const auto n = static_cast<graph::Vertex>(tiny ? 128 : 1536);
+  const std::int64_t m = static_cast<std::int64_t>(n) * 24;
+  par::Rng rng(29);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, m, 100, 100, rng));
+  const linalg::IncidenceOp a(*g);
+  linalg::Vec d(a.rows());
+  for (auto& x : d) x = 0.5 + rng.next_double();
+  auto lap = std::make_shared<linalg::Csr>(linalg::reduced_laplacian(*g, d, a.dropped()));
+  auto x = std::make_shared<linalg::Vec>(a.cols());
+  for (auto& xi : *x) xi = rng.next_double() - 0.5;
+  return {"kernel_spmv", "component", [lap, x] {
+            linalg::Vec y(x->size());
+            for (int chunk = 0; chunk < 4; ++chunk) {
+              for (auto& v : lap->vals_mut()) v *= chunk % 2 ? 0.5 : 2.0;
+              for (int rep = 0; rep < 24; ++rep)
+                lap->apply_into(rep % 2 ? y : *x, rep % 2 ? *x : y);
+            }
+          }};
+}
+
+Workload make_kernel_fused_cg(bool tiny) {
+  // The fused CG iteration kernels in isolation: one SpMV + dot + fused
+  // step/residual + fused Jacobi refresh + axpby per "iteration", the exact
+  // per-iteration kernel sequence of solve_sdd minus convergence control.
+  // Isolating them makes kernel-layer regressions visible without the solver
+  // iteration count in the way.
+  const auto n = static_cast<graph::Vertex>(tiny ? 128 : 1024);
+  const std::int64_t m = static_cast<std::int64_t>(n) * 16;
+  par::Rng rng(31);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, m, 100, 100, rng));
+  const linalg::IncidenceOp a(*g);
+  linalg::Vec d(a.rows());
+  for (auto& x : d) x = 0.5 + rng.next_double();
+  auto lap = std::make_shared<linalg::Csr>(linalg::reduced_laplacian(*g, d, a.dropped()));
+  auto dinv = std::make_shared<linalg::Vec>(lap->dim());
+  lap->diagonal_into(*dinv);
+  for (auto& v : *dinv) v = 1.0 / v;
+  auto b = std::make_shared<linalg::Vec>(lap->dim());
+  for (auto& x : *b) x = rng.next_double() - 0.5;
+  return {"kernel_fused_cg", "component", [lap, dinv, b] {
+            const std::size_t n2 = lap->dim();
+            linalg::Vec x(n2, 0.0), r = *b, z(n2), p(n2), mp(n2);
+            double rz = linalg::precond_refresh(*dinv, r, z);
+            p = z;
+            for (int it = 0; it < 200; ++it) {
+              lap->apply_into(p, mp);
+              const double pmp = linalg::dot(p, mp);
+              const double alpha = rz / pmp;
+              const double rr = linalg::cg_step_residual(x, r, p, mp, alpha);
+              if (rr < 0.0) std::abort();
+              const double rz_new = linalg::precond_refresh(*dinv, r, z);
+              linalg::axpby(p, rz_new / rz, z, 1.0);
+              rz = rz_new;
+            }
+            if (!(linalg::dot(x, x) >= 0.0)) std::abort();
           }};
 }
 
@@ -563,7 +628,7 @@ void write_json(const std::string& path, const Options& opt,
 [[noreturn]] void usage_error(const std::string& detail) {
   std::cerr << "perf_trajectory: " << detail << "\n"
             << "usage: perf_trajectory [--out=FILE] [--threads=1,2,8] "
-               "[--scale=tiny|full] [--reps=N]\n";
+               "[--scale=tiny|full] [--reps=N] [--list]\n";
   std::exit(2);
 }
 
@@ -598,6 +663,8 @@ Options parse(int argc, char** argv) {
     } else if (arg.rfind("--reps=", 0) == 0) {
       opt.reps = parse_positive_int("--reps", arg.substr(7));
       reps_set = true;
+    } else if (arg == "--list") {
+      opt.list = true;
     } else {
       usage_error("unknown argument: " + arg);
     }
@@ -624,6 +691,8 @@ int main(int argc, char** argv) {
   workloads.push_back(make_pack(opt.tiny));
   workloads.push_back(make_sort(opt.tiny));
   workloads.push_back(make_spmv(opt.tiny));
+  workloads.push_back(make_kernel_spmv(opt.tiny));
+  workloads.push_back(make_kernel_fused_cg(opt.tiny));
   workloads.push_back(make_sdd_multi_rhs(opt.tiny));
   workloads.push_back(make_precond_reuse(opt.tiny));
   workloads.push_back(make_ipm_iterations(opt.tiny));
@@ -632,6 +701,14 @@ int main(int argc, char** argv) {
   workloads.push_back(make_certify_overhead(opt.tiny));
   workloads.push_back(make_engine_soak_poisson(opt.tiny));
   workloads.push_back(make_engine_soak_burst(opt.tiny));
+
+  if (opt.list) {
+    // One name per line, then the count — CI asserts the count so a workload
+    // silently dropping out of the registration list above fails the build.
+    for (const auto& w : workloads) std::cout << w.name << "\n";
+    std::cout << "workloads: " << workloads.size() << "\n";
+    return 0;
+  }
 
   std::vector<WorkloadReport> reports;
   for (const auto& w : workloads) {

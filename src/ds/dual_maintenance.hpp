@@ -16,7 +16,7 @@
 #include "ds/heavy_hitter.hpp"
 #include "graph/digraph.hpp"
 #include "linalg/incidence.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::ds {
 

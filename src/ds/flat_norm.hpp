@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::ds {
 

@@ -22,7 +22,7 @@
 
 #include "ds/flat_norm.hpp"
 #include "linalg/incidence.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::ds {
 

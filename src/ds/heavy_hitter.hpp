@@ -19,7 +19,7 @@
 
 #include "expander/dynamic_decomp.hpp"
 #include "graph/digraph.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::core {

@@ -13,7 +13,7 @@
 #include "ds/heavy_hitter.hpp"
 #include "ds/tau_sampler.hpp"
 #include "graph/digraph.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::ds {

@@ -18,7 +18,7 @@
 
 #include "linalg/incidence.hpp"
 #include "linalg/leverage.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::ds {

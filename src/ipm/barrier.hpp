@@ -5,7 +5,7 @@
 
 #include <cmath>
 
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::ipm {

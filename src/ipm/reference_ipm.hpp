@@ -24,7 +24,7 @@
 #include "linalg/incidence.hpp"
 #include "linalg/lewis.hpp"
 #include "linalg/sdd_solver.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::ipm {

@@ -15,7 +15,7 @@
 #include "core/solve_status.hpp"
 #include "core/solver_context.hpp"
 #include "graph/digraph.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::ipm {
 

@@ -4,9 +4,167 @@
 #include <cassert>
 #include <numeric>
 
+#include "linalg/rcm.hpp"
+#include "linalg/simd.hpp"
+#include "linalg/simd_kernels.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::linalg {
+
+namespace {
+/// Sorting window of the SELL-4-σ layout: rows are length-sorted within
+/// σ-sized windows of the RCM order — large enough to squeeze padding out of
+/// the 4-row slices, small enough to keep the RCM locality.
+constexpr std::size_t kSellSigma = 64;
+}  // namespace
+
+Csr& Csr::operator=(const Csr& o) {
+  if (this != &o) {
+    n_ = o.n_;
+    off_ = o.off_;
+    col_ = o.col_;
+    val_ = o.val_;
+    std::lock_guard<std::mutex> g(cache_mu_);
+    sell_.reset();
+    sell_fresh_ = false;
+    part_.blocks = 0;
+  }
+  return *this;
+}
+
+Csr::Csr(Csr&& o) noexcept
+    : n_(o.n_),
+      off_(std::move(o.off_)),
+      col_(std::move(o.col_)),
+      val_(std::move(o.val_)),
+      sell_(std::move(o.sell_)),
+      sell_fresh_(o.sell_fresh_),
+      part_(o.part_) {
+  o.n_ = 0;
+  o.sell_fresh_ = false;
+  o.part_.blocks = 0;
+}
+
+Csr& Csr::operator=(Csr&& o) noexcept {
+  if (this != &o) {
+    n_ = o.n_;
+    off_ = std::move(o.off_);
+    col_ = std::move(o.col_);
+    val_ = std::move(o.val_);
+    sell_ = std::move(o.sell_);
+    sell_fresh_ = o.sell_fresh_;
+    part_ = o.part_;
+    o.n_ = 0;
+    o.sell_fresh_ = false;
+    o.part_.blocks = 0;
+  }
+  return *this;
+}
+
+std::vector<double>& Csr::vals_mut() {
+  std::lock_guard<std::mutex> g(cache_mu_);
+  sell_fresh_ = false;  // values about to change; regather on next serial apply
+  return val_;
+}
+
+void Csr::build_sell() const {
+  auto layout = std::make_unique<SellLayout>();
+  std::vector<std::int32_t> perm = rcm_order(n_, off_, col_);
+  // Descending row length within σ-windows: slices of similar-length rows
+  // waste almost no padding slots, while rows stay near their RCM position.
+  for (std::size_t w = 0; w < n_; w += kSellSigma) {
+    const std::size_t hi = std::min(n_, w + kSellSigma);
+    std::stable_sort(perm.begin() + static_cast<std::ptrdiff_t>(w),
+                     perm.begin() + static_cast<std::ptrdiff_t>(hi),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return off_[static_cast<std::size_t>(a) + 1] - off_[static_cast<std::size_t>(a)] >
+                              off_[static_cast<std::size_t>(b) + 1] - off_[static_cast<std::size_t>(b)];
+                     });
+  }
+  const std::size_t slices = (n_ + 3) / 4;
+  layout->slices = slices;
+  layout->order.assign(4 * slices, -1);
+  layout->lens4.assign(4 * slices, 0);
+  layout->slice_off.assign(slices + 1, 0);
+  for (std::size_t p = 0; p < n_; ++p) {
+    layout->order[p] = perm[p];
+    layout->lens4[p] = off_[static_cast<std::size_t>(perm[p]) + 1] -
+                       off_[static_cast<std::size_t>(perm[p])];
+  }
+  for (std::size_t s = 0; s < slices; ++s) {
+    std::int64_t width = 0;
+    for (std::size_t l = 0; l < 4; ++l)
+      width = std::max(width, layout->lens4[4 * s + l]);
+    layout->slice_off[s + 1] = layout->slice_off[s] + 4 * width;
+  }
+  const auto slots = static_cast<std::size_t>(layout->slice_off[slices]);
+  // Padding slots: column 0 keeps the pad-lane gathers in bounds; the value
+  // is never read (the kernels blend pad products away).
+  layout->cols.assign(slots, 0);
+  layout->vals.assign(slots, -0.0);
+  for (std::size_t s = 0; s < slices; ++s) {
+    const auto base = static_cast<std::size_t>(layout->slice_off[s]);
+    for (std::size_t l = 0; l < 4; ++l) {
+      const std::int32_t row = layout->order[4 * s + l];
+      if (row < 0) continue;
+      const std::int64_t r0 = off_[static_cast<std::size_t>(row)];
+      const auto len = static_cast<std::size_t>(layout->lens4[4 * s + l]);
+      for (std::size_t t = 0; t < len; ++t) {
+        const std::size_t slot = base + 4 * t + l;
+        layout->cols[slot] = col_[static_cast<std::size_t>(r0) + t];
+        layout->vals[slot] = val_[static_cast<std::size_t>(r0) + t];
+      }
+    }
+  }
+  sell_ = std::move(layout);
+}
+
+void Csr::regather_sell() const {
+  SellLayout& s = *sell_;
+  for (std::size_t sl = 0; sl < s.slices; ++sl) {
+    const auto base = static_cast<std::size_t>(s.slice_off[sl]);
+    for (std::size_t l = 0; l < 4; ++l) {
+      const std::int32_t row = s.order[4 * sl + l];
+      if (row < 0) continue;
+      const std::int64_t r0 = off_[static_cast<std::size_t>(row)];
+      const auto len = static_cast<std::size_t>(s.lens4[4 * sl + l]);
+      for (std::size_t t = 0; t < len; ++t)
+        s.vals[base + 4 * t + l] = val_[static_cast<std::size_t>(r0) + t];
+    }
+  }
+}
+
+const Csr::SellLayout* Csr::sell() const {
+  std::lock_guard<std::mutex> g(cache_mu_);
+  if (!sell_fresh_) {
+    if (!sell_) build_sell();
+    else regather_sell();
+    sell_fresh_ = true;
+  }
+  return sell_.get();
+}
+
+void Csr::partition_rows(std::size_t blocks, std::size_t* bounds) const {
+  const std::size_t nnz = val_.size();
+  std::lock_guard<std::mutex> g(cache_mu_);
+  if (part_.blocks != blocks) {
+    part_.bounds[0] = 0;
+    for (std::size_t b = 1; b < blocks; ++b) {
+      const auto target = static_cast<std::int64_t>(nnz / blocks * b);
+      const auto it = std::upper_bound(off_.begin(), off_.end(), target);
+      const auto row = static_cast<std::size_t>(std::distance(off_.begin(), it)) - 1;
+      part_.bounds[b] = std::clamp(row, part_.bounds[b - 1], n_);
+    }
+    part_.bounds[blocks] = n_;
+    part_.blocks = blocks;
+  }
+  std::copy_n(part_.bounds.data(), blocks + 1, bounds);
+}
+
+void Csr::warm_caches() const {
+  if (n_ == 0) return;
+  if (simd::available()) (void)sell();
+}
 
 Vec Csr::apply(const Vec& x) const {
   Vec y(n_);
@@ -17,12 +175,9 @@ Vec Csr::apply(const Vec& x) const {
 void Csr::apply_into(const Vec& x, Vec& y) const {
   assert(x.size() == n_);
   assert(y.size() == n_);
-  par::ThreadPool* pool = par::current_wall_pool();
-  const std::size_t nnz = val_.size();
-  const auto plan = pool == nullptr
-                        ? par::ThreadPool::BlockPlan{}
-                        : pool->plan_blocks(0, nnz, par::detail::auto_grain(nnz, pool->num_threads()));
-  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+  if (par::current_tracker().enabled()) {
+    // Instrumented: the seed's exact loop and charges (PRAM counters are
+    // asserted bit-for-bit across PRs).
     par::parallel_for(0, n_, [&](std::size_t r) {
       double acc = 0.0;
       for (std::int64_t k = off_[r]; k < off_[r + 1]; ++k)
@@ -33,17 +188,31 @@ void Csr::apply_into(const Vec& x, Vec& y) const {
     });
     return;
   }
-  // Row blocks balanced by nonzero count: block b owns rows
-  // [bounds[b], bounds[b+1]) holding roughly nnz/blocks nonzeros each.
-  std::size_t bounds[par::detail::kMaxBlocks + 1];
-  bounds[0] = 0;
-  for (std::size_t b = 1; b < plan.blocks; ++b) {
-    const auto target = static_cast<std::int64_t>(nnz / plan.blocks * b);
-    const auto it = std::upper_bound(off_.begin(), off_.end(), target);
-    const auto row = static_cast<std::size_t>(std::distance(off_.begin(), it)) - 1;
-    bounds[b] = std::clamp(row, bounds[b - 1], n_);
+  par::ThreadPool* pool = par::current_wall_pool();
+  const std::size_t nnz = val_.size();
+  const auto plan = pool == nullptr
+                        ? par::ThreadPool::BlockPlan{}
+                        : pool->plan_blocks(0, nnz, par::detail::auto_grain(nnz, pool->num_threads()));
+  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+    // Serial wall clock: SELL-4-σ when the AVX2 kernels are live, else the
+    // scalar row walk. Per-row sums are identical either way (same CSR
+    // accumulation order; SELL only changes which row is processed when).
+    if (simd::enabled() && n_ > 0) {
+      const SellLayout* s = sell();
+      simd::sell_spmv(s->slice_off.data(), s->cols.data(), s->vals.data(),
+                      s->lens4.data(), s->order.data(), s->slices, x.data(),
+                      y.data());
+    } else {
+      simd::csr_spmv(off_.data(), col_.data(), val_.data(), x.data(), y.data(),
+                     0, n_);
+    }
+    return;
   }
-  bounds[plan.blocks] = n_;
+  // Pooled: row blocks balanced by nonzero count (block b owns rows
+  // [bounds[b], bounds[b+1]) holding roughly nnz/blocks nonzeros each),
+  // served from the structure-keyed cache.
+  std::size_t bounds[par::detail::kMaxBlocks + 1];
+  partition_rows(plan.blocks, bounds);
   pool->run_planned(0, plan.blocks, par::ThreadPool::BlockPlan{plan.blocks, 1},
                     [&](std::size_t blk0, std::size_t blk1) {
                       for (std::size_t blk = blk0; blk < blk1; ++blk) {
@@ -67,40 +236,40 @@ void Csr::apply_block_into(const Vec& x, Vec& y, std::size_t k) const {
   // additions happen in CSR order starting from zero — exactly the
   // accumulation order of the single-vector apply_into, so results match it
   // bit for bit while the matrix is only traversed once for all k columns.
-  auto row_block = [&](std::size_t r) {
-    double* yr = y.data() + r * k;
-    for (std::size_t j = 0; j < k; ++j) yr[j] = 0.0;
-    for (std::int64_t t = off_[r]; t < off_[r + 1]; ++t) {
-      const double v = val_[static_cast<std::size_t>(t)];
-      const double* xc = x.data() + static_cast<std::size_t>(col_[static_cast<std::size_t>(t)]) * k;
-      for (std::size_t j = 0; j < k; ++j) yr[j] += v * xc[j];
-    }
-  };
-  par::ThreadPool* pool = par::current_wall_pool();
-  const auto plan = pool == nullptr
-                        ? par::ThreadPool::BlockPlan{}
-                        : pool->plan_blocks(0, nnz, par::detail::auto_grain(nnz, pool->num_threads()));
-  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+  if (par::current_tracker().enabled()) {
     par::parallel_for(0, n_, [&](std::size_t r) {
-      row_block(r);
+      double* yr = y.data() + r * k;
+      for (std::size_t j = 0; j < k; ++j) yr[j] = 0.0;
+      for (std::int64_t t = off_[r]; t < off_[r + 1]; ++t) {
+        const double v = val_[static_cast<std::size_t>(t)];
+        const double* xc = x.data() + static_cast<std::size_t>(col_[static_cast<std::size_t>(t)]) * k;
+        for (std::size_t j = 0; j < k; ++j) yr[j] += v * xc[j];
+      }
       const auto row_nnz = static_cast<std::uint64_t>(off_[r + 1] - off_[r]);
       par::charge(row_nnz * k, par::ceil_log2(std::max<std::uint64_t>(row_nnz, 1)));
     });
     return;
   }
-  std::size_t bounds[par::detail::kMaxBlocks + 1];
-  bounds[0] = 0;
-  for (std::size_t b = 1; b < plan.blocks; ++b) {
-    const auto target = static_cast<std::int64_t>(nnz / plan.blocks * b);
-    const auto it = std::upper_bound(off_.begin(), off_.end(), target);
-    const auto row = static_cast<std::size_t>(std::distance(off_.begin(), it)) - 1;
-    bounds[b] = std::clamp(row, bounds[b - 1], n_);
+  // Wall clock: the SIMD block kernel vectorizes across the k contiguous
+  // column slots. Exact per (row, column), so it is safe in the pooled path
+  // too — any row partition produces the same bits.
+  par::ThreadPool* pool = par::current_wall_pool();
+  const auto plan = pool == nullptr
+                        ? par::ThreadPool::BlockPlan{}
+                        : pool->plan_blocks(0, nnz, par::detail::auto_grain(nnz, pool->num_threads()));
+  if (pool == nullptr || pool->num_threads() <= 1 || plan.blocks <= 1) {
+    simd::csr_block_spmv(off_.data(), col_.data(), val_.data(), x.data(),
+                         y.data(), 0, n_, k);
+    return;
   }
-  bounds[plan.blocks] = n_;
+  std::size_t bounds[par::detail::kMaxBlocks + 1];
+  partition_rows(plan.blocks, bounds);
   pool->run_planned(0, plan.blocks, par::ThreadPool::BlockPlan{plan.blocks, 1},
                     [&](std::size_t blk0, std::size_t blk1) {
                       for (std::size_t blk = blk0; blk < blk1; ++blk)
-                        for (std::size_t r = bounds[blk]; r < bounds[blk + 1]; ++r) row_block(r);
+                        simd::csr_block_spmv(off_.data(), col_.data(), val_.data(),
+                                             x.data(), y.data(), bounds[blk],
+                                             bounds[blk + 1], k);
                     });
 }
 

@@ -7,7 +7,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::linalg {
 

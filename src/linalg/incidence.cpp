@@ -1,8 +1,20 @@
 #include "linalg/incidence.hpp"
 
+#include "linalg/simd_kernels.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf::linalg {
+
+IncidenceOp::IncidenceOp(const graph::Digraph& g, graph::Vertex dropped)
+    : g_(&g), dropped_(dropped < 0 ? g.num_vertices() - 1 : dropped) {
+  const auto& arcs = g.arcs();
+  from_.resize(arcs.size());
+  to_.resize(arcs.size());
+  for (std::size_t e = 0; e < arcs.size(); ++e) {
+    from_[e] = arcs[e].from;
+    to_[e] = arcs[e].to;
+  }
+}
 
 Vec IncidenceOp::apply(const Vec& h) const {
   Vec y(rows());
@@ -11,12 +23,21 @@ Vec IncidenceOp::apply(const Vec& h) const {
 }
 
 void IncidenceOp::apply_into(const Vec& h, Vec& y) const {
-  const auto& arcs = g_->arcs();
+  const std::size_t m = from_.size();
+  if (kernel_mode() == KernelMode::kWallSerial) {
+    // Gathers with software prefetch; per element exactly the branchy scalar
+    // expression below (the dropped endpoint blends to +0.0, and hv - 0.0
+    // matches the scalar's hv - hu with hu = 0.0 bit for bit).
+    simd::incidence_apply(from_.data(), to_.data(), h.data(), y.data(), m,
+                          static_cast<std::int32_t>(dropped_));
+    return;
+  }
   const auto d = static_cast<std::size_t>(dropped_);
-  par::parallel_for(0, arcs.size(), [&](std::size_t e) {
-    const auto& a = arcs[e];
-    const double hu = static_cast<std::size_t>(a.from) == d ? 0.0 : h[static_cast<std::size_t>(a.from)];
-    const double hv = static_cast<std::size_t>(a.to) == d ? 0.0 : h[static_cast<std::size_t>(a.to)];
+  par::parallel_for(0, m, [&](std::size_t e) {
+    const auto u = static_cast<std::size_t>(from_[e]);
+    const auto v = static_cast<std::size_t>(to_[e]);
+    const double hu = u == d ? 0.0 : h[u];
+    const double hv = v == d ? 0.0 : h[v];
     y[e] = hv - hu;
     par::charge(1, 1);
   });
@@ -29,18 +50,17 @@ Vec IncidenceOp::apply_transpose(const Vec& x) const {
 }
 
 void IncidenceOp::apply_transpose_into(const Vec& x, Vec& y) const {
-  const auto& arcs = g_->arcs();
+  const std::size_t m = from_.size();
   std::fill(y.begin(), y.end(), 0.0);
   // Sequential scatter (the +=/-= per endpoint races under real threads); in
   // the PRAM model this is a segmented reduction with O(m) work and O(log m)
   // depth, which is what we charge.
-  for (std::size_t e = 0; e < arcs.size(); ++e) {
-    const auto& a = arcs[e];
-    y[static_cast<std::size_t>(a.from)] -= x[e];
-    y[static_cast<std::size_t>(a.to)] += x[e];
+  for (std::size_t e = 0; e < m; ++e) {
+    y[static_cast<std::size_t>(from_[e])] -= x[e];
+    y[static_cast<std::size_t>(to_[e])] += x[e];
   }
   y[static_cast<std::size_t>(dropped_)] = 0.0;
-  par::charge(arcs.size(), 2 * par::ceil_log2(std::max<std::size_t>(arcs.size(), 1)));
+  par::charge(m, 2 * par::ceil_log2(std::max<std::size_t>(m, 1)));
 }
 
 }  // namespace pmcf::linalg

@@ -1,4 +1,4 @@
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::linalg {
 

@@ -19,7 +19,7 @@
 
 #include "graph/digraph.hpp"
 #include "linalg/csr.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::linalg {
 

@@ -10,7 +10,7 @@
 #include "linalg/dense.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/sdd_solver.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::linalg {

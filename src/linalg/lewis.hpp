@@ -9,7 +9,7 @@
 #include "core/solver_context.hpp"
 #include "linalg/incidence.hpp"
 #include "linalg/leverage.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::linalg {

@@ -1,5 +1,5 @@
 #pragma once
-// Reusable SDD preconditioner for the CG solver (DESIGN.md §10).
+// Reusable SDD preconditioner for the CG solver (DESIGN.md §10, §13).
 //
 // Two kinds behind one interface:
 //
@@ -22,15 +22,23 @@
 //
 // apply() returns dot(r, z) so the CG loop keeps the fused
 // residual-refresh shape; apply_strided() is the column-j twin over
-// row-major n×k block storage with element-identical arithmetic, which is
-// what keeps solve_sdd_multi bit-identical to k single-RHS solves.
+// row-major n×k block storage with element-identical arithmetic, and
+// apply_cols() the batched all-columns form used by the serial wall-clock
+// multi-RHS CG — all three produce bit-identical z columns, which is what
+// keeps solve_sdd_multi bit-identical to k single-RHS solves.
+//
+// build() additionally derives a level schedule of the triangular sweeps
+// (rows grouped by substitution depth). When the factor is large and shallow
+// enough to profit (see lev_profitable_), the serial wall-clock sweeps run
+// the level-scheduled SIMD kernels: rows within a level are independent, so
+// reordering them is bitwise-neutral.
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "linalg/csr.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::linalg {
 
@@ -57,9 +65,20 @@ class SddPreconditioner {
   /// dot(r_col, z_col). Element-identical arithmetic to apply().
   double apply_strided(const Vec& r, Vec& z, std::size_t k, std::size_t j) const;
 
+  /// Batched twin for the serial wall-clock multi-RHS CG: for every column j
+  /// with active[j] != 0, z_col = P^{-1} r_col and rz[j] = dot(r_col, z_col).
+  /// Inactive columns of z are preserved bit for bit; their rz slots are
+  /// unspecified. `fwd_scratch` must hold n*k doubles (caller-owned so the
+  /// kJacobi case and repeated applies stay allocation-free). Wall-clock
+  /// only — callers in instrumented mode must use apply_strided per column.
+  void apply_cols(const Vec& r, Vec& z, std::size_t k,
+                  const unsigned char* active, Vec& fwd_scratch,
+                  double* rz) const;
+
  private:
   void build_jacobi(const Csr& m);
   bool build_ic0(const Csr& m);
+  void build_levels();
 
   std::size_t n_ = 0;
   PrecondKind kind_ = PrecondKind::kJacobi;
@@ -78,6 +97,14 @@ class SddPreconditioner {
   std::vector<std::int32_t> crow_;
   std::vector<std::int64_t> cidx_;
   mutable Vec fwd_;  // forward-solve scratch (owned so applies are alloc-free)
+
+  // Level schedule: rows (forward) / columns (backward) grouped by
+  // substitution depth; rows within a group are mutually independent.
+  std::vector<std::int32_t> flev_rows_;
+  std::vector<std::int64_t> flev_off_;
+  std::vector<std::int32_t> blev_rows_;
+  std::vector<std::int64_t> blev_off_;
+  bool lev_profitable_ = false;
 };
 
 }  // namespace pmcf::linalg

@@ -1,0 +1,58 @@
+#include "linalg/rcm.hpp"
+
+#include <algorithm>
+
+namespace pmcf::linalg {
+
+std::vector<std::int32_t> rcm_order(std::size_t n,
+                                    const std::vector<std::int64_t>& off,
+                                    const std::vector<std::int32_t>& col) {
+  std::vector<std::int32_t> order;
+  order.reserve(n);
+  if (n == 0) return order;
+
+  auto degree = [&](std::size_t v) {
+    return static_cast<std::size_t>(off[v + 1] - off[v]);
+  };
+
+  // Seeds in ascending (degree, index): the classic cheap stand-in for a
+  // pseudo-peripheral vertex, and deterministic.
+  std::vector<std::int32_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = static_cast<std::int32_t>(i);
+  std::sort(seeds.begin(), seeds.end(), [&](std::int32_t a, std::int32_t b) {
+    const std::size_t da = degree(static_cast<std::size_t>(a));
+    const std::size_t db = degree(static_cast<std::size_t>(b));
+    return da != db ? da < db : a < b;
+  });
+
+  std::vector<unsigned char> visited(n, 0);
+  std::vector<std::int32_t> nbrs;  // scratch for one row's unvisited neighbors
+  for (const std::int32_t seed : seeds) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    const std::size_t bfs_start = order.size();
+    visited[static_cast<std::size_t>(seed)] = 1;
+    order.push_back(seed);
+    for (std::size_t head = bfs_start; head < order.size(); ++head) {
+      const auto u = static_cast<std::size_t>(order[head]);
+      nbrs.clear();
+      for (std::int64_t t = off[u]; t < off[u + 1]; ++t) {
+        const std::int32_t w = col[static_cast<std::size_t>(t)];
+        if (static_cast<std::size_t>(w) == u) continue;  // diagonal
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          nbrs.push_back(w);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](std::int32_t a, std::int32_t b) {
+        const std::size_t da = degree(static_cast<std::size_t>(a));
+        const std::size_t db = degree(static_cast<std::size_t>(b));
+        return da != db ? da < db : a < b;
+      });
+      order.insert(order.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace pmcf::linalg

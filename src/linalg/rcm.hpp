@@ -1,0 +1,26 @@
+#pragma once
+// Reverse Cuthill–McKee ordering (cache-aware renumbering for the SELL-4-σ
+// SpMV layout, DESIGN.md §13).
+//
+// RCM clusters each row's neighbors near the row itself, so the x-gathers of
+// a bandwidth-reduced SpMV touch a narrow sliding window of the input vector
+// instead of striding across it. The ordering is used ONLY as the row
+// *processing* order of the SELL layout — results are scattered back to the
+// original indices, so solver output is invariant under the renumbering
+// (asserted by tests/kernel_simd_test.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pmcf::linalg {
+
+/// RCM ordering of a (structurally symmetric) CSR pattern. Returns `order`
+/// with order[p] = the original row processed at position p; every row
+/// appears exactly once (all components are covered, seeds chosen by
+/// minimum degree). Deterministic: neighbor ties break by (degree, index).
+std::vector<std::int32_t> rcm_order(std::size_t n,
+                                    const std::vector<std::int64_t>& off,
+                                    const std::vector<std::int32_t>& col);
+
+}  // namespace pmcf::linalg

@@ -229,9 +229,26 @@ std::vector<SolveResult> solve_sdd_multi(core::SolverContext& ctx, const Csr& m,
     }
   }
 
-  // Blocked CG: one shared SpMV over the n×k block per iteration; each live
-  // column then runs its own scalar recurrence with strided kernels whose
-  // reduction trees match the contiguous single-RHS ones.
+  // Blocked CG: one shared SpMV over the n×k block per iteration. In the
+  // serial wall-clock mode the per-column recurrences run as masked SIMD
+  // column kernels (one pass over the block per kernel, all lanes at once);
+  // in the instrumented and pooled modes each live column runs its own
+  // scalar recurrence with strided kernels. All three produce bit-identical
+  // columns: every reduction uses the mode's canonical tree (stripe-4 in
+  // serial wall, the block-plan combine under a pool, the linear
+  // instrumented fold), the same trees the single-RHS path uses.
+  const bool batched = kernel_mode() == KernelMode::kWallSerial;
+  if (batched && live > 0) {
+    scr.alpha.assign(k, 0.0);
+    scr.beta.assign(k, 0.0);
+    scr.pmp.assign(k, 0.0);
+    scr.rr.assign(k, 0.0);
+    scr.rz_new.assign(k, 0.0);
+    scr.step_mask.assign(k, 0);
+    scr.refresh_mask.assign(k, 0);
+    if (precond.effective_kind() == PrecondKind::kIncompleteCholesky)
+      scr.bfwd.resize(n * k);
+  }
   for (std::int32_t it = 0; live > 0 && it < opts.max_iters; ++it) {
     // One lifecycle poll per blocked iteration: every still-live column
     // reports the typed status, matching what k sequential canceled solves
@@ -246,6 +263,53 @@ std::vector<SolveResult> solve_sdd_multi(core::SolverContext& ctx, const Csr& m,
       break;
     }
     m.apply_block_into(bp, bmp, k);
+    if (batched) {
+      // p.Mp for every column in one pass (dead lanes produce garbage that
+      // is never read), then the per-column breakdown check and step size.
+      simd::dot_cols(bp.data(), bmp.data(), n, k, scr.pmp.data());
+      for (std::size_t j = 0; j < k; ++j) {
+        scr.step_mask[j] = 0;
+        if (!scr.active[j]) continue;
+        if (scr.pmp[j] <= 0.0 || !std::isfinite(scr.pmp[j])) {
+          out[j].status = SolveStatus::kNumericalFailure;
+          scr.active[j] = 0;
+          --live;
+          continue;
+        }
+        scr.alpha[j] = scr.rz[j] / scr.pmp[j];
+        scr.step_mask[j] = 1;
+      }
+      simd::cg_step_cols(bx.data(), br.data(), bp.data(), bmp.data(),
+                         scr.alpha.data(), scr.step_mask.data(), n, k,
+                         scr.rr.data());
+      for (std::size_t j = 0; j < k; ++j) {
+        scr.refresh_mask[j] = 0;
+        if (!scr.step_mask[j]) continue;
+        scr.done_iter[j] = it + 1;
+        const double rn = std::sqrt(scr.rr[j]);
+        if (rn <= opts.tolerance * scr.bnorm[j]) {
+          out[j].converged = true;
+          out[j].status = SolveStatus::kOk;
+          out[j].relative_residual = rn / scr.bnorm[j];
+          scr.active[j] = 0;
+          --live;
+          continue;
+        }
+        scr.refresh_mask[j] = 1;
+      }
+      if (live > 0) {
+        precond.apply_cols(br, bz, k, scr.refresh_mask.data(), scr.bfwd,
+                           scr.rz_new.data());
+        for (std::size_t j = 0; j < k; ++j) {
+          if (!scr.refresh_mask[j]) continue;
+          scr.beta[j] = scr.rz_new[j] / scr.rz[j];
+          scr.rz[j] = scr.rz_new[j];
+        }
+        simd::axpby_cols(bp.data(), 1.0, bz.data(), scr.beta.data(),
+                         scr.refresh_mask.data(), n, k);
+      }
+      continue;
+    }
     for (std::size_t j = 0; j < k; ++j) {
       if (!scr.active[j]) continue;
       const double pmp = dot_strided(bp, bmp, k, j, n);

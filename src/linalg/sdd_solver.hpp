@@ -29,7 +29,7 @@
 #include "core/solver_context.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/preconditioner.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 
 namespace pmcf::linalg {
 

@@ -1,0 +1,28 @@
+#include "linalg/simd.hpp"
+
+namespace pmcf::linalg::simd {
+
+namespace {
+
+bool g_force_scalar = false;
+
+bool detect_avx2() {
+#if defined(PMCF_SIMD_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool available() {
+  static const bool ok = detect_avx2();
+  return ok;
+}
+
+bool enabled() { return !g_force_scalar && available(); }
+
+void set_force_scalar(bool force) { g_force_scalar = force; }
+
+}  // namespace pmcf::linalg::simd

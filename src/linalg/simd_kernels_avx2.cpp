@@ -1,0 +1,570 @@
+// AVX2 implementations of the kernel contract in simd_kernels.hpp.
+//
+// Compiled with -mavx2 -ffp-contract=off (see src/CMakeLists.txt): the rest
+// of the library keeps the baseline ISA, and no mul+add pair here may fuse
+// into an FMA — fusion would change roundings and break the bitwise
+// equivalence with the scalar TU that tests/kernel_simd_test.cpp asserts.
+//
+// Identity techniques used throughout (DESIGN.md §13):
+//   - stripe-4 reductions: vector lane l accumulates indices i ≡ l (mod 4)
+//     in ascending order, exactly the scalar canonical association; the
+//     horizontal combine is hadd-based, (acc0+acc1) + (acc2+acc3).
+//   - masked lanes use blends, never arithmetic: an inactive column's state
+//     is copied bit for bit (NaN payloads and -0.0 included).
+//   - padding contributes exact identity elements: x + (-0.0) == x and
+//     x - (+0.0) == x for every double x (round-to-nearest), including ±0
+//     and NaN, so SELL pad slots and level-sweep pad lanes are no-ops.
+//   - out-of-range pad-lane gather indices are blended to slot 0 before the
+//     gather, keeping every lane's load in bounds.
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "linalg/simd_kernels.hpp"
+
+namespace pmcf::linalg::simd::avx2 {
+
+namespace {
+
+/// ((a0 + a1) + (a2 + a3)) — the canonical stripe combine.
+inline double combine4(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d s01 = _mm_hadd_pd(lo, lo);
+  const __m128d s23 = _mm_hadd_pd(hi, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s01, s23));
+}
+
+/// Per-column-group mask: all-ones lanes for active[j] != 0.
+inline __m256d col_mask(const unsigned char* active, std::size_t jc) {
+  const __m256i m = _mm256_setr_epi64x(
+      active[jc] ? -1 : 0, active[jc + 1] ? -1 : 0, active[jc + 2] ? -1 : 0,
+      active[jc + 3] ? -1 : 0);
+  return _mm256_castsi256_pd(m);
+}
+
+inline bool any_active(const unsigned char* active, std::size_t jc) {
+  return active[jc] || active[jc + 1] || active[jc + 2] || active[jc + 3];
+}
+
+}  // namespace
+
+double dot(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += a[i] * b[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double dot_strided(const double* a, const double* b, std::size_t k,
+                   std::size_t j, std::size_t n) {
+  // Stride-k lanes don't vectorize profitably; the scalar stripe code is
+  // already the canonical order.
+  return scalar::dot_strided(a, b, k, j, n);
+}
+
+void axpby(double* y, double a, const double* x, double b, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  const __m256d vb = _mm256_set1_pd(b);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_add_pd(_mm256_mul_pd(va, _mm256_loadu_pd(x + i)),
+                                     _mm256_mul_pd(vb, _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+double cg_step(double* x, double* r, const double* p, const double* mp,
+               double alpha, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_add_pd(
+        _mm256_loadu_pd(x + i), _mm256_mul_pd(va, _mm256_loadu_pd(p + i)));
+    _mm256_storeu_pd(x + i, vx);
+    const __m256d vr = _mm256_sub_pd(
+        _mm256_loadu_pd(r + i), _mm256_mul_pd(va, _mm256_loadu_pd(mp + i)));
+    _mm256_storeu_pd(r + i, vr);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vr, vr));
+  }
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) {
+    x[i] += alpha * p[i];
+    const double ri = r[i] - alpha * mp[i];
+    r[i] = ri;
+    lane[i & 3] += ri * ri;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double jacobi_refresh(const double* dinv, const double* r, double* z,
+                      std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vr = _mm256_loadu_pd(r + i);
+    const __m256d vz = _mm256_mul_pd(_mm256_loadu_pd(dinv + i), vr);
+    _mm256_storeu_pd(z + i, vz);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vr, vz));
+  }
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) {
+    const double zi = dinv[i] * r[i];
+    z[i] = zi;
+    lane[i & 3] += r[i] * zi;
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+void dot_cols(const double* a, const double* b, std::size_t n, std::size_t k,
+              double* out) {
+  std::size_t jc = 0;
+  for (; jc + 4 <= k; jc += 4) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const double* ai = a + i * k + jc;
+      const double* bi = b + i * k + jc;
+      acc0 = _mm256_add_pd(
+          acc0, _mm256_mul_pd(_mm256_loadu_pd(ai), _mm256_loadu_pd(bi)));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(ai + k),
+                                               _mm256_loadu_pd(bi + k)));
+      acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(_mm256_loadu_pd(ai + 2 * k),
+                                               _mm256_loadu_pd(bi + 2 * k)));
+      acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(_mm256_loadu_pd(ai + 3 * k),
+                                               _mm256_loadu_pd(bi + 3 * k)));
+    }
+    for (; i < n; ++i) {
+      const __m256d prod = _mm256_mul_pd(_mm256_loadu_pd(a + i * k + jc),
+                                         _mm256_loadu_pd(b + i * k + jc));
+      switch (i & 3) {
+        case 0: acc0 = _mm256_add_pd(acc0, prod); break;
+        case 1: acc1 = _mm256_add_pd(acc1, prod); break;
+        case 2: acc2 = _mm256_add_pd(acc2, prod); break;
+        default: acc3 = _mm256_add_pd(acc3, prod); break;
+      }
+    }
+    _mm256_storeu_pd(out + jc,
+                     _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                   _mm256_add_pd(acc2, acc3)));
+  }
+  for (; jc < k; ++jc) out[jc] = scalar::dot_strided(a, b, k, jc, n);
+}
+
+void cg_step_cols(double* x, double* r, const double* p, const double* mp,
+                  const double* alpha, const unsigned char* active,
+                  std::size_t n, std::size_t k, double* rr) {
+  std::size_t jc = 0;
+  for (; jc + 4 <= k; jc += 4) {
+    if (!any_active(active, jc)) continue;
+    const __m256d mask = col_mask(active, jc);
+    // Inactive lanes of `va` may hold stale alpha values; every use below is
+    // blended away before it can touch caller state.
+    const __m256d va = _mm256_loadu_pd(alpha + jc);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = i * k + jc;
+      const __m256d vxo = _mm256_loadu_pd(x + s);
+      const __m256d vxn =
+          _mm256_add_pd(vxo, _mm256_mul_pd(va, _mm256_loadu_pd(p + s)));
+      _mm256_storeu_pd(x + s, _mm256_blendv_pd(vxo, vxn, mask));
+      const __m256d vro = _mm256_loadu_pd(r + s);
+      const __m256d vrn =
+          _mm256_sub_pd(vro, _mm256_mul_pd(va, _mm256_loadu_pd(mp + s)));
+      const __m256d vr = _mm256_blendv_pd(vro, vrn, mask);
+      _mm256_storeu_pd(r + s, vr);
+      const __m256d prod = _mm256_mul_pd(vr, vr);
+      switch (i & 3) {
+        case 0: acc0 = _mm256_add_pd(acc0, prod); break;
+        case 1: acc1 = _mm256_add_pd(acc1, prod); break;
+        case 2: acc2 = _mm256_add_pd(acc2, prod); break;
+        default: acc3 = _mm256_add_pd(acc3, prod); break;
+      }
+    }
+    // rr slots of inactive columns are unspecified by contract; storing the
+    // whole group keeps the epilogue branch-free.
+    _mm256_storeu_pd(rr + jc,
+                     _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                   _mm256_add_pd(acc2, acc3)));
+  }
+  for (; jc < k; ++jc) {
+    if (!active[jc]) continue;
+    const double al = alpha[jc];
+    double acc[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = i * k + jc;
+      x[s] += al * p[s];
+      const double ri = r[s] - al * mp[s];
+      r[s] = ri;
+      acc[i & 3] += ri * ri;
+    }
+    rr[jc] = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  }
+}
+
+void jacobi_refresh_cols(const double* dinv, const double* r, double* z,
+                         const unsigned char* active, std::size_t n,
+                         std::size_t k, double* rz) {
+  std::size_t jc = 0;
+  for (; jc + 4 <= k; jc += 4) {
+    if (!any_active(active, jc)) continue;
+    const __m256d mask = col_mask(active, jc);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = i * k + jc;
+      const __m256d vd = _mm256_set1_pd(dinv[i]);
+      const __m256d vr = _mm256_loadu_pd(r + s);
+      const __m256d vzn = _mm256_mul_pd(vd, vr);
+      const __m256d vz = _mm256_blendv_pd(_mm256_loadu_pd(z + s), vzn, mask);
+      _mm256_storeu_pd(z + s, vz);
+      const __m256d prod = _mm256_mul_pd(vr, vz);
+      switch (i & 3) {
+        case 0: acc0 = _mm256_add_pd(acc0, prod); break;
+        case 1: acc1 = _mm256_add_pd(acc1, prod); break;
+        case 2: acc2 = _mm256_add_pd(acc2, prod); break;
+        default: acc3 = _mm256_add_pd(acc3, prod); break;
+      }
+    }
+    _mm256_storeu_pd(rz + jc,
+                     _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                   _mm256_add_pd(acc2, acc3)));
+  }
+  for (; jc < k; ++jc) {
+    if (!active[jc]) continue;
+    double acc[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = i * k + jc;
+      const double zi = dinv[i] * r[s];
+      z[s] = zi;
+      acc[i & 3] += r[s] * zi;
+    }
+    rz[jc] = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  }
+}
+
+void axpby_cols(double* y, double a, const double* x, const double* b,
+                const unsigned char* active, std::size_t n, std::size_t k) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t jc = 0;
+  for (; jc + 4 <= k; jc += 4) {
+    if (!any_active(active, jc)) continue;
+    const __m256d mask = col_mask(active, jc);
+    const __m256d vb = _mm256_loadu_pd(b + jc);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = i * k + jc;
+      const __m256d vyo = _mm256_loadu_pd(y + s);
+      const __m256d vyn = _mm256_add_pd(
+          _mm256_mul_pd(va, _mm256_loadu_pd(x + s)), _mm256_mul_pd(vb, vyo));
+      _mm256_storeu_pd(y + s, _mm256_blendv_pd(vyo, vyn, mask));
+    }
+  }
+  for (; jc < k; ++jc) {
+    if (!active[jc]) continue;
+    const double bj = b[jc];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = i * k + jc;
+      y[s] = a * x[s] + bj * y[s];
+    }
+  }
+}
+
+void csr_spmv(const std::int64_t* off, const std::int32_t* col,
+              const double* val, const double* x, double* y, std::size_t r0,
+              std::size_t r1) {
+  // The vector path for single-vector SpMV is the SELL layout; a plain CSR
+  // walk gains nothing from AVX2 without reassociating the row sums.
+  scalar::csr_spmv(off, col, val, x, y, r0, r1);
+}
+
+void csr_block_spmv(const std::int64_t* off, const std::int32_t* col,
+                    const double* val, const double* x, double* y,
+                    std::size_t r0, std::size_t r1, std::size_t k) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    double* yr = y + r * k;
+    const std::int64_t t0 = off[r];
+    const std::int64_t t1 = off[r + 1];
+    std::size_t jc = 0;
+    for (; jc + 4 <= k; jc += 4) {
+      // Register accumulation starting from +0.0 — the same value the
+      // scalar kernel stores before accumulating in CSR order.
+      __m256d acc = _mm256_setzero_pd();
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const __m256d vv = _mm256_set1_pd(val[static_cast<std::size_t>(t)]);
+        const double* xc =
+            x + static_cast<std::size_t>(col[static_cast<std::size_t>(t)]) * k;
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, _mm256_loadu_pd(xc + jc)));
+      }
+      _mm256_storeu_pd(yr + jc, acc);
+    }
+    for (; jc < k; ++jc) {
+      double acc = 0.0;
+      for (std::int64_t t = t0; t < t1; ++t)
+        acc += val[static_cast<std::size_t>(t)] *
+               x[static_cast<std::size_t>(col[static_cast<std::size_t>(t)]) * k + jc];
+      yr[jc] = acc;
+    }
+  }
+}
+
+void sell_spmv(const std::int64_t* slice_off, const std::int32_t* cols,
+               const double* vals, const std::int64_t* lens4,
+               const std::int32_t* order, std::size_t slices, const double* x,
+               double* y) {
+  const __m256d neg0 = _mm256_set1_pd(-0.0);
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t base = static_cast<std::size_t>(slice_off[s]);
+    const std::size_t width =
+        static_cast<std::size_t>(slice_off[s + 1] - slice_off[s]) / 4;
+    const __m256i lens = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lens4 + 4 * s));
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < width; ++t) {
+      const std::size_t slot = base + 4 * t;
+      const __m128i c4 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cols + slot));
+      const __m256d xv = _mm256_i32gather_pd(x, c4, 8);
+      const __m256d prod = _mm256_mul_pd(_mm256_loadu_pd(vals + slot), xv);
+      const __m256d mask = _mm256_castsi256_pd(_mm256_cmpgt_epi64(
+          lens, _mm256_set1_epi64x(static_cast<long long>(t))));
+      // Padding lanes add an exact -0.0: a no-op for every accumulator value.
+      acc = _mm256_add_pd(acc, _mm256_blendv_pd(neg0, prod, mask));
+    }
+    double lane[4];
+    _mm256_storeu_pd(lane, acc);
+    const std::int32_t* rows = order + 4 * s;
+    for (std::size_t l = 0; l < 4; ++l)
+      if (rows[l] >= 0) y[static_cast<std::size_t>(rows[l])] = lane[l];
+  }
+}
+
+void incidence_apply(const std::int32_t* from, const std::int32_t* to,
+                     const double* h, double* y, std::size_t m,
+                     std::int32_t dropped) {
+  const __m128i vd = _mm_set1_epi32(dropped);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t e = 0;
+  for (; e + 4 <= m; e += 4) {
+    if (e + 16 < m) {
+      // Software prefetch of the gather targets a few groups ahead; the
+      // index streams themselves are sequential and hardware-prefetched.
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       h + static_cast<std::size_t>(from[e + 16])),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       h + static_cast<std::size_t>(to[e + 16])),
+                   _MM_HINT_T0);
+    }
+    const __m128i f4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(from + e));
+    const __m128i t4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(to + e));
+    __m256d hu = _mm256_i32gather_pd(h, f4, 8);
+    __m256d hv = _mm256_i32gather_pd(h, t4, 8);
+    const __m256d mf = _mm256_castsi256_pd(
+        _mm256_cvtepi32_epi64(_mm_cmpeq_epi32(f4, vd)));
+    const __m256d mt = _mm256_castsi256_pd(
+        _mm256_cvtepi32_epi64(_mm_cmpeq_epi32(t4, vd)));
+    hu = _mm256_blendv_pd(hu, zero, mf);
+    hv = _mm256_blendv_pd(hv, zero, mt);
+    _mm256_storeu_pd(y + e, _mm256_sub_pd(hv, hu));
+  }
+  for (; e < m; ++e) {
+    const double hu = from[e] == dropped ? 0.0 : h[static_cast<std::size_t>(from[e])];
+    const double hv = to[e] == dropped ? 0.0 : h[static_cast<std::size_t>(to[e])];
+    y[e] = hv - hu;
+  }
+}
+
+void ic_fwd(const std::int64_t* loff, const std::int32_t* lcol,
+            const double* lval, const double* ldiag_inv, const double* r,
+            double* fwd, std::size_t n) {
+  // Row-to-row dependency chain: nothing to vectorize without the level
+  // schedule (ic_fwd_levels).
+  scalar::ic_fwd(loff, lcol, lval, ldiag_inv, r, fwd, n);
+}
+
+void ic_bwd(const std::int64_t* coff, const std::int32_t* crow,
+            const std::int64_t* cidx, const double* lval,
+            const double* ldiag_inv, const double* fwd, double* z,
+            std::size_t n) {
+  scalar::ic_bwd(coff, crow, cidx, lval, ldiag_inv, fwd, z, n);
+}
+
+void ic_fwd_cols(const std::int64_t* loff, const std::int32_t* lcol,
+                 const double* lval, const double* ldiag_inv, const double* r,
+                 double* fwd, std::size_t n, std::size_t k) {
+  std::size_t jc = 0;
+  for (; jc + 4 <= k; jc += 4) {
+    for (std::size_t i = 0; i < n; ++i) {
+      __m256d s = _mm256_loadu_pd(r + i * k + jc);
+      for (std::int64_t t = loff[i]; t < loff[i + 1]; ++t) {
+        const __m256d lv = _mm256_set1_pd(lval[static_cast<std::size_t>(t)]);
+        const double* fc =
+            fwd + static_cast<std::size_t>(lcol[static_cast<std::size_t>(t)]) * k;
+        s = _mm256_sub_pd(s, _mm256_mul_pd(lv, _mm256_loadu_pd(fc + jc)));
+      }
+      _mm256_storeu_pd(
+          fwd + i * k + jc,
+          _mm256_mul_pd(s, _mm256_set1_pd(ldiag_inv[i])));
+    }
+  }
+  for (; jc < k; ++jc) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = r[i * k + jc];
+      for (std::int64_t t = loff[i]; t < loff[i + 1]; ++t)
+        s -= lval[static_cast<std::size_t>(t)] *
+             fwd[static_cast<std::size_t>(lcol[static_cast<std::size_t>(t)]) * k + jc];
+      fwd[i * k + jc] = s * ldiag_inv[i];
+    }
+  }
+}
+
+void ic_bwd_cols(const std::int64_t* coff, const std::int32_t* crow,
+                 const std::int64_t* cidx, const double* lval,
+                 const double* ldiag_inv, const double* fwd, double* z,
+                 const unsigned char* active, std::size_t n, std::size_t k) {
+  std::size_t jc = 0;
+  for (; jc + 4 <= k; jc += 4) {
+    if (!any_active(active, jc)) continue;
+    const __m256d mask = col_mask(active, jc);
+    for (std::size_t ii = n; ii-- > 0;) {
+      __m256d s = _mm256_loadu_pd(fwd + ii * k + jc);
+      for (std::int64_t t = coff[ii]; t < coff[ii + 1]; ++t) {
+        const __m256d lv = _mm256_set1_pd(
+            lval[static_cast<std::size_t>(cidx[static_cast<std::size_t>(t)])]);
+        const double* zr =
+            z + static_cast<std::size_t>(crow[static_cast<std::size_t>(t)]) * k;
+        s = _mm256_sub_pd(s, _mm256_mul_pd(lv, _mm256_loadu_pd(zr + jc)));
+      }
+      const __m256d zn = _mm256_mul_pd(s, _mm256_set1_pd(ldiag_inv[ii]));
+      const __m256d zo = _mm256_loadu_pd(z + ii * k + jc);
+      _mm256_storeu_pd(z + ii * k + jc, _mm256_blendv_pd(zo, zn, mask));
+    }
+  }
+  for (; jc < k; ++jc) {
+    if (!active[jc]) continue;
+    for (std::size_t ii = n; ii-- > 0;) {
+      double s = fwd[ii * k + jc];
+      for (std::int64_t t = coff[ii]; t < coff[ii + 1]; ++t)
+        s -= lval[static_cast<std::size_t>(cidx[static_cast<std::size_t>(t)])] *
+             z[static_cast<std::size_t>(crow[static_cast<std::size_t>(t)]) * k + jc];
+      z[ii * k + jc] = s * ldiag_inv[ii];
+    }
+  }
+}
+
+namespace {
+
+/// Shared core of the level-scheduled sweeps: process 4 independent rows of
+/// one level via gathers. `idx_ind` selects the one level of indirection the
+/// backward sweep needs (cidx), nullptr for the forward sweep.
+inline void level_group_sweep(const std::int64_t* off, const std::int32_t* adj,
+                              const std::int64_t* idx_ind, const double* lval,
+                              const double* ldiag_inv, const double* src,
+                              const double* dep, double* dst,
+                              const std::int32_t* rows) {
+  const __m128i r4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows));
+  const __m128i r4p1 = _mm_add_epi32(r4, _mm_set1_epi32(1));
+  const auto* offll = reinterpret_cast<const long long*>(off);
+  const __m256i o4 = _mm256_i32gather_epi64(offll, r4, 8);
+  const __m256i e4 = _mm256_i32gather_epi64(offll, r4p1, 8);
+  const __m256i len4 = _mm256_sub_epi64(e4, o4);
+  long long lenl[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lenl), len4);
+  const long long maxlen =
+      std::max(std::max(lenl[0], lenl[1]), std::max(lenl[2], lenl[3]));
+  __m256d s = _mm256_i32gather_pd(src, r4, 8);
+  const __m256d pzero = _mm256_setzero_pd();
+  const __m256i zero64 = _mm256_setzero_si256();
+  for (long long t = 0; t < maxlen; ++t) {
+    const __m256i mask64 = _mm256_cmpgt_epi64(len4, _mm256_set1_epi64x(t));
+    const __m256d maskpd = _mm256_castsi256_pd(mask64);
+    // Pad lanes would index past their row's pattern — blend them to slot 0
+    // so every gather stays in bounds, then blend the product away.
+    const __m256i idx = _mm256_blendv_epi8(
+        zero64, _mm256_add_epi64(o4, _mm256_set1_epi64x(t)), mask64);
+    __m256i vidx = idx;
+    if (idx_ind != nullptr)
+      vidx = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(idx_ind), idx, 8);
+    const __m256d lv = _mm256_i64gather_pd(lval, vidx, 8);
+    const __m128i c4 = _mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(adj), idx, 4);
+    const __m256d dv = _mm256_i32gather_pd(dep, c4, 8);
+    const __m256d prod = _mm256_mul_pd(lv, dv);
+    // Pad lanes subtract an exact +0.0: a no-op for every value of s.
+    s = _mm256_sub_pd(s, _mm256_blendv_pd(pzero, prod, maskpd));
+  }
+  const __m256d d4 = _mm256_i32gather_pd(ldiag_inv, r4, 8);
+  double lane[4];
+  _mm256_storeu_pd(lane, _mm256_mul_pd(s, d4));
+  for (std::size_t l = 0; l < 4; ++l)
+    dst[static_cast<std::size_t>(rows[l])] = lane[l];
+}
+
+}  // namespace
+
+void ic_fwd_levels(const std::int64_t* loff, const std::int32_t* lcol,
+                   const double* lval, const double* ldiag_inv,
+                   const std::int32_t* rows_by_level,
+                   const std::int64_t* level_off, std::size_t nlevels,
+                   const double* r, double* fwd) {
+  for (std::size_t lv = 0; lv < nlevels; ++lv) {
+    std::int64_t q = level_off[lv];
+    const std::int64_t q1 = level_off[lv + 1];
+    for (; q + 4 <= q1; q += 4)
+      level_group_sweep(loff, lcol, nullptr, lval, ldiag_inv, r, fwd, fwd,
+                        rows_by_level + q);
+    for (; q < q1; ++q) {
+      const auto i = static_cast<std::size_t>(rows_by_level[static_cast<std::size_t>(q)]);
+      double s = r[i];
+      for (std::int64_t t = loff[i]; t < loff[i + 1]; ++t)
+        s -= lval[static_cast<std::size_t>(t)] *
+             fwd[static_cast<std::size_t>(lcol[static_cast<std::size_t>(t)])];
+      fwd[i] = s * ldiag_inv[i];
+    }
+  }
+}
+
+void ic_bwd_levels(const std::int64_t* coff, const std::int32_t* crow,
+                   const std::int64_t* cidx, const double* lval,
+                   const double* ldiag_inv, const std::int32_t* cols_by_level,
+                   const std::int64_t* level_off, std::size_t nlevels,
+                   const double* fwd, double* z) {
+  for (std::size_t lv = 0; lv < nlevels; ++lv) {
+    std::int64_t q = level_off[lv];
+    const std::int64_t q1 = level_off[lv + 1];
+    for (; q + 4 <= q1; q += 4)
+      level_group_sweep(coff, crow, cidx, lval, ldiag_inv, fwd, z, z,
+                        cols_by_level + q);
+    for (; q < q1; ++q) {
+      const auto ii = static_cast<std::size_t>(cols_by_level[static_cast<std::size_t>(q)]);
+      double s = fwd[ii];
+      for (std::int64_t t = coff[ii]; t < coff[ii + 1]; ++t)
+        s -= lval[static_cast<std::size_t>(cidx[static_cast<std::size_t>(t)])] *
+             z[static_cast<std::size_t>(crow[static_cast<std::size_t>(t)])];
+      z[ii] = s * ldiag_inv[ii];
+    }
+  }
+}
+
+}  // namespace pmcf::linalg::simd::avx2

@@ -22,7 +22,7 @@
 #include "linalg/laplacian.hpp"
 #include "linalg/preconditioner.hpp"
 #include "linalg/sdd_solver.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "mcf/min_cost_flow.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/rng.hpp"

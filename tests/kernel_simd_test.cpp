@@ -1,0 +1,525 @@
+// Property suite for the SIMD kernel layer (DESIGN.md §13):
+//  - every AVX2 kernel reproduces the canonical scalar kernel bit for bit,
+//    across aligned, unaligned, and remainder lengths, with masked column
+//    kernels preserving inactive columns exactly;
+//  - the SELL-4-σ SpMV (RCM renumbering included) matches the plain CSR row
+//    walk bitwise through the public Csr interface;
+//  - rcm_order returns a genuine permutation;
+//  - solver outputs (single- and multi-RHS, both preconditioner kinds) are
+//    invariant under the SIMD dispatch, i.e. under the renumbered layout.
+//
+// The dispatch-level tests also run in PMCF_SIMD=OFF builds, where both
+// sides collapse to the scalar path and the invariants hold trivially.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/solver_context.hpp"
+#include "graph/generators.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/preconditioner.hpp"
+#include "linalg/rcm.hpp"
+#include "linalg/sdd_solver.hpp"
+#include "linalg/simd.hpp"
+#include "linalg/simd_kernels.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace pmcf {
+namespace {
+
+using linalg::Vec;
+
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+#define EXPECT_BITS_EQ(a, b) EXPECT_EQ(bits(a), bits(b))
+
+void expect_vec_bits_eq(const Vec& a, const Vec& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(bits(a[i]), bits(b[i])) << "entry " << i;
+}
+
+Vec random_vec(par::Rng& rng, std::size_t n) {
+  Vec v(n);
+  for (auto& x : v) x = (rng.next_double() - 0.5) * 8.0;
+  return v;
+}
+
+const std::size_t kLens[] = {0, 1, 2, 3, 4, 5, 7, 8, 12, 15, 16, 61, 64, 67, 128, 253};
+
+class KernelSimdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(false);
+    linalg::simd::set_force_scalar(false);
+  }
+  void TearDown() override {
+    linalg::simd::set_force_scalar(false);
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(true);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Direct scalar-vs-AVX2 kernel identities (compiled only when the AVX2 TU
+// exists; skipped at runtime on machines without AVX2).
+// ---------------------------------------------------------------------------
+#if defined(PMCF_SIMD_AVX2)
+
+namespace simd = linalg::simd;
+
+class SimdKernelIdentityTest : public KernelSimdTest {
+ protected:
+  void SetUp() override {
+    KernelSimdTest::SetUp();
+    if (!simd::available()) GTEST_SKIP() << "host has no AVX2";
+  }
+};
+
+TEST_F(SimdKernelIdentityTest, Dot) {
+  par::Rng rng(1);
+  for (const std::size_t n : kLens) {
+    const Vec a = random_vec(rng, n);
+    const Vec b = random_vec(rng, n);
+    EXPECT_BITS_EQ(simd::scalar::dot(a.data(), b.data(), n),
+                   simd::avx2::dot(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, DotStrided) {
+  par::Rng rng(2);
+  for (const std::size_t k : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t n : {0u, 1u, 5u, 64u, 67u}) {
+      const Vec a = random_vec(rng, n * k);
+      const Vec b = random_vec(rng, n * k);
+      for (std::size_t j = 0; j < k; ++j)
+        EXPECT_BITS_EQ(simd::scalar::dot_strided(a.data(), b.data(), k, j, n),
+                       simd::avx2::dot_strided(a.data(), b.data(), k, j, n));
+    }
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, Axpby) {
+  par::Rng rng(3);
+  for (const std::size_t n : kLens) {
+    const Vec x = random_vec(rng, n);
+    Vec y0 = random_vec(rng, n);
+    Vec y1 = y0;
+    simd::scalar::axpby(y0.data(), 1.25, x.data(), -0.75, n);
+    simd::avx2::axpby(y1.data(), 1.25, x.data(), -0.75, n);
+    expect_vec_bits_eq(y0, y1);
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, CgStep) {
+  par::Rng rng(4);
+  for (const std::size_t n : kLens) {
+    const Vec p = random_vec(rng, n);
+    const Vec mp = random_vec(rng, n);
+    Vec x0 = random_vec(rng, n), x1 = x0;
+    Vec r0 = random_vec(rng, n), r1 = r0;
+    const double rr0 = simd::scalar::cg_step(x0.data(), r0.data(), p.data(), mp.data(), 0.37, n);
+    const double rr1 = simd::avx2::cg_step(x1.data(), r1.data(), p.data(), mp.data(), 0.37, n);
+    EXPECT_BITS_EQ(rr0, rr1) << "n=" << n;
+    expect_vec_bits_eq(x0, x1);
+    expect_vec_bits_eq(r0, r1);
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, JacobiRefresh) {
+  par::Rng rng(5);
+  for (const std::size_t n : kLens) {
+    const Vec dinv = random_vec(rng, n);
+    const Vec r = random_vec(rng, n);
+    Vec z0(n, 0.0), z1(n, 0.0);
+    const double a = simd::scalar::jacobi_refresh(dinv.data(), r.data(), z0.data(), n);
+    const double b = simd::avx2::jacobi_refresh(dinv.data(), r.data(), z1.data(), n);
+    EXPECT_BITS_EQ(a, b) << "n=" << n;
+    expect_vec_bits_eq(z0, z1);
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, DotCols) {
+  par::Rng rng(6);
+  for (const std::size_t k : {1u, 2u, 4u, 5u, 8u, 11u}) {
+    for (const std::size_t n : {0u, 3u, 32u, 67u}) {
+      const Vec a = random_vec(rng, n * k);
+      const Vec b = random_vec(rng, n * k);
+      Vec o0(k, 0.0), o1(k, 0.0);
+      simd::scalar::dot_cols(a.data(), b.data(), n, k, o0.data());
+      simd::avx2::dot_cols(a.data(), b.data(), n, k, o1.data());
+      expect_vec_bits_eq(o0, o1);
+      // Column kernels must also agree with the per-column strided kernel —
+      // that is what ties the batched CG to the single-RHS recurrences.
+      for (std::size_t j = 0; j < k; ++j)
+        EXPECT_BITS_EQ(o0[j], simd::scalar::dot_strided(a.data(), b.data(), k, j, n));
+    }
+  }
+}
+
+std::vector<unsigned char> random_mask(par::Rng& rng, std::size_t k, int kind) {
+  std::vector<unsigned char> m(k, 0);
+  for (std::size_t j = 0; j < k; ++j)
+    m[j] = kind == 0 ? 1 : kind == 1 ? static_cast<unsigned char>(j % 2) : (rng.next_double() < 0.5 ? 1 : 0);
+  return m;
+}
+
+TEST_F(SimdKernelIdentityTest, CgStepColsMasked) {
+  par::Rng rng(7);
+  for (const std::size_t k : {2u, 4u, 7u, 12u}) {
+    for (int kind = 0; kind < 3; ++kind) {
+      const std::size_t n = 53;
+      const auto active = random_mask(rng, k, kind);
+      Vec alpha(k);
+      for (auto& a : alpha) a = rng.next_double() - 0.5;
+      const Vec p = random_vec(rng, n * k);
+      const Vec mp = random_vec(rng, n * k);
+      Vec x0 = random_vec(rng, n * k), x1 = x0;
+      Vec r0 = random_vec(rng, n * k), r1 = r0;
+      Vec rr0(k, -1.0), rr1(k, -1.0);
+      simd::scalar::cg_step_cols(x0.data(), r0.data(), p.data(), mp.data(), alpha.data(),
+                                 active.data(), n, k, rr0.data());
+      simd::avx2::cg_step_cols(x1.data(), r1.data(), p.data(), mp.data(), alpha.data(),
+                               active.data(), n, k, rr1.data());
+      // Inactive columns must be preserved bit for bit in x and r; rr is
+      // only specified for active columns.
+      expect_vec_bits_eq(x0, x1);
+      expect_vec_bits_eq(r0, r1);
+      for (std::size_t j = 0; j < k; ++j)
+        if (active[j]) EXPECT_BITS_EQ(rr0[j], rr1[j]) << "col " << j;
+    }
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, JacobiRefreshColsMasked) {
+  par::Rng rng(8);
+  const std::size_t n = 61;
+  for (const std::size_t k : {3u, 4u, 9u}) {
+    for (int kind = 0; kind < 3; ++kind) {
+      const auto active = random_mask(rng, k, kind);
+      const Vec dinv = random_vec(rng, n);
+      const Vec r = random_vec(rng, n * k);
+      Vec z0 = random_vec(rng, n * k), z1 = z0;
+      Vec rz0(k, -1.0), rz1(k, -1.0);
+      simd::scalar::jacobi_refresh_cols(dinv.data(), r.data(), z0.data(), active.data(), n, k,
+                                        rz0.data());
+      simd::avx2::jacobi_refresh_cols(dinv.data(), r.data(), z1.data(), active.data(), n, k,
+                                      rz1.data());
+      expect_vec_bits_eq(z0, z1);
+      for (std::size_t j = 0; j < k; ++j)
+        if (active[j]) EXPECT_BITS_EQ(rz0[j], rz1[j]) << "col " << j;
+    }
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, AxpbyColsMasked) {
+  par::Rng rng(9);
+  const std::size_t n = 47;
+  for (const std::size_t k : {2u, 4u, 10u}) {
+    for (int kind = 0; kind < 3; ++kind) {
+      const auto active = random_mask(rng, k, kind);
+      Vec beta(k);
+      for (auto& b : beta) b = rng.next_double() - 0.5;
+      const Vec x = random_vec(rng, n * k);
+      Vec y0 = random_vec(rng, n * k), y1 = y0;
+      simd::scalar::axpby_cols(y0.data(), 1.0, x.data(), beta.data(), active.data(), n, k);
+      simd::avx2::axpby_cols(y1.data(), 1.0, x.data(), beta.data(), active.data(), n, k);
+      expect_vec_bits_eq(y0, y1);
+    }
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, CsrBlockSpmv) {
+  par::Rng rng(10);
+  const graph::Digraph g = graph::random_flow_network(40, 260, 30, 30, rng);
+  Vec d(static_cast<std::size_t>(g.num_arcs()));
+  for (auto& x : d) x = 0.25 + rng.next_double();
+  const linalg::Csr m = linalg::reduced_laplacian(g, d, g.num_vertices() - 1);
+  const std::size_t n = m.dim();
+  for (const std::size_t k : {1u, 2u, 4u, 6u, 9u}) {
+    const Vec x = random_vec(rng, n * k);
+    Vec y0(n * k, 0.0), y1(n * k, 0.0);
+    simd::scalar::csr_block_spmv(m.offsets().data(), m.cols().data(), m.vals().data(), x.data(),
+                                 y0.data(), 0, n, k);
+    simd::avx2::csr_block_spmv(m.offsets().data(), m.cols().data(), m.vals().data(), x.data(),
+                               y1.data(), 0, n, k);
+    expect_vec_bits_eq(y0, y1);
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, IncidenceApply) {
+  par::Rng rng(11);
+  for (const std::size_t m : {1u, 4u, 5u, 63u, 256u, 1027u}) {
+    const std::size_t n = 32;
+    std::vector<std::int32_t> from(m), to(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      from[e] = static_cast<std::int32_t>(rng.next_u64() % n);
+      to[e] = static_cast<std::int32_t>(rng.next_u64() % n);
+    }
+    const Vec h = random_vec(rng, n);
+    const auto dropped = static_cast<std::int32_t>(n - 1);
+    Vec y0(m, 0.0), y1(m, 0.0);
+    simd::scalar::incidence_apply(from.data(), to.data(), h.data(), y0.data(), m, dropped);
+    simd::avx2::incidence_apply(from.data(), to.data(), h.data(), y1.data(), m, dropped);
+    expect_vec_bits_eq(y0, y1);
+  }
+}
+
+/// Random strictly-lower factor + its CSC view + substitution levels, the
+/// inputs of the IC sweeps.
+struct LowerFactor {
+  std::vector<std::int64_t> loff;
+  std::vector<std::int32_t> lcol;
+  Vec lval;
+  Vec ldiag_inv;
+  std::vector<std::int64_t> coff;
+  std::vector<std::int32_t> crow;
+  std::vector<std::int64_t> cidx;
+  std::vector<std::int32_t> flev_rows, blev_rows;
+  std::vector<std::int64_t> flev_off, blev_off;
+  std::size_t n = 0;
+};
+
+LowerFactor random_lower(par::Rng& rng, std::size_t n, std::size_t max_row) {
+  LowerFactor f;
+  f.n = n;
+  f.loff.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cnt = i == 0 ? 0 : rng.next_u64() % (std::min(i, max_row) + 1);
+    std::vector<std::int32_t> cols;
+    for (std::size_t t = 0; t < cnt; ++t) cols.push_back(static_cast<std::int32_t>(rng.next_u64() % i));
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    for (const std::int32_t c : cols) {
+      f.lcol.push_back(c);
+      f.lval.push_back(rng.next_double() - 0.5);
+    }
+    f.loff[i + 1] = static_cast<std::int64_t>(f.lcol.size());
+  }
+  f.ldiag_inv.resize(n);
+  for (auto& x : f.ldiag_inv) x = 0.5 + rng.next_double();
+  // CSC view.
+  f.coff.assign(n + 1, 0);
+  for (const std::int32_t c : f.lcol) ++f.coff[static_cast<std::size_t>(c) + 1];
+  for (std::size_t i = 0; i < n; ++i) f.coff[i + 1] += f.coff[i];
+  f.crow.resize(f.lcol.size());
+  f.cidx.resize(f.lcol.size());
+  std::vector<std::int64_t> cur(f.coff.begin(), f.coff.end() - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::int64_t t = f.loff[i]; t < f.loff[i + 1]; ++t) {
+      const auto c = static_cast<std::size_t>(f.lcol[static_cast<std::size_t>(t)]);
+      f.crow[static_cast<std::size_t>(cur[c])] = static_cast<std::int32_t>(i);
+      f.cidx[static_cast<std::size_t>(cur[c])] = t;
+      ++cur[c];
+    }
+  // Substitution levels (forward from rows, backward from columns).
+  std::vector<std::int32_t> flev(n, 0), blev(n, 0);
+  std::int32_t fmax = 0, bmax = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::int64_t t = f.loff[i]; t < f.loff[i + 1]; ++t)
+      flev[i] = std::max(flev[i], 1 + flev[static_cast<std::size_t>(f.lcol[static_cast<std::size_t>(t)])]);
+    fmax = std::max(fmax, flev[i]);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::int64_t t = f.coff[ii]; t < f.coff[ii + 1]; ++t)
+      blev[ii] = std::max(blev[ii], 1 + blev[static_cast<std::size_t>(f.crow[static_cast<std::size_t>(t)])]);
+    bmax = std::max(bmax, blev[ii]);
+  }
+  auto group = [n](const std::vector<std::int32_t>& lev, std::int32_t lmax,
+                   std::vector<std::int32_t>& rows, std::vector<std::int64_t>& off) {
+    off.assign(static_cast<std::size_t>(lmax) + 2, 0);
+    for (std::size_t i = 0; i < n; ++i) ++off[static_cast<std::size_t>(lev[i]) + 1];
+    for (std::size_t l = 0; l + 1 < off.size(); ++l) off[l + 1] += off[l];
+    rows.resize(n);
+    std::vector<std::int64_t> c(off.begin(), off.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      rows[static_cast<std::size_t>(c[static_cast<std::size_t>(lev[i])]++)] = static_cast<std::int32_t>(i);
+  };
+  group(flev, fmax, f.flev_rows, f.flev_off);
+  group(blev, bmax, f.blev_rows, f.blev_off);
+  return f;
+}
+
+TEST_F(SimdKernelIdentityTest, IcColsAndLevels) {
+  par::Rng rng(12);
+  for (const std::size_t n : {5u, 64u, 97u}) {
+    const LowerFactor f = random_lower(rng, n, 6);
+    // Batched column sweeps vs the canonical scalar ones.
+    for (const std::size_t k : {1u, 4u, 7u}) {
+      const Vec r = random_vec(rng, n * k);
+      Vec fwd0(n * k, 0.0), fwd1(n * k, 0.0);
+      simd::scalar::ic_fwd_cols(f.loff.data(), f.lcol.data(), f.lval.data(), f.ldiag_inv.data(),
+                                r.data(), fwd0.data(), n, k);
+      simd::avx2::ic_fwd_cols(f.loff.data(), f.lcol.data(), f.lval.data(), f.ldiag_inv.data(),
+                              r.data(), fwd1.data(), n, k);
+      expect_vec_bits_eq(fwd0, fwd1);
+      const auto active = random_mask(rng, k, 2);
+      Vec z0 = random_vec(rng, n * k), z1 = z0;
+      simd::scalar::ic_bwd_cols(f.coff.data(), f.crow.data(), f.cidx.data(), f.lval.data(),
+                                f.ldiag_inv.data(), fwd0.data(), z0.data(), active.data(), n, k);
+      simd::avx2::ic_bwd_cols(f.coff.data(), f.crow.data(), f.cidx.data(), f.lval.data(),
+                              f.ldiag_inv.data(), fwd1.data(), z1.data(), active.data(), n, k);
+      expect_vec_bits_eq(z0, z1);
+    }
+    // Level-scheduled sweeps vs the sequential scalar sweeps: rows within a
+    // level are independent, so the reordered gather version must land on
+    // identical bits.
+    const Vec r = random_vec(rng, n);
+    Vec fwd0(n, 0.0), fwd1(n, 0.0);
+    simd::scalar::ic_fwd(f.loff.data(), f.lcol.data(), f.lval.data(), f.ldiag_inv.data(), r.data(),
+                         fwd0.data(), n);
+    simd::avx2::ic_fwd_levels(f.loff.data(), f.lcol.data(), f.lval.data(), f.ldiag_inv.data(),
+                              f.flev_rows.data(), f.flev_off.data(), f.flev_off.size() - 1,
+                              r.data(), fwd1.data());
+    expect_vec_bits_eq(fwd0, fwd1);
+    Vec z0(n, 0.0), z1(n, 0.0);
+    simd::scalar::ic_bwd(f.coff.data(), f.crow.data(), f.cidx.data(), f.lval.data(),
+                         f.ldiag_inv.data(), fwd0.data(), z0.data(), n);
+    simd::avx2::ic_bwd_levels(f.coff.data(), f.crow.data(), f.cidx.data(), f.lval.data(),
+                              f.ldiag_inv.data(), f.blev_rows.data(), f.blev_off.data(),
+                              f.blev_off.size() - 1, fwd1.data(), z1.data());
+    expect_vec_bits_eq(z0, z1);
+  }
+}
+
+#endif  // PMCF_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// Dispatch-level invariants (run in every build configuration).
+// ---------------------------------------------------------------------------
+
+TEST_F(KernelSimdTest, RcmOrderIsPermutation) {
+  par::Rng rng(20);
+  const graph::Digraph g = graph::random_flow_network(60, 400, 30, 30, rng);
+  Vec d(static_cast<std::size_t>(g.num_arcs()));
+  for (auto& x : d) x = 0.25 + rng.next_double();
+  const linalg::Csr m = linalg::reduced_laplacian(g, d, g.num_vertices() - 1);
+  const auto order = linalg::rcm_order(m.dim(), m.offsets(), m.cols());
+  ASSERT_EQ(order.size(), m.dim());
+  std::vector<unsigned char> seen(m.dim(), 0);
+  for (const std::int32_t r : order) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(static_cast<std::size_t>(r), m.dim());
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)], 0) << "row " << r << " listed twice";
+    seen[static_cast<std::size_t>(r)] = 1;
+  }
+}
+
+TEST_F(KernelSimdTest, SpmvInvariantUnderDispatch) {
+  // The SELL-4-σ + RCM path and the scalar row walk must agree bitwise: the
+  // renumbering only changes the processing order of independent rows.
+  par::Rng rng(21);
+  const graph::Digraph g = graph::random_flow_network(90, 700, 30, 30, rng);
+  Vec d(static_cast<std::size_t>(g.num_arcs()));
+  for (auto& x : d) x = 0.25 + rng.next_double();
+  const linalg::Csr m = linalg::reduced_laplacian(g, d, g.num_vertices() - 1);
+  const Vec x = random_vec(rng, m.dim());
+  Vec y_simd(m.dim(), 0.0), y_scalar(m.dim(), 0.0);
+  m.apply_into(x, y_simd);
+  linalg::simd::set_force_scalar(true);
+  m.apply_into(x, y_scalar);
+  linalg::simd::set_force_scalar(false);
+  expect_vec_bits_eq(y_simd, y_scalar);
+}
+
+TEST_F(KernelSimdTest, SpmvInvariantAfterValueRefresh) {
+  // vals_mut() marks the SELL value copy stale; the regathered layout must
+  // track the new values exactly.
+  par::Rng rng(22);
+  const graph::Digraph g = graph::random_flow_network(48, 320, 30, 30, rng);
+  Vec d(static_cast<std::size_t>(g.num_arcs()));
+  for (auto& x : d) x = 0.25 + rng.next_double();
+  linalg::Csr m = linalg::reduced_laplacian(g, d, g.num_vertices() - 1);
+  const Vec x = random_vec(rng, m.dim());
+  Vec y(m.dim(), 0.0);
+  m.apply_into(x, y);  // builds the layout
+  for (auto& v : m.vals_mut()) v *= 1.5;
+  Vec y_simd(m.dim(), 0.0), y_scalar(m.dim(), 0.0);
+  m.apply_into(x, y_simd);
+  linalg::simd::set_force_scalar(true);
+  m.apply_into(x, y_scalar);
+  linalg::simd::set_force_scalar(false);
+  expect_vec_bits_eq(y_simd, y_scalar);
+}
+
+struct SolveProblem {
+  graph::Digraph g{0};
+  linalg::Csr lap;
+  std::vector<Vec> rhs;
+};
+
+SolveProblem make_solve_problem(std::uint64_t seed, std::size_t k) {
+  par::Rng rng(seed);
+  SolveProblem p;
+  p.g = graph::random_flow_network(48, 320, 40, 40, rng);
+  const linalg::IncidenceOp a(p.g);
+  Vec d(a.rows());
+  for (auto& x : d) x = 0.25 + rng.next_double();
+  p.lap = linalg::reduced_laplacian(p.g, d, a.dropped());
+  p.rhs.assign(k, Vec(a.cols()));
+  for (auto& b : p.rhs) {
+    for (auto& x : b) x = rng.next_double() - 0.5;
+    b[static_cast<std::size_t>(a.dropped())] = 0.0;
+  }
+  return p;
+}
+
+void run_solver_dispatch_invariance(linalg::PrecondKind kind) {
+  const std::size_t k = 5;
+  const SolveProblem p = make_solve_problem(99, k);
+  linalg::SddPreconditioner precond;
+  precond.build(p.lap, kind);
+  ASSERT_TRUE(precond.valid());
+  linalg::SolveOptions opts;
+  opts.tolerance = 1e-10;
+  opts.max_iters = 400;
+
+  core::SolverContext ctx_simd, ctx_scalar;
+  std::vector<linalg::SolveResult> with_simd, with_scalar;
+  for (std::size_t j = 0; j < k; ++j)
+    with_simd.push_back(linalg::solve_sdd(ctx_simd, p.lap, p.rhs[j], precond, opts));
+  const auto multi_simd = linalg::solve_sdd_multi(ctx_simd, p.lap, p.rhs, precond, opts);
+
+  linalg::simd::set_force_scalar(true);
+  // Fresh matrix so the (already built) SELL layout is rebuilt scalar-side
+  // too; dispatch must not change which layout gets built, only which kernel
+  // runs over it.
+  for (std::size_t j = 0; j < k; ++j)
+    with_scalar.push_back(linalg::solve_sdd(ctx_scalar, p.lap, p.rhs[j], precond, opts));
+  const auto multi_scalar = linalg::solve_sdd_multi(ctx_scalar, p.lap, p.rhs, precond, opts);
+  linalg::simd::set_force_scalar(false);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_TRUE(with_simd[j].converged) << "column " << j;
+    EXPECT_EQ(with_simd[j].iterations, with_scalar[j].iterations) << "column " << j;
+    EXPECT_BITS_EQ(with_simd[j].relative_residual, with_scalar[j].relative_residual);
+    expect_vec_bits_eq(with_simd[j].x, with_scalar[j].x);
+    EXPECT_EQ(multi_simd[j].iterations, multi_scalar[j].iterations) << "column " << j;
+    expect_vec_bits_eq(multi_simd[j].x, multi_scalar[j].x);
+  }
+}
+
+TEST_F(KernelSimdTest, SolverInvariantUnderDispatchJacobi) {
+  run_solver_dispatch_invariance(linalg::PrecondKind::kJacobi);
+}
+
+TEST_F(KernelSimdTest, SolverInvariantUnderDispatchIncompleteCholesky) {
+  run_solver_dispatch_invariance(linalg::PrecondKind::kIncompleteCholesky);
+}
+
+}  // namespace
+}  // namespace pmcf

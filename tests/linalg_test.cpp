@@ -14,7 +14,7 @@
 #include "linalg/leverage.hpp"
 #include "linalg/lewis.hpp"
 #include "linalg/sdd_solver.hpp"
-#include "linalg/vec_ops.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/rng.hpp"
 
 namespace pmcf::linalg {
