@@ -1,0 +1,331 @@
+// Bench-driven preset auto-tuner (DESIGN.md §14): sweep every preset in
+// core::preset_registry() over a set of perf-trajectory-style workloads,
+// require kOk + independent certification from every cell of the matrix, and
+// emit the per-workload winner (fastest wall time among correct presets) as a
+// pinnable JSON file. A deployment reads the "pinned" map and sets
+// EngineConfig::preset (or SolveOptions::preset) to the winner for the
+// workload shape it serves.
+//
+// Usage:
+//   bench_preset_tune [--out=FILE] [--scale=tiny|full] [--reps=N]
+//                     [--assert-ok] [--list]
+//
+// `--scale=tiny` shrinks the instances so the sweep doubles as the CI
+// preset-matrix smoke step: with --assert-ok the binary exits 1 when any
+// (workload, preset) cell fails to solve and certify. Wall times are the
+// minimum over `reps` runs after one warmup — minimum, not mean, because
+// scheduler noise is strictly additive.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ingredients.hpp"
+#include "graph/generators.hpp"
+#include "mcf/engine.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace {
+
+using namespace pmcf;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string out = "PRESETS_tuned.json";
+  bool tiny = false;
+  int reps = 3;
+  bool assert_ok = false;
+  bool list = false;
+};
+
+/// One tuning workload: a solve body that runs the whole instance under a
+/// named preset and reports whether it solved + certified.
+struct TuneWorkload {
+  std::string name;
+  std::string detail;
+  std::function<bool(const std::string& preset)> body;
+};
+
+struct Cell {
+  std::string preset;
+  double wall_ms = 0.0;
+  bool ok = false;
+};
+
+struct WorkloadRow {
+  std::string name;
+  std::string detail;
+  std::vector<Cell> cells;
+  std::string winner;  ///< fastest correct preset ("" when none survived)
+};
+
+// ---------------------------------------------------------------------------
+// Workloads. Shapes mirror the perf-trajectory rows (Table-1 max-flow, the
+// iteration-dominated solve, a transportation b-flow, a served batch) so the
+// tuned winners speak to the same instances EXPERIMENTS.md tracks.
+
+TuneWorkload make_table1(bool tiny) {
+  const auto n = static_cast<graph::Vertex>(tiny ? 12 : 28);
+  par::Rng rng(42);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, 8 * n, 6, 6, rng));
+  return {"table1_mincostflow", "Table-1 max-flow instance, reference tier",
+          [g, n](const std::string& preset) {
+            mcf::SolveOptions opts;
+            opts.preset = preset;
+            opts.ipm.mu_end = 1e-3;
+            opts.certify = true;
+            const auto res = mcf::min_cost_max_flow(*g, 0, n - 1, opts);
+            return res.status == SolveStatus::kOk && res.stats.certified &&
+                   res.stats.preset == preset;
+          }};
+}
+
+TuneWorkload make_ipm_heavy(bool tiny) {
+  const auto n = static_cast<graph::Vertex>(tiny ? 14 : 40);
+  par::Rng rng(53);
+  auto g = std::make_shared<graph::Digraph>(graph::random_flow_network(n, 8 * n, 6, 6, rng));
+  return {"ipm_iterations", "iteration-dominated solve (per-step costs dominate)",
+          [g, n](const std::string& preset) {
+            mcf::SolveOptions opts;
+            opts.preset = preset;
+            opts.ipm.mu_end = 1e-3;
+            opts.certify = true;
+            const auto res = mcf::min_cost_max_flow(*g, 0, n - 1, opts);
+            return res.status == SolveStatus::kOk && res.stats.certified;
+          }};
+}
+
+TuneWorkload make_transport(bool tiny) {
+  const auto side = static_cast<graph::Vertex>(tiny ? 4 : 8);
+  par::Rng rng(77);
+  auto g = std::make_shared<graph::Digraph>(
+      graph::transportation_instance(side, side, 5, 9, rng));
+  const graph::Vertex sink = 2 * side + 1;
+  return {"transportation", "complete bipartite transportation instance",
+          [g, sink](const std::string& preset) {
+            mcf::SolveOptions opts;
+            opts.preset = preset;
+            opts.ipm.mu_end = 1e-3;
+            opts.certify = true;
+            const auto res = mcf::min_cost_max_flow(*g, 0, sink, opts);
+            return res.status == SolveStatus::kOk && res.stats.certified;
+          }};
+}
+
+TuneWorkload make_served_batch(bool tiny) {
+  const std::size_t batch_size = tiny ? 6 : 16;
+  const auto n = static_cast<graph::Vertex>(tiny ? 10 : 14);
+  auto graphs = std::make_shared<std::vector<graph::Digraph>>();
+  graphs->reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    par::Rng rng(8800 + 31 * i);
+    graphs->push_back(graph::random_flow_network(n, 4 * n, 6, 6, rng));
+  }
+  auto batch = std::make_shared<std::vector<Instance>>();
+  for (const auto& g : *graphs)
+    batch->push_back(Instance::max_flow(g, 0, g.num_vertices() - 1));
+  return {"engine_batch", "batch of independent solves served via Engine",
+          [graphs, batch](const std::string& preset) {
+            EngineConfig cfg;
+            cfg.seed = 4242;
+            cfg.preset = preset;  // the deployment-pinning path under test
+            const Engine engine(cfg);
+            mcf::SolveOptions opts;
+            opts.ipm.mu_end = 1e-3;
+            opts.certify = true;
+            const auto results = engine.solve_batch(*batch, opts);
+            for (const auto& r : results) {
+              if (r.result.status != SolveStatus::kOk || !r.result.stats.certified ||
+                  r.result.stats.preset != preset)
+                return false;
+            }
+            return true;
+          }};
+}
+
+// ---------------------------------------------------------------------------
+
+double time_once_ms(const std::function<bool(const std::string&)>& body,
+                    const std::string& preset, bool* ok) {
+  const auto t0 = Clock::now();
+  const bool good = body(preset);
+  const auto t1 = Clock::now();
+  if (!good) *ok = false;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+WorkloadRow sweep(const TuneWorkload& w, const std::vector<std::string>& presets,
+                  const Options& opt) {
+  WorkloadRow row;
+  row.name = w.name;
+  row.detail = w.detail;
+  double best = 1e300;
+  for (const std::string& preset : presets) {
+    Cell cell;
+    cell.preset = preset;
+    cell.ok = true;
+    (void)time_once_ms(w.body, preset, &cell.ok);  // warmup
+    cell.wall_ms = 1e300;
+    for (int r = 0; r < opt.reps && cell.ok; ++r)
+      cell.wall_ms = std::min(cell.wall_ms, time_once_ms(w.body, preset, &cell.ok));
+    if (!cell.ok) cell.wall_ms = 0.0;
+    if (cell.ok && cell.wall_ms < best) {
+      best = cell.wall_ms;
+      row.winner = preset;
+    }
+    row.cells.push_back(std::move(cell));
+  }
+  return row;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const Options& opt,
+                const std::vector<std::string>& presets,
+                const std::vector<WorkloadRow>& rows) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"pmcf-preset-tune-v1\",\n";
+  os << "  \"scale\": \"" << (opt.tiny ? "tiny" : "full") << "\",\n";
+  os << "  \"reps\": " << opt.reps << ",\n";
+  os << "  \"presets\": [";
+  for (std::size_t i = 0; i < presets.size(); ++i)
+    os << (i ? ", " : "") << "\"" << json_escape(presets[i]) << "\"";
+  os << "],\n";
+  os << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"detail\": \"" << json_escape(r.detail) << "\",\n";
+    os << "      \"winner\": \"" << json_escape(r.winner) << "\",\n";
+    os << "      \"cells\": [\n";
+    for (std::size_t j = 0; j < r.cells.size(); ++j) {
+      const auto& c = r.cells[j];
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"preset\": \"%s\", \"wall_ms\": %.4f, \"ok\": %s}%s\n",
+                    json_escape(c.preset).c_str(), c.wall_ms, c.ok ? "true" : "false",
+                    j + 1 < r.cells.size() ? "," : "");
+      os << buf;
+    }
+    os << "      ]\n";
+    os << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  // The pinnable artifact: workload shape -> winning preset name. Consumers
+  // copy the value into EngineConfig::preset / SolveOptions::preset.
+  os << "  \"pinned\": {";
+  bool first = true;
+  for (const auto& r : rows) {
+    if (r.winner.empty()) continue;
+    os << (first ? "" : ", ") << "\"" << json_escape(r.name) << "\": \""
+       << json_escape(r.winner) << "\"";
+    first = false;
+  }
+  os << "}\n";
+  os << "}\n";
+  std::ofstream f(path);
+  f << os.str();
+}
+
+[[noreturn]] void usage_error(const std::string& detail) {
+  std::cerr << "bench_preset_tune: " << detail << "\n"
+            << "usage: bench_preset_tune [--out=FILE] [--scale=tiny|full] "
+               "[--reps=N] [--assert-ok] [--list]\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      opt.out = arg.substr(6);
+    } else if (arg == "--scale=tiny") {
+      opt.tiny = true;
+    } else if (arg == "--scale=full") {
+      opt.tiny = false;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      try {
+        std::size_t pos = 0;
+        opt.reps = std::stoi(arg.substr(7), &pos);
+        if (pos != arg.size() - 7 || opt.reps < 1) throw std::invalid_argument(arg);
+      } catch (const std::exception&) {
+        usage_error("--reps expects a positive integer");
+      }
+    } else if (arg == "--assert-ok") {
+      opt.assert_ok = true;
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else {
+      usage_error("unknown argument: " + arg);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const std::vector<std::string> presets = core::preset_registry().names();
+
+  std::vector<TuneWorkload> workloads;
+  workloads.push_back(make_table1(opt.tiny));
+  workloads.push_back(make_ipm_heavy(opt.tiny));
+  workloads.push_back(make_transport(opt.tiny));
+  workloads.push_back(make_served_batch(opt.tiny));
+
+  if (opt.list) {
+    for (const auto& w : workloads) std::cout << w.name << "\n";
+    std::cout << "workloads: " << workloads.size() << "\n";
+    std::cout << "presets: " << presets.size() << "\n";
+    return 0;
+  }
+
+  // Wall-clock tuning: tracker off, one pool configuration (the preset is
+  // the variable under test, not the thread count).
+  par::Tracker::instance().set_enabled(false);
+  par::ThreadPool::configure(std::max(1u, std::thread::hardware_concurrency()));
+
+  bool all_ok = true;
+  std::vector<WorkloadRow> rows;
+  for (const auto& w : workloads) {
+    std::cerr << "[bench_preset_tune] " << w.name << " ..." << std::flush;
+    rows.push_back(sweep(w, presets, opt));
+    const auto& r = rows.back();
+    for (const auto& c : r.cells) {
+      std::cerr << "  " << c.preset << "=" << (c.ok ? "" : "FAIL ") << c.wall_ms << "ms";
+      all_ok = all_ok && c.ok;
+    }
+    std::cerr << "  -> winner: " << (r.winner.empty() ? "(none)" : r.winner) << "\n";
+  }
+
+  write_json(opt.out, opt, presets, rows);
+  std::cerr << "[bench_preset_tune] wrote " << opt.out << "\n";
+  if (opt.assert_ok && !all_ok) {
+    std::cerr << "[bench_preset_tune] FAIL: a (workload, preset) cell did not certify\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "core/ingredients.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace pmcf::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Built-in presets. "default" is frozen: its values must stay bit-identical
+// to the constants the seed hardwired, because tests/ingredients_test.cpp
+// asserts pre-refactor reproducibility through it. The other four are tuned
+// bundles; bench/bench_preset_tune.cpp sweeps them per workload.
+
+Ingredients make_default() {
+  Ingredients ing;
+  ing.name = "default";
+  return ing;  // struct defaults == historical hardwired behavior
+}
+
+// Minimize time-to-first-answer: shorter escalation ladder, cheaper dense
+// fallback guardrail, thinner sketches, bolder barrier schedule, and a
+// cascade that reaches the combinatorial tier (cheap on small instances)
+// before the reference IPM.
+Ingredients make_latency() {
+  Ingredients ing;
+  ing.name = "latency";
+  ing.ladder.max_escalations = 1;
+  ing.ladder.dense_fallback_max_dim = 1024;
+  ing.sketch.sketch_dim = 32;
+  ing.sketch.max_attempts = 2;
+  ing.step.ref_step_fraction = 0.35;
+  ing.step.ref_centrality_slack = 0.7;
+  ing.step.ref_lewis_every = 4;
+  ing.cascade.ladder = {SolverTier::kRobustIpm, SolverTier::kCombinatorial,
+                        SolverTier::kReferenceIpm};
+  return ing;
+}
+
+// Maximize sustained solves/sec under load: tolerate more preconditioner
+// drift before refactoring, refresh Lewis weights less often, thinner
+// sketches, longer robust-IPM resync epochs.
+Ingredients make_throughput() {
+  Ingredients ing;
+  ing.name = "throughput";
+  ing.precond.drift_threshold = 0.8;
+  ing.sketch.sketch_dim = 32;
+  ing.step.ref_lewis_every = 4;
+  ing.step.rob_resync_multiplier = 6.0;
+  return ing;
+}
+
+// Survive hostile conditioning and fault injection: eager preconditioner
+// rebuilds, a longer and gentler escalation ladder, wider sketches with more
+// retries, and a conservative barrier schedule.
+Ingredients make_robust() {
+  Ingredients ing;
+  ing.name = "robust";
+  ing.precond.drift_threshold = 0.25;
+  ing.ladder.max_escalations = 3;
+  ing.ladder.escalation_factor = 10.0;
+  ing.sketch.sketch_dim = 64;
+  ing.sketch.max_attempts = 4;
+  ing.step.ref_step_fraction = 0.2;
+  ing.step.ref_boundary_margin = 0.08;
+  ing.step.rob_recenter_threshold = 0.3;
+  return ing;
+}
+
+// Chase certified-exact answers at any cost: tight escalation (small factor,
+// many rungs), generous dense oracles, wide sketches, cautious steps.
+Ingredients make_exact_certify() {
+  Ingredients ing;
+  ing.name = "exact-certify";
+  ing.ladder.escalation_factor = 10.0;
+  ing.ladder.max_escalations = 3;
+  ing.sketch.sketch_dim = 96;
+  ing.sketch.max_attempts = 4;
+  ing.sketch.dense_oracle_max_cols = 1024;
+  ing.step.ref_step_fraction = 0.2;
+  ing.step.ref_centrality_slack = 0.25;
+  return ing;
+}
+
+Registry<Ingredients>& build_registry() {
+  static Registry<Ingredients>& reg = *[] {
+    // Leaked singleton (never destroyed): the registry must outlive static
+    // destructors of translation units that resolve presets at teardown, and
+    // Registry owns a mutex so it cannot be returned by value.
+    auto* r = new Registry<Ingredients>();
+    r->add("default", make_default);
+    r->add("latency", make_latency);
+    r->add("throughput", make_throughput);
+    r->add("robust", make_robust);
+    r->add("exact-certify", make_exact_certify);
+    return r;
+  }();
+  return reg;
+}
+
+bool finite_in(double v, double lo, double hi) {
+  return std::isfinite(v) && v >= lo && v <= hi;
+}
+
+}  // namespace
+
+std::string validate(const Ingredients& ing) {
+  std::ostringstream bad;
+  const auto& lad = ing.ladder;
+  if (lad.max_escalations < 0) {
+    bad << "ladder.max_escalations must be >= 0 (got " << lad.max_escalations << ")";
+  } else if (!(std::isfinite(lad.escalation_factor) && lad.escalation_factor > 1.0)) {
+    bad << "ladder.escalation_factor must be > 1.0 (got " << lad.escalation_factor << ")";
+  } else if (lad.iter_growth < 1) {
+    bad << "ladder.iter_growth must be >= 1 (got " << lad.iter_growth << ")";
+  } else if (ing.precond.tier.empty() || ing.precond.robust_step_tier.empty()) {
+    bad << "precond tier names must be non-empty";
+  } else if (!finite_in(ing.precond.drift_threshold, 0.0, 1e9)) {
+    bad << "precond.drift_threshold must be finite and >= 0 (got "
+        << ing.precond.drift_threshold << ")";
+  } else if (ing.cascade.ladder.empty()) {
+    bad << "cascade.ladder must name at least one tier";
+  } else if (ing.sketch.sketch_dim < 1) {
+    bad << "sketch.sketch_dim must be >= 1 (got " << ing.sketch.sketch_dim << ")";
+  } else if (ing.sketch.max_attempts < 1) {
+    bad << "sketch.max_attempts must be >= 1 (got " << ing.sketch.max_attempts << ")";
+  } else if (ing.sketch.lewis_fixpoint_rounds < 1) {
+    bad << "sketch.lewis_fixpoint_rounds must be >= 1 (got "
+        << ing.sketch.lewis_fixpoint_rounds << ")";
+  } else if (!finite_in(ing.sketch.lewis_fixpoint_tol, 0.0, 1.0) ||
+             ing.sketch.lewis_fixpoint_tol <= 0.0) {
+    bad << "sketch.lewis_fixpoint_tol must be in (0, 1] (got "
+        << ing.sketch.lewis_fixpoint_tol << ")";
+  } else if (ing.sketch.robust_epoch_lewis_rounds < 1 ||
+             ing.sketch.robust_epoch_sketch_dim < 1 ||
+             ing.sketch.lewis_maint_sketch_dim < 1) {
+    bad << "sketch robust-epoch dimensions must be >= 1";
+  } else if (!finite_in(ing.step.ref_step_fraction, 0.0, 1.0) ||
+             ing.step.ref_step_fraction <= 0.0 || ing.step.ref_step_fraction >= 1.0) {
+    bad << "step.ref_step_fraction must be in (0, 1) (got "
+        << ing.step.ref_step_fraction << ")";
+  } else if (!finite_in(ing.step.ref_centrality_slack, 0.0, 1e9) ||
+             ing.step.ref_centrality_slack <= 0.0) {
+    bad << "step.ref_centrality_slack must be > 0 (got "
+        << ing.step.ref_centrality_slack << ")";
+  } else if (!finite_in(ing.step.ref_boundary_margin, 0.0, 1.0) ||
+             ing.step.ref_boundary_margin <= 0.0 || ing.step.ref_boundary_margin >= 1.0) {
+    bad << "step.ref_boundary_margin must be in (0, 1) (got "
+        << ing.step.ref_boundary_margin << ")";
+  } else if (ing.step.ref_lewis_rounds < 0) {
+    bad << "step.ref_lewis_rounds must be >= 0 (got " << ing.step.ref_lewis_rounds << ")";
+  } else if (ing.step.ref_lewis_every < 1) {
+    bad << "step.ref_lewis_every must be >= 1 (got " << ing.step.ref_lewis_every << ")";
+  } else if (!finite_in(ing.step.rob_step_fraction, 0.0, 1.0) ||
+             ing.step.rob_step_fraction <= 0.0 || ing.step.rob_step_fraction >= 1.0) {
+    bad << "step.rob_step_fraction must be in (0, 1) (got "
+        << ing.step.rob_step_fraction << ")";
+  } else if (!finite_in(ing.step.rob_gamma, 0.0, 1e9) || ing.step.rob_gamma <= 0.0) {
+    bad << "step.rob_gamma must be > 0 (got " << ing.step.rob_gamma << ")";
+  } else if (!finite_in(ing.step.rob_bucket_eps, 0.0, 1.0) ||
+             ing.step.rob_bucket_eps <= 0.0) {
+    bad << "step.rob_bucket_eps must be in (0, 1] (got " << ing.step.rob_bucket_eps << ")";
+  } else if (!finite_in(ing.step.rob_dual_eps, 0.0, 1.0) || ing.step.rob_dual_eps <= 0.0) {
+    bad << "step.rob_dual_eps must be in (0, 1] (got " << ing.step.rob_dual_eps << ")";
+  } else if (!finite_in(ing.step.rob_primal_eps, 0.0, 1.0) ||
+             ing.step.rob_primal_eps <= 0.0) {
+    bad << "step.rob_primal_eps must be in (0, 1] (got " << ing.step.rob_primal_eps << ")";
+  } else if (!finite_in(ing.step.rob_resync_multiplier, 0.0, 1e9) ||
+             ing.step.rob_resync_multiplier <= 0.0) {
+    bad << "step.rob_resync_multiplier must be > 0 (got "
+        << ing.step.rob_resync_multiplier << ")";
+  } else if (!finite_in(ing.step.rob_center_damping, 0.0, 1.0) ||
+             ing.step.rob_center_damping <= 0.0) {
+    bad << "step.rob_center_damping must be in (0, 1] (got "
+        << ing.step.rob_center_damping << ")";
+  } else if (ing.step.rob_recenter_max < 1) {
+    bad << "step.rob_recenter_max must be >= 1 (got " << ing.step.rob_recenter_max << ")";
+  } else if (!finite_in(ing.step.rob_recenter_threshold, 0.0, 1e9) ||
+             ing.step.rob_recenter_threshold <= 0.0) {
+    bad << "step.rob_recenter_threshold must be > 0 (got "
+        << ing.step.rob_recenter_threshold << ")";
+  }
+  return bad.str();
+}
+
+Registry<Ingredients>& preset_registry() { return build_registry(); }
+
+std::optional<Ingredients> resolve_preset(std::string_view name) {
+  if (name.empty()) name = "default";
+  return preset_registry().create(name);
+}
+
+const Ingredients& default_ingredients() {
+  static const Ingredients ing = make_default();
+  return ing;
+}
+
+}  // namespace pmcf::core

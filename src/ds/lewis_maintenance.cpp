@@ -27,7 +27,10 @@ LeverageMaintenance::LeverageMaintenance(core::SolverContext& ctx, const linalg:
 
 void LeverageMaintenance::rebuild() {
   const std::size_t m = a_->rows();
-  const auto k = static_cast<std::size_t>(opts_.leverage.sketch_dim);
+  // 0 = "preset's sketch width", same resolution rule as leverage_scores.
+  const auto k = static_cast<std::size_t>(
+      opts_.leverage.sketch_dim > 0 ? opts_.leverage.sketch_dim
+                                    : ctx_->ingredients().sketch.sketch_dim);
   // Normalize scale (leverage scores are scale invariant).
   const double vmax = std::max(linalg::norm_inf(v_), 1e-300);
   const Vec vn = linalg::scale(v_, 1.0 / vmax);

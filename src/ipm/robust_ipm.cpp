@@ -28,7 +28,7 @@ using linalg::Vec;
 SolveStatus exact_center_step(core::SolverContext& ctx, const IpmLp& lp,
                               const linalg::IncidenceOp& a, Vec& x, Vec& y, double mu,
                               const Vec& tau, const linalg::SolveOptions& solve,
-                              RobustIpmResult& stats) {
+                              double damping, RobustIpmResult& stats) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   const Vec hess = barrier_hess(x, lp.cap);
@@ -59,7 +59,7 @@ SolveStatus exact_center_step(core::SolverContext& ctx, const IpmLp& lp,
   const linalg::SddPreconditioner& precond =
       cache.preconditioner(ctx, linalg::AccelSite::kNewton, lap, dn);
   linalg::Vec& warm_dy = cache.warm_start(linalg::AccelSite::kNewton, 0, n);
-  linalg::ResilientSolveOptions rso;
+  linalg::ResilientSolveOptions rso = linalg::ladder_options(ctx);
   rso.base = solve;
   auto sol = linalg::solve_sdd_resilient(ctx, lap, rhsn, rso, &precond, &warm_dy);
   stats.dense_fallbacks += sol.used_dense_fallback ? 1 : 0;
@@ -73,9 +73,9 @@ SolveStatus exact_center_step(core::SolverContext& ctx, const IpmLp& lp,
   double alpha = 1.0;
   for (std::size_t i = 0; i < m; ++i) {
     if (dx[i] < 0.0) {
-      alpha = std::min(alpha, 0.95 * x[i] / -dx[i]);
+      alpha = std::min(alpha, damping * x[i] / -dx[i]);
     } else if (dx[i] > 0.0) {
-      alpha = std::min(alpha, 0.95 * (lp.cap[i] - x[i]) / dx[i]);
+      alpha = std::min(alpha, damping * (lp.cap[i] - x[i]) / dx[i]);
     }
   }
   if (!std::isfinite(alpha)) return SolveStatus::kNumericalFailure;
@@ -112,15 +112,27 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
   res.y = std::move(y0);
   res.mu = mu0;
 
+  // Step strategy + epoch sketch config: sentinel fields resolve against the
+  // installed preset (under "default" these are exactly the historical
+  // constants).
+  const core::IpmStepIngredient& stp = ctx.ingredients().step;
+  const core::SketchIngredient& skt = ctx.ingredients().sketch;
+  const double step_fraction = core::resolved(opts.step_fraction, stp.rob_step_fraction);
+  const double gamma = core::resolved(opts.gamma, stp.rob_gamma);
+  const double bucket_eps = core::resolved(opts.bucket_eps, stp.rob_bucket_eps);
+  const double dual_eps = core::resolved(opts.dual_eps, stp.rob_dual_eps);
+  const double primal_eps = core::resolved(opts.primal_eps, stp.rob_primal_eps);
+
   const std::int32_t resync_every =
       opts.resync_every > 0
           ? opts.resync_every
-          : static_cast<std::int32_t>(4.0 * std::ceil(std::sqrt(static_cast<double>(n))));
+          : static_cast<std::int32_t>(stp.rob_resync_multiplier *
+                                      std::ceil(std::sqrt(static_cast<double>(n))));
 
   // Exact Lewis weights at epoch boundaries; kept as the epoch's τ reference.
   linalg::LewisOptions lw;
-  lw.max_rounds = 6;
-  lw.leverage.sketch_dim = 12;
+  lw.max_rounds = skt.robust_epoch_lewis_rounds;
+  lw.leverage.sketch_dim = skt.robust_epoch_sketch_dim;
   Vec tau(m, static_cast<double>(n) / static_cast<double>(m) + 0.5);
 
   std::uint64_t sparsifier_edge_sum = 0;
@@ -152,11 +164,11 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
       }
       // Re-center until the iterate is genuinely close to the path again; the
       // robust steps in between only keep it coarsely centered.
-      for (std::int32_t c = 0; c < 30; ++c) {
+      for (std::int32_t c = 0; c < stp.rob_recenter_max; ++c) {
         res.final_centrality = centrality_of(lp, a, res.x, res.y, res.mu, tau);
-        if (res.final_centrality < 0.5) break;
-        const SolveStatus st =
-            exact_center_step(ctx, lp, a, res.x, res.y, res.mu, tau, opts.solve, res);
+        if (res.final_centrality < stp.rob_recenter_threshold) break;
+        const SolveStatus st = exact_center_step(ctx, lp, a, res.x, res.y, res.mu, tau,
+                                                 opts.solve, stp.rob_center_damping, res);
         if (st != SolveStatus::kOk) {
           res.status = is_lifecycle_error(st) ? st : SolveStatus::kNumericalFailure;
           res.detail = is_lifecycle_error(st)
@@ -179,7 +191,7 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
 
       // z̄ centrality coordinates (clamped to the bucketing range).
       ds::GradientOptions gopts;
-      gopts.eps = opts.bucket_eps;
+      gopts.eps = bucket_eps;
       gopts.c_norm = 4.0 * std::log(4.0 * static_cast<double>(m) / static_cast<double>(n) + 2.72);
       auto z_of = [&](std::size_t i, double s_i, double x_i, double tau_i, double mu) {
         const double h2 = 1.0 / x_i / x_i + 1.0 / (lp.cap[i] - x_i) / (lp.cap[i] - x_i);
@@ -194,12 +206,12 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
       // Primal accuracy budget: fraction of the distance to the walls.
       Vec accuracy(m);
       for (std::size_t i = 0; i < m; ++i)
-        accuracy[i] = opts.primal_eps * std::min(res.x[i], lp.cap[i] - res.x[i]);
+        accuracy[i] = primal_eps * std::min(res.x[i], lp.cap[i] - res.x[i]);
 
       ds::PrimalGradientMaintenance pg(a, res.x, g_primal, tau, z_bar, accuracy, gopts);
 
       ds::DualMaintenanceOptions dopts;
-      dopts.eps = opts.dual_eps;
+      dopts.eps = dual_eps;
       dopts.hh.decomp.static_opts.power_iters = 24;
       dopts.hh.seed += seed_shift;
       Vec dual_weights(m);
@@ -208,7 +220,7 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
       ds::DualMaintenance dual(ctx, g, s_exact, dual_weights, dopts);
 
       ds::LewisMaintenanceOptions lmo;
-      lmo.leverage.leverage.sketch_dim = 8;
+      lmo.leverage.leverage.sketch_dim = skt.lewis_maint_sketch_dim;
       lmo.leverage.seed = opts.seed + 101 + seed_shift;
       ds::LewisMaintenance lewis(ctx, a, g_primal,
                                  linalg::constant(m, static_cast<double>(n) / m), lmo);
@@ -304,19 +316,17 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
         // solve against the same sparsified Laplacian.
         linalg::AccelCache& cache = linalg::accel_cache(ctx);
         const linalg::Csr& lap = cache.laplacian(ctx, g, d_scaled, a.dropped());
-        linalg::PrecondRequest preq;
-        preq.kind = linalg::PrecondKind::kJacobi;
         const linalg::SddPreconditioner& precond =
-            cache.preconditioner(ctx, linalg::AccelSite::kRobustStep, lap, d_scaled, preq);
+            cache.preconditioner(ctx, linalg::AccelSite::kRobustStep, lap, d_scaled);
 
         //    δy = H^{-1} A^T Φ''^{-1/2} g  with g = -γ ∇Ψ^♭  (dual step)
         std::vector<Vec> step_rhs(2);
-        step_rhs[0] = linalg::scale(v1, -opts.gamma / dmax);
+        step_rhs[0] = linalg::scale(v1, -gamma / dmax);
         step_rhs[0][static_cast<std::size_t>(a.dropped())] = 0.0;
         //    δy + δc adds the feasibility correction H^{-1}(A^T x̄ - b).
         step_rhs[1].resize(n);
         par::parallel_for(0, n, [&](std::size_t i) {
-          step_rhs[1][i] = (-opts.gamma * v1[i] - rp[i]) / dmax;
+          step_rhs[1][i] = (-gamma * v1[i] - rp[i]) / dmax;
         });
         step_rhs[1][static_cast<std::size_t>(a.dropped())] = 0.0;
         linalg::Vec& warm_dy = cache.warm_start(linalg::AccelSite::kRobustStep, 0, n);
@@ -360,7 +370,7 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
           h_idx.push_back(i);
           h_val.push_back(hv);
         }
-        const auto sum_res = pg.query_sum(h_idx, h_val, -opts.gamma);
+        const auto sum_res = pg.query_sum(h_idx, h_val, -gamma);
 
         // 5. Propagate x̄ changes: residual, Lewis scaling, sampler weights.
         {
@@ -410,7 +420,7 @@ RobustIpmResult robust_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Ve
         }
 
         // 8. Shrink μ.
-        res.mu *= 1.0 - opts.step_fraction / std::sqrt(std::max(tau_sum, 1.0));
+        res.mu *= 1.0 - step_fraction / std::sqrt(std::max(tau_sum, 1.0));
         res.mu = std::max(res.mu, opts.mu_end * 0.5);
         if (!std::isfinite(res.mu) || !std::isfinite(tau_sum)) {
           res.status = SolveStatus::kNumericalFailure;

@@ -34,6 +34,22 @@ double relative_drift(const Vec& w, const Vec& ref) {
 
 }  // namespace
 
+PrecondRequest precond_request(core::SolverContext& ctx, AccelSite site) {
+  const core::PrecondIngredient& ing = ctx.ingredients().precond;
+  const PrecondTierFactory tier = resolve_precond_tier(
+      site == AccelSite::kRobustStep ? ing.robust_step_tier : ing.tier);
+  PrecondRequest req;
+  req.kind = tier.kind;
+  req.drift_threshold = ing.drift_threshold;
+  req.build = tier.build;
+  return req;
+}
+
+const SddPreconditioner& AccelCache::preconditioner(core::SolverContext& ctx, AccelSite site,
+                                                    const Csr& m, const Vec& w) {
+  return preconditioner(ctx, site, m, w, precond_request(ctx, site));
+}
+
 const SddPreconditioner& AccelCache::preconditioner(core::SolverContext& ctx, AccelSite site,
                                                     const Csr& m, const Vec& w,
                                                     const PrecondRequest& req) {
@@ -44,7 +60,11 @@ const SddPreconditioner& AccelCache::preconditioner(core::SolverContext& ctx, Ac
     ++ctx.accel().precond_reuses;
     return slot.precond;
   }
-  slot.precond.build(m, req.kind);
+  if (req.build) {
+    req.build(slot.precond, m);
+  } else {
+    slot.precond.build(m, req.kind);
+  }
   slot.w_ref = w;
   slot.dim = m.dim();
   slot.nnz = m.nnz();

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/solver_context.hpp"
@@ -45,7 +46,19 @@ struct PrecondRequest {
   /// Rebuild when any weight moved by more than this relative to the weights
   /// the factorization was built from: max_i |w_i - ref_i| / max(|ref_i|, τ).
   double drift_threshold = 0.5;
+  /// Build recipe a registered tier supplies (PrecondTierFactory::build).
+  /// Empty → SddPreconditioner::build(m, kind), which is what the built-in
+  /// "jacobi"/"ic0" tiers do anyway.
+  std::function<void(SddPreconditioner&, const Csr&)> build;
 };
+
+/// The request the installed preset's PrecondIngredient implies for `site`:
+/// the robust-step site resolves precond.robust_step_tier (its sparsified
+/// support is resampled every step), every other site resolves precond.tier;
+/// both take the ingredient's drift threshold. Throws
+/// ComponentError(kInvalidInput) via resolve_precond_tier on an unknown
+/// tier name.
+PrecondRequest precond_request(core::SolverContext& ctx, AccelSite site);
 
 class AccelCache {
  public:
@@ -59,7 +72,13 @@ class AccelCache {
   /// reused while (kind, matrix shape, weight drift) all match, refactored
   /// otherwise. Telemetry lands in ctx.accel().
   const SddPreconditioner& preconditioner(core::SolverContext& ctx, AccelSite site, const Csr& m,
-                                          const Vec& w, const PrecondRequest& req = {});
+                                          const Vec& w, const PrecondRequest& req);
+
+  /// Ingredient-resolving overload: the request comes from the installed
+  /// preset via precond_request(ctx, site). This is what solver call sites
+  /// use; pass an explicit request only to pin a tier regardless of preset.
+  const SddPreconditioner& preconditioner(core::SolverContext& ctx, AccelSite site, const Csr& m,
+                                          const Vec& w);
 
   /// Persistent warm-start iterate for (site, slot); zeroed when (re)sized.
   /// Callers pass it as x0 and write the converged iterate back.

@@ -122,10 +122,13 @@ Vec leverage_scores(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v
   const SddPreconditioner& precond = cache.preconditioner(ctx, AccelSite::kLeverage, lap, w);
 
   // Retry-with-reseed recovery: each retry widens the sketch (doubling the
-  // JL rows) and draws fresh Rademacher rows from a split stream.
-  constexpr std::int32_t kMaxAttempts = 3;
-  auto k = static_cast<std::size_t>(opts.sketch_dim);
-  for (std::int32_t attempt = 0; attempt < kMaxAttempts; ++attempt, k *= 2) {
+  // JL rows) and draws fresh Rademacher rows from a split stream. Sketch
+  // width and retry budget come from the installed preset unless the caller
+  // pinned an explicit sketch_dim.
+  const core::SketchIngredient& skt = ctx.ingredients().sketch;
+  const std::int32_t max_attempts = skt.max_attempts;
+  auto k = static_cast<std::size_t>(opts.sketch_dim > 0 ? opts.sketch_dim : skt.sketch_dim);
+  for (std::int32_t attempt = 0; attempt < max_attempts; ++attempt, k *= 2) {
     if (attempt > 0) ctx.recovery().note(RecoveryEvent::kSketchRetry);
     // Attempt 0 consumes `rng` exactly as the non-resilient version did;
     // retries keep drawing from the same stream, i.e. fresh Rademacher rows.
@@ -135,7 +138,7 @@ Vec leverage_scores(core::SolverContext& ctx, const IncidenceOp& a, const Vec& v
 
   // Sketch persistently implausible: fall back to the dense oracle when the
   // O(n^3) cost is affordable, else report a typed sketch failure.
-  if (a.cols() <= 512) {
+  if (a.cols() <= skt.dense_oracle_max_cols) {
     ctx.recovery().note(RecoveryEvent::kExactLeverageFallback);
     return leverage_scores_exact(a, v);
   }

@@ -19,7 +19,10 @@ namespace pmcf::linalg {
 Vec leverage_scores_exact(const IncidenceOp& a, const Vec& v);
 
 struct LeverageOptions {
-  std::int32_t sketch_dim = 48;   // JL rows; error ~ 1/sqrt(k)
+  /// JL rows; error ~ 1/sqrt(k). 0 (the default) resolves to the installed
+  /// preset's SketchIngredient::sketch_dim — 48 under "default" — while an
+  /// explicit value always wins (tests pin 8/12/200-row sketches).
+  std::int32_t sketch_dim = 0;
   SolveOptions solve;
 };
 

@@ -15,8 +15,11 @@
 namespace pmcf::linalg {
 
 struct LewisOptions {
-  std::int32_t max_rounds = 40;
-  double fixpoint_tol = 1e-3;     // stop when tau changes by < tol entrywise
+  /// Fixed-point budget/stopping tolerance. The sentinels resolve to the
+  /// installed preset's SketchIngredient (lewis_fixpoint_rounds = 40,
+  /// lewis_fixpoint_tol = 1e-3 under "default"); explicit values win.
+  std::int32_t max_rounds = core::kPresetInt;
+  double fixpoint_tol = core::kPresetDouble;  // stop when tau changes by < tol entrywise
   bool exact_leverage = false;    // dense oracle (tests) vs JL estimator
   LeverageOptions leverage;
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <string>
+#include <utility>
 
 #include "linalg/accel_cache.hpp"
 #include "linalg/dense.hpp"
@@ -354,9 +357,42 @@ std::vector<SolveResult> solve_sdd_multi(core::SolverContext& ctx, const Csr& m,
   return out;
 }
 
+std::string validate(const ResilientSolveOptions& opts) {
+  std::ostringstream bad;
+  if (!(std::isfinite(opts.base.tolerance) && opts.base.tolerance > 0.0)) {
+    bad << "base.tolerance must be > 0 (got " << opts.base.tolerance << ")";
+  } else if (opts.base.max_iters < 1) {
+    bad << "base.max_iters must be >= 1 (got " << opts.base.max_iters << ")";
+  } else if (opts.max_escalations < 0) {
+    bad << "max_escalations must be >= 0 (got " << opts.max_escalations << ")";
+  } else if (!(std::isfinite(opts.escalation_factor) && opts.escalation_factor > 1.0)) {
+    // A factor <= 1 never relaxes the target: the ladder would retry the
+    // same (or a harder) solve and burn the whole budget to no effect.
+    bad << "escalation_factor must be > 1.0 (got " << opts.escalation_factor << ")";
+  } else if (opts.iter_growth < 1) {
+    bad << "iter_growth must be >= 1 (got " << opts.iter_growth << ")";
+  }
+  return bad.str();
+}
+
+ResilientSolveOptions ladder_options(core::SolverContext& ctx) {
+  const core::CgLadderIngredient& lad = ctx.ingredients().ladder;
+  ResilientSolveOptions opts;
+  opts.max_escalations = lad.max_escalations;
+  opts.escalation_factor = lad.escalation_factor;
+  opts.iter_growth = lad.iter_growth;
+  opts.warm_start_rungs = lad.warm_start_rungs;
+  opts.dense_fallback_max_dim = lad.dense_fallback_max_dim;
+  return opts;
+}
+
 ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m, const Vec& b,
                                          const ResilientSolveOptions& opts,
                                          const SddPreconditioner* precond, const Vec* x0) {
+  if (std::string defect = validate(opts); !defect.empty()) {
+    throw ComponentError(SolveStatus::kInvalidInput,
+                               "linalg::solve_sdd_resilient", std::move(defect));
+  }
   ResilientSolveResult out;
   const SddPreconditioner& pc = precond != nullptr ? *precond : adhoc_jacobi(ctx, m);
   // Escalation rungs warm-start from the best iterate produced so far: the
@@ -368,7 +404,7 @@ ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m,
   for (std::int32_t k = 0; k <= opts.max_escalations; ++k) {
     if (k > 0) {
       attempt.tolerance *= opts.escalation_factor;
-      attempt.max_iters *= 2;
+      attempt.max_iters *= opts.iter_growth;
       ctx.recovery().note(RecoveryEvent::kCgToleranceEscalation);
       ++out.tolerance_escalations;
     }
@@ -389,7 +425,7 @@ ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m,
       out.status = r.status;
       return out;
     }
-    if (r.iterations > 0) {
+    if (opts.warm_start_rungs && r.iterations > 0) {
       best = std::move(r.x);
       seed = &best;
     }

@@ -12,9 +12,12 @@
 // Because CG can stall outright on ill-conditioned systems (and the
 // fault-injection point kCgStagnation simulates exactly that), results carry
 // a typed SolveStatus and `solve_sdd_resilient` wraps the recovery policy
-// used by the IPM layers: bounded tolerance escalation (each rung warm-started
-// from the previous rung's best iterate), then a dense Gaussian-elimination
-// fallback for systems small enough to afford it.
+// used by the IPM layers: a bounded escalation ladder — each rung relaxes the
+// tolerance by core::kDefaultCgEscalationFactor (×100), doubles the iteration
+// budget, and warm-starts from the best iterate any earlier rung produced —
+// then a dense Gaussian-elimination fallback for systems small enough to
+// afford it. The ladder's shape is an ingredient (CgLadderIngredient): build
+// the options with ladder_options(ctx) to run the installed preset's ladder.
 //
 // `solve_sdd_multi` batches k right-hand sides against one matrix into a
 // blocked CG sharing a single nnz-balanced SpMV pass per iteration; each
@@ -23,6 +26,7 @@
 // consumed in.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/solve_status.hpp"
@@ -92,9 +96,14 @@ std::vector<SolveResult> solve_sdd_multi(core::SolverContext& ctx, const Csr& m,
 
 struct ResilientSolveOptions {
   SolveOptions base;
-  std::int32_t max_escalations = 2;       ///< tolerance-escalation retries
-  double escalation_factor = 100.0;       ///< tolerance *= this per retry
-  std::size_t dense_fallback_max_dim = 2048;  ///< O(dim^3) guardrail
+  /// Escalation-ladder shape. Defaults are the named default-ladder
+  /// constants (== the "default" preset); call ladder_options(ctx) to start
+  /// from the installed preset's ladder instead.
+  std::int32_t max_escalations = core::kDefaultCgMaxEscalations;
+  double escalation_factor = core::kDefaultCgEscalationFactor;  ///< tolerance *= per rung
+  std::int32_t iter_growth = core::kDefaultCgIterGrowth;        ///< max_iters *= per rung
+  bool warm_start_rungs = true;  ///< rungs seed from the best earlier iterate
+  std::size_t dense_fallback_max_dim = core::kDefaultDenseFallbackMaxDim;  ///< O(dim^3) guardrail
 };
 
 struct ResilientSolveResult {
@@ -106,12 +115,27 @@ struct ResilientSolveResult {
   bool used_dense_fallback = false;
 };
 
+/// "" when `opts` is sane; otherwise a defect description (negative rung
+/// count, escalation_factor <= 1, iter_growth < 1, non-positive tolerance or
+/// iteration budget). solve_sdd_resilient rejects a non-empty answer with
+/// ComponentError(kInvalidInput).
+std::string validate(const ResilientSolveOptions& opts);
+
+/// ResilientSolveOptions seeded from the installed preset's
+/// CgLadderIngredient (base tolerance/max_iters keep their SolveOptions
+/// defaults — callers overwrite those per site). Under the "default" preset
+/// this equals a default-constructed ResilientSolveOptions.
+ResilientSolveOptions ladder_options(core::SolverContext& ctx);
+
 /// Solve M x = b with the Newton-system recovery policy: CG at the requested
-/// tolerance, then bounded tolerance escalation (each retry doubles the
-/// iteration budget and warm-starts from the best iterate any earlier rung
-/// produced — progress is never discarded), then dense Gaussian elimination
+/// tolerance, then the bounded escalation ladder — each rung multiplies the
+/// tolerance by `escalation_factor` (×100 by default: a stalled CG needs a
+/// materially easier target, not a nudge), multiplies the iteration budget by
+/// `iter_growth` (×2), and warm-starts from the best iterate any earlier rung
+/// produced, so progress is never discarded — then dense Gaussian elimination
 /// when dim fits the guardrail. Returns kNumericalFailure only when every
-/// rung fails. Recovery events are recorded against `ctx`'s log. `precond`
+/// rung fails; throws ComponentError(kInvalidInput) when `opts` fails
+/// validate(). Recovery events are recorded against `ctx`'s log. `precond`
 /// (optional) replaces the per-call Jacobi; `x0` (optional) seeds rung 0.
 ResilientSolveResult solve_sdd_resilient(core::SolverContext& ctx, const Csr& m, const Vec& b,
                                          const ResilientSolveOptions& opts = {},

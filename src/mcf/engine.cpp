@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 
+#include "core/ingredients.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf {
@@ -394,7 +395,8 @@ struct Engine::Admission {
 
 // ---------------------------------------------------------------------------
 
-Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)), preset_names_(core::preset_registry().names()) {
   if (config_.max_in_flight > 0)
     admission_ = std::make_unique<Admission>(config_, &in_flight_);
   if (config_.chaos_cancel_rate > 0.0)
@@ -424,6 +426,9 @@ MetricsSnapshot Engine::metrics_snapshot() const {
   MetricsSnapshot snap = metrics_.snapshot();
   snap.in_flight = in_flight();
   snap.queue_depth = queue_depth();
+  snap.preset_names = preset_names_;
+  if (snap.preset_names.size() > kMaxPresetSlots - 1)
+    snap.preset_names.resize(kMaxPresetSlots - 1);  // last slot = overflow
   return snap;
 }
 
@@ -441,11 +446,22 @@ EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::Solve
   if (caller_token != nullptr) ctx.lifecycle().bind_token(caller_token);
   if (engine_token != nullptr) ctx.lifecycle().bind_token(engine_token);
 
+  // Preset resolution order (DESIGN.md §14): an options-level preset wins,
+  // then the engine's configured default, then the library "default". The
+  // copy is taken only when the engine actually has to fill the field in.
+  const mcf::SolveOptions* eff = &opts;
+  mcf::SolveOptions patched;
+  if (!config_.preset.empty() && opts.preset.empty()) {
+    patched = opts;
+    patched.preset = config_.preset;
+    eff = &patched;
+  }
+
   EngineSolveResult out;
   if (inst.kind == Instance::Kind::kMaxFlow) {
-    out.result = mcf::min_cost_max_flow(ctx, *inst.graph, inst.source, inst.sink, opts);
+    out.result = mcf::min_cost_max_flow(ctx, *inst.graph, inst.source, inst.sink, *eff);
   } else {
-    out.result = mcf::min_cost_b_flow(ctx, *inst.graph, inst.demands, opts);
+    out.result = mcf::min_cost_b_flow(ctx, *inst.graph, inst.demands, *eff);
   }
   out.pram = ctx.tracker().snapshot();
   return out;
@@ -537,6 +553,16 @@ EngineSolveResult Engine::admit_and_solve(const Instance& inst, const mcf::Solve
   metrics_.solve_time.record(done - acquired_at);
   metrics_.latency.record(done - arrival);
   metrics_.on_outcome(priority, out.result.status);
+  if (!out.result.stats.preset.empty()) {
+    std::size_t slot = kMaxPresetSlots - 1;  // overflow: registered post-construction
+    for (std::size_t i = 0; i < preset_names_.size() && i + 1 < kMaxPresetSlots; ++i) {
+      if (preset_names_[i] == out.result.stats.preset) {
+        slot = i;
+        break;
+      }
+    }
+    metrics_.count_preset(slot);
+  }
   if (out.result.stats.certified) metrics_.count(EngineCounter::kCertified);
   if (out.result.stats.certification_failures > 0)
     metrics_.count(EngineCounter::kCertificationFailures, out.result.stats.certification_failures);

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -121,6 +122,12 @@ struct EngineConfig {
   /// ordered by thread interleaving; 0 disables the injector entirely.
   double chaos_cancel_rate = 0.0;
   std::uint64_t chaos_seed = 0xc4a05eedULL;
+  /// Deployment-level ingredient preset (DESIGN.md §14): applied to every
+  /// solve whose SolveOptions::preset is empty; a request that names its own
+  /// preset wins. "" keeps the library default ("default"). Unknown names
+  /// are rejected per solve with kInvalidInput, exactly as if the caller had
+  /// set SolveOptions::preset directly.
+  std::string preset;
 };
 
 /// Opaque ticket for Engine::cancel. Published through SolveControl::handle
@@ -253,6 +260,9 @@ class Engine {
   void retire_handle(const SolveControl& control) const;
 
   EngineConfig config_;
+  /// Registered preset names captured at construction; fixes the slot →
+  /// name mapping for EngineMetrics::count_preset / MetricsSnapshot.
+  std::vector<std::string> preset_names_;
   /// Distinct salt per direct solve() call so concurrent callers get
   /// distinct context RNG streams (results don't depend on it — solver
   /// randomness seeds from SolveOptions — but forked streams must differ).

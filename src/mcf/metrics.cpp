@@ -102,6 +102,8 @@ MetricsSnapshot EngineMetrics::snapshot() const {
   snap.latency = latency.snapshot();
   snap.queue_wait = queue_wait.snapshot();
   snap.solve_time = solve_time.snapshot();
+  for (std::size_t i = 0; i < kMaxPresetSlots; ++i)
+    snap.preset_counts[i] = preset_counts_[i].load(std::memory_order_relaxed);
   return snap;
 }
 

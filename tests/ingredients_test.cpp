@@ -1,0 +1,371 @@
+// Tests for the ingredient registry and preset layer (DESIGN.md §14):
+//  - Registry<T> unit behavior: unknown keys, duplicate registration, sorted
+//    name listing;
+//  - the preset registry ships the five built-ins and every one of them
+//    validates;
+//  - the "default" preset is bit-identical to naming no preset at all, across
+//    serial-wall / pooled-wall / instrumented dispatch and with fault
+//    injection armed (the accel_test discipline) — the property that pins the
+//    refactor to the pre-registry behavior;
+//  - option validation at the public entry points: unknown preset names and
+//    nonsensical explicit fields come back as typed kInvalidInput, and the
+//    linalg-level ladder options throw ComponentError on the same defects;
+//  - the resolved preset name round-trips through SolveStats and the Engine
+//    metrics preset tallies;
+//  - every registered preset solves and certifies a small Table-1-style
+//    instance (the preset matrix the CI smoke step runs at scale).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ingredients.hpp"
+#include "core/solver_context.hpp"
+#include "graph/generators.hpp"
+#include "linalg/incidence.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/preconditioner.hpp"
+#include "linalg/sdd_solver.hpp"
+#include "mcf/engine.hpp"
+#include "mcf/min_cost_flow.hpp"
+#include "parallel/fault_injection.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace pmcf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry<T> unit behavior.
+
+TEST(RegistryTest, CreateUnknownKeyReturnsNullopt) {
+  core::Registry<int> reg;
+  EXPECT_FALSE(reg.create("missing").has_value());
+  EXPECT_FALSE(reg.contains("missing"));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(RegistryTest, DuplicateRegistrationIsRejectedNotOverwritten) {
+  core::Registry<int> reg;
+  EXPECT_TRUE(reg.add("x", [] { return 1; }));
+  EXPECT_FALSE(reg.add("x", [] { return 2; })) << "duplicate must be refused";
+  const auto v = reg.create("x");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1) << "the original factory must survive the duplicate add";
+}
+
+TEST(RegistryTest, EmptyNameOrFactoryIsRejected) {
+  core::Registry<int> reg;
+  EXPECT_FALSE(reg.add("", [] { return 1; }));
+  EXPECT_FALSE(reg.add("y", core::Registry<int>::Factory{}));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(RegistryTest, NamesAreSorted) {
+  core::Registry<int> reg;
+  EXPECT_TRUE(reg.add("zeta", [] { return 0; }));
+  EXPECT_TRUE(reg.add("alpha", [] { return 0; }));
+  EXPECT_TRUE(reg.add("mid", [] { return 0; }));
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+// ---------------------------------------------------------------------------
+// The preset registry and its built-ins.
+
+TEST(PresetRegistryTest, ShipsTheFiveBuiltins) {
+  auto& reg = core::preset_registry();
+  for (const char* name : {"default", "latency", "throughput", "robust", "exact-certify"})
+    EXPECT_TRUE(reg.contains(name)) << name;
+  EXPECT_GE(reg.size(), 5u);
+}
+
+TEST(PresetRegistryTest, DuplicateBuiltinRegistrationIsRefused) {
+  EXPECT_FALSE(core::preset_registry().add("default", [] { return core::Ingredients{}; }));
+}
+
+TEST(PresetRegistryTest, EveryRegisteredPresetValidates) {
+  auto& reg = core::preset_registry();
+  for (const std::string& name : reg.names()) {
+    const auto ing = reg.create(name);
+    ASSERT_TRUE(ing.has_value()) << name;
+    EXPECT_EQ(ing->name, name) << "preset must carry its own name";
+    EXPECT_EQ(core::validate(*ing), "") << name;
+  }
+}
+
+TEST(PresetRegistryTest, EmptyNameResolvesToDefaultAndUnknownToNullopt) {
+  const auto blank = core::resolve_preset("");
+  ASSERT_TRUE(blank.has_value());
+  EXPECT_EQ(blank->name, "default");
+  EXPECT_FALSE(core::resolve_preset("no-such-preset").has_value());
+}
+
+TEST(PresetRegistryTest, DefaultPresetEqualsStructDefaults) {
+  // The frozen historical constants: Ingredients{} *is* the default preset.
+  const auto reg = core::resolve_preset("default");
+  ASSERT_TRUE(reg.has_value());
+  const core::Ingredients plain;
+  EXPECT_EQ(reg->precond.tier, plain.precond.tier);
+  EXPECT_EQ(reg->precond.drift_threshold, plain.precond.drift_threshold);
+  EXPECT_EQ(reg->precond.robust_step_tier, plain.precond.robust_step_tier);
+  EXPECT_EQ(reg->ladder.max_escalations, plain.ladder.max_escalations);
+  EXPECT_EQ(reg->ladder.escalation_factor, plain.ladder.escalation_factor);
+  EXPECT_EQ(reg->ladder.iter_growth, plain.ladder.iter_growth);
+  EXPECT_EQ(reg->ladder.warm_start_rungs, plain.ladder.warm_start_rungs);
+  EXPECT_EQ(reg->ladder.dense_fallback_max_dim, plain.ladder.dense_fallback_max_dim);
+  EXPECT_EQ(reg->cascade.ladder, plain.cascade.ladder);
+  EXPECT_EQ(reg->step.ref_step_fraction, plain.step.ref_step_fraction);
+  EXPECT_EQ(reg->step.rob_center_damping, plain.step.rob_center_damping);
+  EXPECT_EQ(reg->sketch.sketch_dim, plain.sketch.sketch_dim);
+  EXPECT_EQ(reg->sketch.dense_oracle_max_cols, plain.sketch.dense_oracle_max_cols);
+}
+
+TEST(PresetRegistryTest, ValidateRejectsNonsense) {
+  core::Ingredients ing;
+  ing.ladder.max_escalations = -1;
+  EXPECT_NE(core::validate(ing), "");
+  ing = {};
+  ing.ladder.escalation_factor = 1.0;
+  EXPECT_NE(core::validate(ing), "");
+  ing = {};
+  ing.cascade.ladder.clear();
+  EXPECT_NE(core::validate(ing), "");
+  ing = {};
+  ing.sketch.sketch_dim = 0;
+  EXPECT_NE(core::validate(ing), "");
+  ing = {};
+  ing.step.ref_step_fraction = 1.5;
+  EXPECT_NE(core::validate(ing), "");
+  EXPECT_EQ(core::validate(core::Ingredients{}), "");
+}
+
+TEST(PresetRegistryTest, IngredientScopeInstallsAndRestores) {
+  core::SolverContext ctx;
+  EXPECT_EQ(ctx.ingredients_ptr(), nullptr);
+  EXPECT_EQ(ctx.ingredients().name, "default") << "unset context falls back to default";
+  const auto latency = core::resolve_preset("latency");
+  ASSERT_TRUE(latency.has_value());
+  {
+    const core::IngredientScope scope(ctx, *latency);
+    EXPECT_EQ(ctx.ingredients().name, "latency");
+  }
+  EXPECT_EQ(ctx.ingredients_ptr(), nullptr) << "scope must restore on exit";
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point validation (satellite: typed kInvalidInput, never a crash).
+
+graph::Digraph small_network(std::uint64_t seed) {
+  par::Rng rng(seed);
+  return graph::random_flow_network(20, 90, 8, 8, rng);
+}
+
+mcf::SolveOptions small_opts() {
+  mcf::SolveOptions opts;
+  opts.ipm.mu_end = 1e-3;
+  opts.ipm.max_iters = 4000;
+  opts.ipm.leverage.sketch_dim = 8;
+  return opts;
+}
+
+TEST(IngredientValidationTest, UnknownPresetNameIsTypedInvalidInput) {
+  const graph::Digraph g = small_network(7);
+  mcf::SolveOptions opts = small_opts();
+  opts.preset = "no-such-preset";
+  const auto res = mcf::min_cost_max_flow(g, 0, 19, opts);
+  EXPECT_EQ(res.status, SolveStatus::kInvalidInput);
+  EXPECT_EQ(res.failure_component, "mcf::min_cost_max_flow");
+  EXPECT_NE(res.failure_detail.find("no-such-preset"), std::string::npos)
+      << "detail must name the offending preset: " << res.failure_detail;
+}
+
+TEST(IngredientValidationTest, BadExplicitIpmFieldsAreTypedInvalidInput) {
+  const graph::Digraph g = small_network(7);
+  mcf::SolveOptions opts = small_opts();
+  opts.ipm.solve.tolerance = 0.0;
+  EXPECT_EQ(mcf::min_cost_max_flow(g, 0, 19, opts).status, SolveStatus::kInvalidInput);
+
+  opts = small_opts();
+  opts.ipm.step_fraction = 1.5;
+  EXPECT_EQ(mcf::min_cost_max_flow(g, 0, 19, opts).status, SolveStatus::kInvalidInput);
+
+  opts = small_opts();
+  opts.ipm.max_iters = 0;
+  EXPECT_EQ(mcf::min_cost_max_flow(g, 0, 19, opts).status, SolveStatus::kInvalidInput);
+}
+
+TEST(IngredientValidationTest, LadderOptionsThrowTypedComponentError) {
+  core::SolverContext ctx;
+  const graph::Digraph g = small_network(11);
+  const linalg::IncidenceOp a(g);
+  linalg::Vec d(a.rows(), 1.0);
+  const linalg::Csr lap = linalg::reduced_laplacian(g, d, a.dropped());
+  linalg::Vec rhs(a.cols(), 0.0);
+
+  linalg::ResilientSolveOptions bad;
+  bad.max_escalations = -1;
+  EXPECT_THROW((void)linalg::solve_sdd_resilient(ctx, lap, rhs, bad, nullptr, nullptr),
+               ComponentError);
+  bad = {};
+  bad.escalation_factor = 1.0;
+  EXPECT_THROW((void)linalg::solve_sdd_resilient(ctx, lap, rhs, bad, nullptr, nullptr),
+               ComponentError);
+  bad = {};
+  EXPECT_EQ(linalg::validate(bad), "") << "defaults must validate";
+}
+
+TEST(IngredientValidationTest, UnknownPrecondTierThrowsAndBuiltinsResolve) {
+  EXPECT_THROW((void)linalg::resolve_precond_tier("amg-someday"), ComponentError);
+  EXPECT_EQ(linalg::resolve_precond_tier("jacobi").kind, linalg::PrecondKind::kJacobi);
+  EXPECT_EQ(linalg::resolve_precond_tier("ic0").kind, linalg::PrecondKind::kIncompleteCholesky);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: "default" preset == no preset at all, under every dispatch
+// mode and with fault injection armed.
+
+void expect_results_bit_identical(const mcf::MinCostFlowResult& a,
+                                  const mcf::MinCostFlowResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.flow_value, b.flow_value);
+  EXPECT_EQ(a.cost, b.cost);
+  ASSERT_EQ(a.arc_flow.size(), b.arc_flow.size());
+  for (std::size_t i = 0; i < a.arc_flow.size(); ++i)
+    EXPECT_EQ(a.arc_flow[i], b.arc_flow[i]) << "arc " << i;
+  EXPECT_EQ(a.stats.ipm_iterations, b.stats.ipm_iterations);
+  EXPECT_EQ(a.stats.final_mu, b.stats.final_mu);
+  EXPECT_EQ(a.stats.final_centrality, b.stats.final_centrality);
+  EXPECT_EQ(a.stats.tiers_attempted, b.stats.tiers_attempted);
+  EXPECT_EQ(a.stats.answered_by, b.stats.answered_by);
+  EXPECT_EQ(a.stats.cg_tolerance_escalations, b.stats.cg_tolerance_escalations);
+  EXPECT_EQ(a.stats.sketch_retries, b.stats.sketch_retries);
+  EXPECT_EQ(a.stats.injected_faults, b.stats.injected_faults);
+}
+
+void run_default_vs_unnamed(bool arm_faults) {
+  const graph::Digraph g = small_network(2025);
+  const mcf::SolveOptions unnamed = small_opts();
+  mcf::SolveOptions named = small_opts();
+  named.preset = "default";
+
+  core::SolverContext ctx_a, ctx_b;
+  if (arm_faults) {
+    ctx_a.fault().arm(par::FaultKind::kCgStagnation, 0.2, 42);
+    ctx_b.fault().arm(par::FaultKind::kCgStagnation, 0.2, 42);
+  }
+  const auto a = mcf::min_cost_max_flow(ctx_a, g, 0, 19, unnamed);
+  const auto b = mcf::min_cost_max_flow(ctx_b, g, 0, 19, named);
+  ASSERT_EQ(a.status, SolveStatus::kOk);
+  expect_results_bit_identical(a, b);
+  EXPECT_EQ(a.stats.preset, "default") << "empty name resolves to default";
+  EXPECT_EQ(b.stats.preset, "default");
+  if (arm_faults) {
+    EXPECT_EQ(ctx_a.fault().fired_total(), ctx_b.fault().fired_total());
+  }
+}
+
+class IngredientIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(false);
+  }
+  void TearDown() override {
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(true);
+  }
+};
+
+TEST_F(IngredientIdentityTest, DefaultPresetMatchesUnnamedWallSerial) {
+  run_default_vs_unnamed(/*arm_faults=*/false);
+}
+
+TEST_F(IngredientIdentityTest, DefaultPresetMatchesUnnamedWallPool) {
+  par::ThreadPool::configure(4);
+  run_default_vs_unnamed(/*arm_faults=*/false);
+}
+
+TEST_F(IngredientIdentityTest, DefaultPresetMatchesUnnamedInstrumented) {
+  par::Tracker::instance().set_enabled(true);
+  par::Tracker::instance().reset();
+  run_default_vs_unnamed(/*arm_faults=*/false);
+}
+
+TEST_F(IngredientIdentityTest, DefaultPresetMatchesUnnamedUnderFaultInjection) {
+  run_default_vs_unnamed(/*arm_faults=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Preset provenance: SolveStats round-trip and Engine metrics tallies.
+
+TEST_F(IngredientIdentityTest, ResolvedPresetNameRoundTripsThroughSolveStats) {
+  const graph::Digraph g = small_network(99);
+  for (const char* name : {"latency", "throughput", "robust", "exact-certify"}) {
+    mcf::SolveOptions opts = small_opts();
+    opts.preset = name;
+    const auto res = mcf::min_cost_max_flow(g, 0, 19, opts);
+    ASSERT_EQ(res.status, SolveStatus::kOk) << name;
+    EXPECT_EQ(res.stats.preset, name);
+  }
+}
+
+TEST_F(IngredientIdentityTest, EngineConfigPresetFillsUnnamedSolves) {
+  const graph::Digraph g = small_network(123);
+  EngineConfig cfg;
+  cfg.use_global_pool = false;
+  cfg.preset = "robust";
+  const Engine engine(cfg);
+
+  // Unnamed request: takes the engine's configured preset.
+  const auto a = engine.solve(Instance::max_flow(g, 0, 19), small_opts());
+  ASSERT_EQ(a.result.status, SolveStatus::kOk);
+  EXPECT_EQ(a.result.stats.preset, "robust");
+
+  // A request that names its own preset wins over the engine default.
+  mcf::SolveOptions named = small_opts();
+  named.preset = "latency";
+  const auto b = engine.solve(Instance::max_flow(g, 0, 19), named);
+  ASSERT_EQ(b.result.status, SolveStatus::kOk);
+  EXPECT_EQ(b.result.stats.preset, "latency");
+
+  const MetricsSnapshot snap = engine.metrics_snapshot();
+  EXPECT_EQ(snap.preset_count("robust"), 1u);
+  EXPECT_EQ(snap.preset_count("latency"), 1u);
+  EXPECT_EQ(snap.preset_count("default"), 0u);
+  ASSERT_FALSE(snap.preset_names.empty());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kMaxPresetSlots; ++i) total += snap.preset_counts[i];
+  EXPECT_EQ(total, 2u) << "every answered solve lands in exactly one slot";
+}
+
+// ---------------------------------------------------------------------------
+// Preset matrix: every registered preset solves + certifies the same
+// instance (the CI smoke step runs this via bench_preset_tune at scale).
+
+TEST_F(IngredientIdentityTest, EveryRegisteredPresetSolvesAndCertifies) {
+  const graph::Digraph g = small_network(314);
+  // The answer is preset-independent: presets trade speed, never exactness.
+  std::int64_t flow = -1, cost = 0;
+  for (const std::string& name : core::preset_registry().names()) {
+    mcf::SolveOptions opts = small_opts();
+    opts.preset = name;
+    opts.certify = true;
+    const auto res = mcf::min_cost_max_flow(g, 0, 19, opts);
+    ASSERT_EQ(res.status, SolveStatus::kOk) << name;
+    EXPECT_TRUE(res.stats.certified) << name;
+    EXPECT_EQ(res.stats.preset, name);
+    if (flow < 0) {
+      flow = res.flow_value;
+      cost = res.cost;
+    } else {
+      EXPECT_EQ(res.flow_value, flow) << name;
+      EXPECT_EQ(res.cost, cost) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmcf
