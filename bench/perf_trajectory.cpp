@@ -57,7 +57,7 @@ using namespace pmcf;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
-  std::string out = "BENCH_pr8.json";
+  std::string out = "BENCH_pr9.json";
   std::vector<int> threads = {1, 2, 8};
   bool tiny = false;
   int reps = 5;
@@ -600,6 +600,165 @@ Workload make_preset_sweep(bool tiny) {
           }};
 }
 
+Workload make_incremental_resolve(bool tiny) {
+  // The cross-solve instance cache (DESIGN.md §15) doing its headline job:
+  // after one priming solve, every round perturbs ~1% of the arc costs by ±1
+  // and re-solves warm through Engine::resolve — AccelCache adoption,
+  // drift-gated preconditioner reuse, and a central-path restart at boosted
+  // mu. Each round also solves the identical post-delta instance cold on a
+  // separate engine; the report's extras carry the measured cold/warm wall
+  // times, the warm speedup (acceptance gate: >= 3x at full scale, >= 1x in
+  // the CI tiny smoke), and the engine's cache hit rate. Costs must agree
+  // exactly every round — both sides are independently certified.
+  Workload w;
+  w.name = "incremental_resolve";
+  w.kind = "serving";
+  w.standalone = [tiny] {
+    const auto n = static_cast<graph::Vertex>(tiny ? 12 : 48);
+    const std::int64_t m = 8 * static_cast<std::int64_t>(n);
+    const int rounds = tiny ? 3 : 8;
+    par::Rng graph_rng(0x1c5e);
+    const graph::Digraph g0 = graph::random_flow_network(n, m, 6, 6, graph_rng);
+    graph::Digraph mirror = g0;  // tracks the deltas for the cold reference
+
+    mcf::SolveOptions opts;
+    opts.ipm.mu_end = 1e-3;
+    opts.ipm.leverage.sketch_dim = 8;
+
+    // Wall-clock serial on both sides: the acceptance comparison is at one
+    // thread, with the tracker off (measure() is bypassed for standalones).
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(false);
+    EngineConfig cfg;
+    cfg.seed = 4244;
+    cfg.instrument = false;
+    cfg.use_global_pool = false;
+    const Engine warm_engine(cfg);
+    const Engine cold_engine(cfg);
+
+    const InstanceHandle h =
+        warm_engine.register_instance(Instance::max_flow(g0, 0, n - 1));
+    if (h == 0) std::abort();
+    if (warm_engine.resolve(h, {}, opts).result.status != SolveStatus::kOk) std::abort();
+
+    par::Rng delta_rng(0x1c5f);
+    const auto num_perturb =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(m) / 100);
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+    const auto t_begin = Clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      InstanceDelta delta;
+      for (std::uint64_t k = 0; k < num_perturb; ++k) {
+        const auto arc = static_cast<graph::EdgeId>(
+            delta_rng.next_below(static_cast<std::uint64_t>(mirror.num_arcs())));
+        const std::int64_t cost = std::max<std::int64_t>(
+            0, mirror.arc(arc).cost + (delta_rng.next_below(2) == 0 ? -1 : 1));
+        delta.cost_changes.push_back({arc, cost});
+        mirror.set_cost(arc, cost);
+      }
+      EngineSolveResult warm;
+      warm_ms += time_once_ms([&] { warm = warm_engine.resolve(h, delta, opts); });
+      EngineSolveResult cold;
+      cold_ms += time_once_ms(
+          [&] { cold = cold_engine.solve(Instance::max_flow(mirror, 0, n - 1), opts); });
+      if (warm.result.status != SolveStatus::kOk || cold.result.status != SolveStatus::kOk)
+        std::abort();
+      if (!warm.result.stats.certified || !warm.result.stats.warm_started) std::abort();
+      if (warm.result.cost != cold.result.cost ||
+          warm.result.flow_value != cold.result.flow_value)
+        std::abort();
+    }
+    const auto t_end = Clock::now();
+    par::ThreadPool::configure(1);
+    par::Tracker::instance().set_enabled(true);
+
+    const MetricsSnapshot snap = warm_engine.metrics_snapshot();
+    const std::uint64_t hits = snap.of(EngineCounter::kInstanceCacheHits);
+    const std::uint64_t misses = snap.of(EngineCounter::kInstanceCacheMisses);
+    const double hit_rate =
+        hits + misses == 0 ? 0.0
+                           : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    WorkloadReport rep;
+    rep.name = "incremental_resolve";
+    rep.kind = "serving";
+    rep.points.push_back(
+        {1, std::chrono::duration<double, std::milli>(t_end - t_begin).count(), 1.0});
+    char extras[256];
+    std::snprintf(extras, sizeof(extras),
+                  "{\"rounds\": %d, \"cold_ms\": %.4f, \"warm_ms\": %.4f, "
+                  "\"warm_speedup\": %.3f, \"cache_hit_rate\": %.3f}",
+                  rounds, cold_ms, warm_ms, warm_ms > 0.0 ? cold_ms / warm_ms : 0.0,
+                  hit_rate);
+    rep.extras_json = extras;
+    return rep;
+  };
+  return w;
+}
+
+Workload make_instance_churn(bool tiny) {
+  // A fleet of registered instances under churn against a bounded artifact
+  // cache: every round perturbs each instance's costs and resolves it, and
+  // every fifth resolve is a structural delta (arc addition) that bumps the
+  // epoch and forces a cold re-solve. With capacity for only half the fleet,
+  // the LRU evicts continuously — the workload measures the engine's
+  // steady-state mix of replays, warm re-solves, cold solves, and evictions.
+  const std::size_t fleet = tiny ? 4 : 8;
+  const auto n = static_cast<graph::Vertex>(tiny ? 10 : 14);
+  const int rounds = tiny ? 2 : 4;
+  auto graphs = std::make_shared<std::deque<graph::Digraph>>();
+  for (std::size_t i = 0; i < fleet; ++i) {
+    par::Rng rng(9700 + 31 * i);
+    graphs->push_back(graph::random_flow_network(n, 4 * n, 6, 6, rng));
+  }
+  return {"instance_churn", "serving", [graphs, fleet, rounds] {
+            EngineConfig cfg;
+            cfg.seed = 4245;
+            cfg.instance_cache_capacity = fleet / 2;
+            const Engine engine(cfg);
+            mcf::SolveOptions opts;
+            opts.ipm.mu_end = 1e-3;
+            opts.ipm.leverage.sketch_dim = 8;
+
+            std::vector<InstanceHandle> handles;
+            for (const auto& g : *graphs) {
+              handles.push_back(
+                  engine.register_instance(Instance::max_flow(g, 0, g.num_vertices() - 1)));
+              if (handles.back() == 0) std::abort();
+            }
+            std::uint64_t work = 0;
+            std::uint64_t depth = 0;
+            par::Rng rng(0xc4u);
+            std::size_t tick = 0;
+            for (int round = 0; round <= rounds; ++round) {
+              for (std::size_t i = 0; i < fleet; ++i, ++tick) {
+                InstanceDelta d;
+                if (round > 0) {  // round 0 primes the cache with cold solves
+                  const auto& g = (*graphs)[i];
+                  if (tick % 5 == 4) {
+                    const auto v = static_cast<graph::Vertex>(
+                        rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+                    d.add_arcs.push_back({0, v == 0 ? g.num_vertices() - 1 : v, 3, 2});
+                  } else {
+                    for (int k = 0; k < 2; ++k) {
+                      const auto arc = static_cast<graph::EdgeId>(
+                          rng.next_below(static_cast<std::uint64_t>(g.num_arcs())));
+                      d.cost_changes.push_back(
+                          {arc, static_cast<std::int64_t>(rng.next_below(7))});
+                    }
+                  }
+                }
+                const EngineSolveResult r = engine.resolve(handles[i], d, opts);
+                if (r.result.status != SolveStatus::kOk || !r.result.stats.certified)
+                  std::abort();
+                work += r.pram.work;
+                depth += r.pram.depth;  // resolves run back to back (serial chain)
+              }
+            }
+            par::charge(work, depth);
+          }};
+}
+
 // ---------------------------------------------------------------------------
 
 std::string json_escape(const std::string& s) {
@@ -723,6 +882,8 @@ int main(int argc, char** argv) {
   workloads.push_back(make_preset_sweep(opt.tiny));
   workloads.push_back(make_engine_soak_poisson(opt.tiny));
   workloads.push_back(make_engine_soak_burst(opt.tiny));
+  workloads.push_back(make_incremental_resolve(opt.tiny));
+  workloads.push_back(make_instance_churn(opt.tiny));
 
   if (opt.list) {
     // One name per line, then the count — CI asserts the count so a workload

@@ -19,6 +19,7 @@
 // and benches; library code must not call them.
 
 #include <cstdint>
+#include <utility>
 
 #include "core/deadline.hpp"
 #include "core/exec_bindings.hpp"
@@ -125,13 +126,42 @@ class SolverContext {
   /// Drop the per-solve scratch (acceleration cache, warm starts, CG block
   /// buffers). The public mcf entry points call this at solve start so a
   /// reused context — including one whose previous solve was canceled
-  /// mid-flight — behaves bit-identically to a fresh context.
+  /// mid-flight — behaves bit-identically to a fresh context. A scratch
+  /// installed via adopt_scratch survives exactly one reset (the entry-point
+  /// one), which is how cross-solve caches ride into a solve.
   void reset_scratch() {
+    if (scratch_preserved_once_) {
+      scratch_preserved_once_ = false;
+      return;
+    }
     if (scratch_ != nullptr) {
       scratch_destroy_(scratch_);
       scratch_ = nullptr;
       scratch_destroy_ = nullptr;
     }
+  }
+
+  /// Install an externally-owned scratch object (cross-solve acceleration
+  /// cache) ahead of a solve. Ownership transfers to the context; the object
+  /// is exempt from the *next* reset_scratch() (the mcf entry point's), so it
+  /// is the cache ensure_scratch hands to the solver layers. Pair with
+  /// release_scratch() after the solve to take it back.
+  void adopt_scratch(void* p, void (*destroy)(void*)) {
+    reset_scratch();
+    if (scratch_ != nullptr) scratch_destroy_(scratch_);  // a preserved leftover
+    scratch_ = p;
+    scratch_destroy_ = destroy;
+    scratch_preserved_once_ = true;
+  }
+
+  /// Detach the scratch without destroying it (ownership returns to the
+  /// caller, together with its deleter). {nullptr, nullptr} when none is set.
+  [[nodiscard]] std::pair<void*, void (*)(void*)> release_scratch() {
+    const std::pair<void*, void (*)(void*)> out{scratch_, scratch_destroy_};
+    scratch_ = nullptr;
+    scratch_destroy_ = nullptr;
+    scratch_preserved_once_ = false;
+    return out;
   }
 
   /// The solve's master randomness stream.
@@ -179,6 +209,7 @@ class SolverContext {
   const Ingredients* ingredients_ = nullptr;
   void* scratch_ = nullptr;
   void (*scratch_destroy_)(void*) = nullptr;
+  bool scratch_preserved_once_ = false;  ///< adopted scratch survives one reset
 };
 
 /// Installs an ingredient bundle on `ctx` for the scope and restores the

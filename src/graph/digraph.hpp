@@ -32,6 +32,12 @@ class Digraph {
     return static_cast<EdgeId>(arcs_.size() - 1);
   }
 
+  /// Value-only arc mutation for incremental re-solves (Engine::resolve).
+  /// Endpoints are untouched, so the CSR index (which stores only adjacency)
+  /// stays valid — exactly the property Laplacian::refresh_values relies on.
+  void set_cost(EdgeId e, std::int64_t cost) { arcs_[static_cast<std::size_t>(e)].cost = cost; }
+  void set_cap(EdgeId e, std::int64_t cap) { arcs_[static_cast<std::size_t>(e)].cap = cap; }
+
   [[nodiscard]] Vertex num_vertices() const { return n_; }
   [[nodiscard]] EdgeId num_arcs() const { return static_cast<EdgeId>(arcs_.size()); }
   [[nodiscard]] const Arc& arc(EdgeId e) const { return arcs_[static_cast<std::size_t>(e)]; }

@@ -51,8 +51,15 @@ IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y
   const std::int32_t lewis_every = core::resolved(opts.lewis_every, stp.ref_lewis_every);
 
   // Warm-started Lewis weights: keep τ between iterations, refresh with a
-  // few fixed-point rounds against the current scaling.
-  Vec tau(m, static_cast<double>(n) / static_cast<double>(m) + 0.5);
+  // few fixed-point rounds against the current scaling. A caller-provided
+  // tau_io of the right size resumes the fixed point from a previous solve
+  // (cross-solve warm start); anything else gets the flat cold start.
+  const bool tau_from_caller = opts.tau_io != nullptr && opts.tau_io->size() == m &&
+                               std::all_of(opts.tau_io->begin(), opts.tau_io->end(), [](double t) {
+                                 return std::isfinite(t) && t > 0.0;
+                               });
+  Vec tau = tau_from_caller ? *opts.tau_io
+                            : Vec(m, static_cast<double>(n) / static_cast<double>(m) + 0.5);
   const double p = linalg::lewis_p(m, n);
   const double expo = 0.5 - 1.0 / p;
   const double reg = static_cast<double>(n) / static_cast<double>(m);
@@ -196,6 +203,7 @@ IpmResult reference_ipm(core::SolverContext& ctx, const IpmLp& lp, Vec x0, Vec y
     res.status = SolveStatus::kIterationLimit;
     res.detail = "ipm::reference_ipm: max_iters reached before mu_end";
   }
+  if (opts.tau_io != nullptr && res.converged) *opts.tau_io = tau;
   return res;
 }
 

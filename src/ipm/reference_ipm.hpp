@@ -55,6 +55,13 @@ struct IpmOptions {
   linalg::LeverageOptions leverage;    ///< JL estimator settings
   linalg::SolveOptions solve;          ///< Newton system solver
   std::uint64_t seed = 7;
+  /// Cross-solve Lewis-weight slot (DESIGN.md §15): when non-null and sized
+  /// m, *tau_io seeds the regularized Lewis weights τ instead of the flat
+  /// n/m + 1/2 start, and the converged τ is written back on success — so an
+  /// incremental re-solve resumes the fixed point where the last solve left
+  /// it. Borrowed; must outlive the call. nullptr (the default) keeps the
+  /// historical cold start bit-identically.
+  linalg::Vec* tau_io = nullptr;
 };
 
 struct IpmResult {

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <numeric>
+#include <utility>
 
 #include "core/ingredients.hpp"
+#include "linalg/accel_cache.hpp"
+#include "mcf/certify.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace pmcf {
@@ -50,6 +54,22 @@ EngineSolveResult refusal(SolveStatus status, const char* detail) {
 /// Queue poll tick: parked waiters re-check their cancel tokens at this
 /// cadence even without a grant/evict notification.
 constexpr std::chrono::milliseconds kQueuePollTick{2};
+
+/// The fingerprint a retained AccelCache is keyed by: handle + structure +
+/// structural epoch. Value-only deltas keep the key (warm CG iterates stay
+/// live across perturbations); any structural change moves it.
+std::uint64_t accel_cache_key(InstanceHandle h, std::uint64_t structure_hash,
+                              std::uint64_t epoch) {
+  return mix_seed(h ^ structure_hash, epoch);
+}
+
+/// Re-run the exact __int128 certificate for a record's cached optimum.
+mcf::CertifyReport recertify(const InstanceRecord& rec, const mcf::MinCostFlowResult& r) {
+  return rec.is_max_flow
+             ? mcf::certify_max_flow(rec.solver_graph, rec.source, rec.sink, r.arc_flow,
+                                     r.flow_value, r.cost)
+             : mcf::certify_b_flow(rec.solver_graph, rec.demands, r.arc_flow, r.cost);
+}
 
 }  // namespace
 
@@ -399,6 +419,7 @@ Engine::Engine(EngineConfig config)
     : config_(std::move(config)), preset_names_(core::preset_registry().names()) {
   if (config_.max_in_flight > 0)
     admission_ = std::make_unique<Admission>(config_, &in_flight_);
+  store_ = std::make_unique<InstanceStore>(config_.instance_cache_capacity);
   if (config_.chaos_cancel_rate > 0.0)
     chaos_.arm(par::FaultKind::kCancelRequest, config_.chaos_cancel_rate, config_.chaos_seed);
 }
@@ -435,7 +456,8 @@ MetricsSnapshot Engine::metrics_snapshot() const {
 EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::SolveOptions& opts,
                                           std::uint64_t salt, const core::Deadline& deadline,
                                           const core::CancelToken* caller_token,
-                                          const core::CancelToken* engine_token) const {
+                                          const core::CancelToken* engine_token,
+                                          const WarmPlumbing* warm) const {
   core::ContextOptions copts;
   copts.seed = mix_seed(config_.seed, salt);
   copts.instrument = config_.instrument;
@@ -446,14 +468,30 @@ EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::Solve
   if (caller_token != nullptr) ctx.lifecycle().bind_token(caller_token);
   if (engine_token != nullptr) ctx.lifecycle().bind_token(engine_token);
 
+  // Cross-solve acceleration state (resolve path): the retained cache rides
+  // into this context's scratch slot ahead of the solve and is harvested
+  // back after, keyed to the instance so stale warm iterates can never leak
+  // across instances.
+  if (warm != nullptr && warm->accel_slot != nullptr && *warm->accel_slot != nullptr) {
+    (*warm->accel_slot)->bind_instance(warm->cache_key);
+    linalg::adopt_accel_cache(ctx, std::move(*warm->accel_slot));
+  }
+
   // Preset resolution order (DESIGN.md §14): an options-level preset wins,
   // then the engine's configured default, then the library "default". The
   // copy is taken only when the engine actually has to fill the field in.
   const mcf::SolveOptions* eff = &opts;
   mcf::SolveOptions patched;
-  if (!config_.preset.empty() && opts.preset.empty()) {
+  const bool patch_preset = !config_.preset.empty() && opts.preset.empty();
+  const bool patch_warm =
+      warm != nullptr && (warm->hint != nullptr || warm->capture != nullptr);
+  if (patch_preset || patch_warm) {
     patched = opts;
-    patched.preset = config_.preset;
+    if (patch_preset) patched.preset = config_.preset;
+    if (patch_warm) {
+      patched.warm = warm->hint;
+      patched.warm_out = warm->capture;
+    }
     eff = &patched;
   }
 
@@ -464,6 +502,11 @@ EngineSolveResult Engine::solve_with_salt(const Instance& inst, const mcf::Solve
     out.result = mcf::min_cost_b_flow(ctx, *inst.graph, inst.demands, *eff);
   }
   out.pram = ctx.tracker().snapshot();
+
+  if (warm != nullptr && warm->accel_slot != nullptr) {
+    *warm->accel_slot = linalg::release_accel_cache(ctx);
+    if (*warm->accel_slot != nullptr) (*warm->accel_slot)->bind_instance(warm->cache_key);
+  }
   return out;
 }
 
@@ -505,7 +548,7 @@ bool Engine::cancel(SolveHandle handle) const {
 EngineSolveResult Engine::admit_and_solve(const Instance& inst, const mcf::SolveOptions& opts,
                                           const SolveControl& control, std::uint64_t salt,
                                           const core::CancelToken* engine_token,
-                                          AdmitMode mode) const {
+                                          AdmitMode mode, const WarmPlumbing* warm) const {
   const auto arrival = Clock::now();
   const std::size_t priority = clamp_priority(control.priority);
 
@@ -548,7 +591,7 @@ EngineSolveResult Engine::admit_and_solve(const Instance& inst, const mcf::Solve
   const auto acquired_at = Clock::now();
   metrics_.queue_wait.record(acquired_at - arrival);
   EngineSolveResult out =
-      solve_with_salt(inst, opts, salt, control.deadline, control.cancel, engine_token);
+      solve_with_salt(inst, opts, salt, control.deadline, control.cancel, engine_token, warm);
   const auto done = Clock::now();
   metrics_.solve_time.record(done - acquired_at);
   metrics_.latency.record(done - arrival);
@@ -633,6 +676,174 @@ std::vector<EngineSolveResult> Engine::solve_batch(const std::vector<Instance>& 
   }
   if (admitted > 0) retire_handle(control);
   return results;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-solve instance cache + incremental re-solve (DESIGN.md §15).
+
+InstanceHandle Engine::register_instance(const Instance& inst, std::string preset_hint) const {
+  if (inst.graph == nullptr) return 0;
+  auto rec = std::make_shared<InstanceRecord>();
+  rec->is_max_flow = inst.kind == Instance::Kind::kMaxFlow;
+  rec->source = inst.source;
+  rec->sink = inst.sink;
+  rec->demands = inst.demands;
+  rec->deadline = inst.deadline;
+  rec->preset_hint = std::move(preset_hint);
+  rec->solver_graph = *inst.graph;
+  rec->compact_of.resize(static_cast<std::size_t>(inst.graph->num_arcs()));
+  std::iota(rec->compact_of.begin(), rec->compact_of.end(), graph::EdgeId{0});
+  rec->orig_of = rec->compact_of;
+  rec->refresh_fingerprints();
+  return store_->add(std::move(rec));
+}
+
+bool Engine::deregister_instance(InstanceHandle handle) const {
+  return store_->erase(handle);
+}
+
+std::size_t Engine::num_instances() const { return store_->size(); }
+
+EngineSolveResult Engine::resolve(InstanceHandle handle, const InstanceDelta& delta,
+                                  const mcf::SolveOptions& opts,
+                                  const SolveControl& control) const {
+  const std::size_t priority = clamp_priority(control.priority);
+  metrics_.on_submitted(priority);
+  const std::shared_ptr<InstanceRecord> rec = store_->find(handle);
+  if (rec == nullptr) {
+    metrics_.on_outcome(priority, SolveStatus::kInvalidInput);
+    return refusal(SolveStatus::kInvalidInput, "unknown handle");
+  }
+  // Resolves on one handle serialize here; the delta, the classification,
+  // and the artifact round-trip below are one atomic step per instance.
+  const std::lock_guard<std::mutex> rec_lock(rec->mu);
+
+  if (!delta.empty()) {
+    const std::string defect = rec->apply_delta(delta);
+    if (!defect.empty()) {
+      metrics_.on_outcome(priority, SolveStatus::kInvalidInput);
+      EngineSolveResult out = refusal(SolveStatus::kInvalidInput, "");
+      out.result.failure_detail = "delta rejected: " + defect;
+      return out;
+    }
+    if (delta.structural()) ++rec->epoch;
+  }
+
+  std::unique_ptr<InstanceRecord::Artifacts> arts = store_->take_artifacts(*rec);
+  if (arts != nullptr && arts->epoch != rec->epoch) {
+    // Structural epoch moved since the artifacts were solved: everything in
+    // the slot (flow, central-path point, cache pattern) is for a dead
+    // structure.
+    metrics_.count(EngineCounter::kInstanceCacheInvalidations);
+    arts.reset();
+  }
+
+  if (arts != nullptr && arts->value_hash == rec->value_hash &&
+      arts->result.status == SolveStatus::kOk) {
+    // Replay: the instance is byte-for-byte the one the slot was solved
+    // under. Zero trust in the cache — the stored optimum must pass the
+    // exact certificate against the *current* record before being served.
+    if (const mcf::CertifyReport report = recertify(*rec, arts->result); report.certified) {
+      metrics_.count(EngineCounter::kInstanceCacheHits);
+      metrics_.count(EngineCounter::kResolveWarm);
+      metrics_.count(EngineCounter::kCertified);
+      metrics_.on_outcome(priority, SolveStatus::kOk);
+      EngineSolveResult out;
+      out.result = arts->result;
+      out.result.stats.certified = true;
+      out.result.stats.warm_started = true;
+      out.result.stats.warm_source = "cached-result";
+      out.result.stats.warm_mu0 = 0.0;
+      out.result.arc_flow = rec->to_original_ids(std::move(out.result.arc_flow));
+      store_->store_artifacts(*rec, std::move(arts));
+      return out;
+    }
+    // A cached result that fails its certificate is a bug's footprint —
+    // never serve or retain any of it.
+    metrics_.count(EngineCounter::kCertificationFailures);
+    metrics_.count(EngineCounter::kInstanceCacheInvalidations);
+    arts.reset();
+  }
+
+  const bool warm_hit = arts != nullptr;
+  metrics_.count(warm_hit ? EngineCounter::kInstanceCacheHits
+                          : EngineCounter::kInstanceCacheMisses);
+  metrics_.count(warm_hit ? EngineCounter::kResolveWarm : EngineCounter::kResolveCold);
+
+  Instance view;
+  view.kind = rec->is_max_flow ? Instance::Kind::kMaxFlow : Instance::Kind::kBFlow;
+  view.graph = &rec->solver_graph;
+  view.source = rec->source;
+  view.sink = rec->sink;
+  view.demands = rec->demands;
+  view.deadline = rec->deadline;
+
+  mcf::SolveOptions eff = opts;
+  if (eff.preset.empty()) eff.preset = rec->preset_hint;
+  // The whole cache rests on served results being independently verified:
+  // a resolve never runs uncertified, whatever the caller passed.
+  eff.certify = true;
+
+  // Next solve's artifact slot: the retained AccelCache rides along (and is
+  // harvested back into it), the warm hint is consumed from the old slot.
+  auto fresh = std::make_unique<InstanceRecord::Artifacts>();
+  mcf::WarmStart hint;
+  if (warm_hit) {
+    fresh->accel = std::move(arts->accel);
+    hint = std::move(arts->warm);
+    hint.mu_boost = config_.warm_mu_boost;
+    arts.reset();
+  }
+  mcf::WarmStart captured;
+  WarmPlumbing plumbing;
+  plumbing.accel_slot = &fresh->accel;
+  plumbing.cache_key = accel_cache_key(handle, rec->structure_hash, rec->epoch);
+  plumbing.hint = warm_hit && !hint.empty() ? &hint : nullptr;
+  plumbing.capture = &captured;
+
+  // Salted past both the batch-index space and direct solve() calls.
+  const std::uint64_t salt =
+      (1ULL << 33) + solve_calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<core::CancelToken> engine_token = issue_handle(control);
+  EngineSolveResult out = admit_and_solve(view, eff, control, salt, engine_token.get(),
+                                          AdmitMode::kAcquire, &plumbing);
+
+  if (out.result.status != SolveStatus::kOk && !is_instance_error(out.result.status) &&
+      !is_lifecycle_error(out.result.status) && warm_hit) {
+    // The warm attempt (hint and/or adopted cache) failed for solver-side
+    // reasons the degradation cascade could not absorb. One cold retry with
+    // every piece of cross-solve state dropped — a poisoned cache must never
+    // turn a solvable instance into a failure.
+    fresh->accel.reset();
+    plumbing.hint = nullptr;
+    captured = mcf::WarmStart{};
+    metrics_.on_submitted(priority);
+    metrics_.count(EngineCounter::kResolveCold);
+    const std::uint64_t cold_salt =
+        (1ULL << 33) + solve_calls_.fetch_add(1, std::memory_order_relaxed);
+    out = admit_and_solve(view, eff, control, cold_salt, engine_token.get(),
+                          AdmitMode::kAcquire, &plumbing);
+  }
+  retire_handle(control);
+
+  if (out.result.status == SolveStatus::kOk) {
+    if (warm_hit && !out.result.stats.warm_started) {
+      // The central-path hint was rejected (or absent) but the adopted
+      // acceleration cache still served this solve.
+      out.result.stats.warm_started = true;
+      out.result.stats.warm_source = "accel-cache";
+    }
+    if (out.result.stats.certified && config_.instance_cache_capacity > 0) {
+      fresh->result = out.result;  // compact-id copy, pre-mapping
+      fresh->warm = std::move(captured);
+      fresh->value_hash = rec->value_hash;
+      fresh->epoch = rec->epoch;
+      const std::size_t evicted = store_->store_artifacts(*rec, std::move(fresh));
+      if (evicted > 0) metrics_.count(EngineCounter::kInstanceCacheEvictions, evicted);
+    }
+    out.result.arc_flow = rec->to_original_ids(std::move(out.result.arc_flow));
+  }
+  return out;
 }
 
 }  // namespace pmcf

@@ -37,6 +37,7 @@
 #include "core/deadline.hpp"
 #include "core/solver_context.hpp"
 #include "graph/digraph.hpp"
+#include "mcf/instance_store.hpp"
 #include "mcf/metrics.hpp"
 #include "mcf/min_cost_flow.hpp"
 #include "parallel/fault_injection.hpp"
@@ -128,6 +129,20 @@ struct EngineConfig {
   /// are rejected per solve with kInvalidInput, exactly as if the caller had
   /// set SolveOptions::preset directly.
   std::string preset;
+  /// Cross-solve instance cache (DESIGN.md §15): how many registered
+  /// instances may retain solved artifacts (preconditioner drift state,
+  /// central-path warm start, certified optimum) at once; least-recently
+  /// resolved holders are evicted beyond this. 0 disables retention —
+  /// Engine::resolve still applies deltas but always re-solves cold.
+  std::size_t instance_cache_capacity = 64;
+  /// mu restart factor for central-path warm starts (WarmStart::mu_boost):
+  /// a warm resolve re-enters the IPM at ~mu_end x this, giving the damped
+  /// Newton recentering a short runway to absorb the perturbation. Warm
+  /// iterations all run in the expensive low-mu regime (CG escalations,
+  /// near-boundary preconditioner churn), so the runway is kept short; a
+  /// restart that proves too aggressive is caught by certification and
+  /// retried cold, never served wrong.
+  double warm_mu_boost = 4.0;
 };
 
 /// Opaque ticket for Engine::cancel. Published through SolveControl::handle
@@ -227,17 +242,70 @@ class Engine {
   /// the in_flight / queue_depth gauges. Lock-free on the recording side.
   [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
 
+  // --- cross-solve instance cache + incremental re-solve (DESIGN.md §15) --
+
+  /// Deep-copy `inst` into the engine's instance store, fingerprint it
+  /// (structure hash over the arc list, value hash over costs/capacities),
+  /// and return a stable handle for Engine::resolve. `preset_hint`
+  /// optionally pins a tuned ingredient preset to the instance (e.g. the
+  /// bench_preset_tune winner); per-request SolveOptions::preset still wins.
+  /// Returns 0 (the unknown-handle sentinel) for a null-graph instance.
+  [[nodiscard]] InstanceHandle register_instance(const Instance& inst,
+                                                 std::string preset_hint = "") const;
+
+  /// Drop a registered instance and its retained artifacts. In-flight
+  /// resolves on the handle finish normally; later ones get kInvalidInput.
+  bool deregister_instance(InstanceHandle handle) const;
+
+  /// Registered instances currently in the store.
+  [[nodiscard]] std::size_t num_instances() const;
+
+  /// Apply `delta` to the registered instance and re-solve, reusing
+  /// everything the previous solve left behind that is still valid:
+  ///   - empty/no-op delta → the retained certified optimum is re-certified
+  ///     (exact __int128 arithmetic, zero trust in the cache) and replayed;
+  ///   - values-only delta → warm re-solve: the retained AccelCache rides in
+  ///     (Laplacian value-refresh + drift-gated preconditioner reuse) and
+  ///     the IPM restarts from the previous central-path point at a boosted
+  ///     mu instead of the cold mu0;
+  ///   - structural delta (arc add/remove) → epoch bump, artifacts
+  ///     invalidated, cold re-solve.
+  /// Every result is independently certified (SolveOptions::certify is
+  /// forced on), so a stale-cache bug can never return a wrong answer
+  /// silently; a warm attempt that fails falls back to a cold solve
+  /// automatically. arc_flow in the result is indexed by *original* arc ids
+  /// (stable across removals; removed arcs report 0). Resolves on one
+  /// handle serialize; distinct handles run concurrently. Admission
+  /// control, deadlines, cancellation, and metrics behave as in solve().
+  [[nodiscard]] EngineSolveResult resolve(InstanceHandle handle, const InstanceDelta& delta,
+                                          const mcf::SolveOptions& opts = {},
+                                          const SolveControl& control = {}) const;
+
  private:
   struct Admission;  // bounded queue + tenant DRR + priorities (engine.cpp)
 
+  /// Cross-solve plumbing a resolve threads through admit_and_solve into
+  /// solve_with_salt: the retained AccelCache to adopt/harvest, the
+  /// fingerprint it is keyed by, the warm-start hint, and the capture slot
+  /// for the new central-path point.
+  struct WarmPlumbing {
+    std::unique_ptr<linalg::AccelCache>* accel_slot = nullptr;
+    std::uint64_t cache_key = 0;
+    const mcf::WarmStart* hint = nullptr;
+    mcf::WarmStart* capture = nullptr;
+  };
+
   /// One solve under a fresh context derived from `salt`, with the resolved
   /// lifecycle configuration (deadline + up to two tokens) installed.
+  /// `warm` (resolve path only) adopts the retained AccelCache into the
+  /// context before the solve and harvests it back after.
   [[nodiscard]] EngineSolveResult solve_with_salt(const Instance& inst,
                                                   const mcf::SolveOptions& opts,
                                                   std::uint64_t salt,
                                                   const core::Deadline& deadline,
                                                   const core::CancelToken* caller_token,
-                                                  const core::CancelToken* engine_token) const;
+                                                  const core::CancelToken* engine_token,
+                                                  const WarmPlumbing* warm = nullptr) const;
 
   /// How a request reaches its admission slot: a direct solve() acquires in
   /// full; a batch item under a queue converts its pre-counted reservation
@@ -245,14 +313,15 @@ class Engine {
   /// item of an unbounded one) had its slot taken upfront by solve_batch.
   enum class AdmitMode { kAcquire, kReservedAcquire, kPreAcquired };
 
-  /// Full admission + solve + release for one request (shared by solve()
-  /// and each admitted solve_batch item).
+  /// Full admission + solve + release for one request (shared by solve(),
+  /// each admitted solve_batch item, and resolve()'s solving paths).
   [[nodiscard]] EngineSolveResult admit_and_solve(const Instance& inst,
                                                   const mcf::SolveOptions& opts,
                                                   const SolveControl& control,
                                                   std::uint64_t salt,
                                                   const core::CancelToken* engine_token,
-                                                  AdmitMode mode) const;
+                                                  AdmitMode mode,
+                                                  const WarmPlumbing* warm = nullptr) const;
 
   /// Create + register a fresh registry token when the caller asked for a
   /// handle; null otherwise. retire_handle() drops the registry entry.
@@ -272,6 +341,7 @@ class Engine {
   mutable std::mutex registry_mu_;
   mutable std::unordered_map<SolveHandle, std::shared_ptr<core::CancelToken>> registry_;
   mutable std::unique_ptr<Admission> admission_;  ///< null when unbounded
+  mutable std::unique_ptr<InstanceStore> store_;  ///< cross-solve instance cache
   mutable EngineMetrics metrics_;
   mutable par::FaultInjector chaos_;  ///< kCancelRequest at queue points
 };

@@ -1,0 +1,190 @@
+#include "mcf/instance_store.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pmcf {
+
+namespace {
+
+/// SplitMix64-style mixing step, chained over a running state. Used for both
+/// fingerprints; 64-bit mixing is plenty for cache classification (a
+/// collision can at worst cause a wasted warm attempt or a replayed result,
+/// and replays are re-certified in exact arithmetic before being served).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 27);
+}
+
+std::uint64_t mix_i64(std::uint64_t h, std::int64_t v) {
+  return mix(h, static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t hash_structure(const graph::Digraph& g, bool is_max_flow, graph::Vertex source,
+                             graph::Vertex sink, const std::vector<std::int64_t>& demands) {
+  std::uint64_t h = 0x5eed1257c4a11e5cULL;
+  h = mix(h, is_max_flow ? 1 : 2);
+  h = mix(h, static_cast<std::uint64_t>(g.num_vertices()));
+  h = mix(h, static_cast<std::uint64_t>(g.num_arcs()));
+  if (is_max_flow) {
+    h = mix(h, static_cast<std::uint64_t>(source));
+    h = mix(h, static_cast<std::uint64_t>(sink));
+  } else {
+    for (const std::int64_t b : demands) h = mix_i64(h, b);
+  }
+  for (const auto& a : g.arcs()) {
+    h = mix(h, static_cast<std::uint64_t>(a.from));
+    h = mix(h, static_cast<std::uint64_t>(a.to));
+  }
+  return h;
+}
+
+std::uint64_t hash_values(const graph::Digraph& g, std::uint64_t seed) {
+  std::uint64_t h = mix(seed, 0x76a10e5ULL);
+  for (const auto& a : g.arcs()) {
+    h = mix_i64(h, a.cap);
+    h = mix_i64(h, a.cost);
+  }
+  return h;
+}
+
+std::string InstanceRecord::apply_delta(const InstanceDelta& delta) {
+  const auto num_orig = static_cast<graph::EdgeId>(compact_of.size());
+  const graph::Vertex n = solver_graph.num_vertices();
+
+  // Validate everything before touching anything: a rejected delta leaves
+  // the record exactly as it was.
+  for (const CostChange& c : delta.cost_changes) {
+    if (c.arc < 0 || c.arc >= num_orig) return "cost change: arc id out of range";
+    if (compact_of[static_cast<std::size_t>(c.arc)] < 0)
+      return "cost change: arc was removed";
+  }
+  for (const CapacityChange& c : delta.cap_changes) {
+    if (c.arc < 0 || c.arc >= num_orig) return "capacity change: arc id out of range";
+    if (compact_of[static_cast<std::size_t>(c.arc)] < 0)
+      return "capacity change: arc was removed";
+    if (c.cap < 0) return "capacity change: negative capacity";
+  }
+  std::unordered_set<graph::EdgeId> removed;
+  for (const graph::EdgeId e : delta.remove_arcs) {
+    if (e < 0 || e >= num_orig) return "arc removal: arc id out of range";
+    if (compact_of[static_cast<std::size_t>(e)] < 0) return "arc removal: arc already removed";
+    removed.insert(e);
+  }
+  for (const ArcAddition& a : delta.add_arcs) {
+    if (a.from < 0 || a.from >= n || a.to < 0 || a.to >= n)
+      return "arc addition: endpoint out of range";
+    if (a.cap < 0) return "arc addition: negative capacity";
+  }
+
+  for (const CostChange& c : delta.cost_changes)
+    solver_graph.set_cost(compact_of[static_cast<std::size_t>(c.arc)], c.cost);
+  for (const CapacityChange& c : delta.cap_changes)
+    solver_graph.set_cap(compact_of[static_cast<std::size_t>(c.arc)], c.cap);
+
+  if (!removed.empty()) {
+    // Compact the survivors into a fresh graph; original ids keep their
+    // meaning through the mapping (removed slots go to -1 for good).
+    graph::Digraph next(n);
+    std::vector<graph::EdgeId> next_orig;
+    next_orig.reserve(orig_of.size() - removed.size());
+    for (graph::EdgeId e = 0; e < solver_graph.num_arcs(); ++e) {
+      const graph::EdgeId orig = orig_of[static_cast<std::size_t>(e)];
+      if (removed.count(orig) > 0) {
+        compact_of[static_cast<std::size_t>(orig)] = -1;
+        continue;
+      }
+      const auto& a = solver_graph.arc(e);
+      compact_of[static_cast<std::size_t>(orig)] = next.add_arc(a.from, a.to, a.cap, a.cost);
+      next_orig.push_back(orig);
+    }
+    solver_graph = std::move(next);
+    orig_of = std::move(next_orig);
+    compacted = true;
+  }
+
+  for (const ArcAddition& a : delta.add_arcs) {
+    const graph::EdgeId compact = solver_graph.add_arc(a.from, a.to, a.cap, a.cost);
+    compact_of.push_back(compact);
+    orig_of.push_back(static_cast<graph::EdgeId>(compact_of.size()) - 1);
+  }
+
+  refresh_fingerprints();
+  return "";
+}
+
+void InstanceRecord::refresh_fingerprints() {
+  structure_hash = hash_structure(solver_graph, is_max_flow, source, sink, demands);
+  value_hash = hash_values(solver_graph, structure_hash);
+}
+
+std::vector<std::int64_t> InstanceRecord::to_original_ids(
+    std::vector<std::int64_t> compact_flow) const {
+  if (!compacted) return compact_flow;
+  std::vector<std::int64_t> full(compact_of.size(), 0);
+  for (std::size_t k = 0; k < compact_flow.size() && k < orig_of.size(); ++k)
+    full[static_cast<std::size_t>(orig_of[k])] = compact_flow[k];
+  return full;
+}
+
+InstanceHandle InstanceStore::add(std::shared_ptr<InstanceRecord> rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const InstanceHandle h = next_handle_++;
+  rec->handle = h;
+  records_.emplace(h, std::move(rec));
+  return h;
+}
+
+std::shared_ptr<InstanceRecord> InstanceStore::find(InstanceHandle h) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(h);
+  return it == records_.end() ? nullptr : it->second;
+}
+
+bool InstanceStore::erase(InstanceHandle h) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.erase(h) > 0;
+}
+
+std::size_t InstanceStore::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::unique_ptr<InstanceRecord::Artifacts> InstanceStore::take_artifacts(InstanceRecord& rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  rec.lru_tick = ++lru_clock_;
+  return std::move(rec.artifacts);
+}
+
+std::size_t InstanceStore::store_artifacts(InstanceRecord& rec,
+                                           std::unique_ptr<InstanceRecord::Artifacts> arts) {
+  if (arts == nullptr) return 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (artifact_capacity_ == 0) return 0;  // retention disabled: drop on the floor
+  rec.lru_tick = ++lru_clock_;
+  rec.artifacts = std::move(arts);
+  // Evict the least-recently-used holders beyond capacity. The map is small
+  // (registered instances, not requests), so a linear scan per store is
+  // cheaper than maintaining an intrusive LRU list under churn.
+  std::size_t evicted = 0;
+  for (std::size_t holders = 0;;) {
+    holders = 0;
+    InstanceRecord* oldest = nullptr;
+    for (auto& [h, r] : records_) {
+      if (r->artifacts == nullptr) continue;
+      ++holders;
+      if (r.get() != &rec && (oldest == nullptr || r->lru_tick < oldest->lru_tick))
+        oldest = r.get();
+    }
+    if (holders <= artifact_capacity_ || oldest == nullptr) break;
+    oldest->artifacts.reset();
+    ++evicted;
+  }
+  return evicted;
+}
+
+}  // namespace pmcf

@@ -24,6 +24,12 @@ const char* to_string(EngineCounter c) {
     case EngineCounter::kCancelHits: return "CancelHits";
     case EngineCounter::kCertified: return "Certified";
     case EngineCounter::kCertificationFailures: return "CertificationFailures";
+    case EngineCounter::kInstanceCacheHits: return "InstanceCacheHits";
+    case EngineCounter::kInstanceCacheMisses: return "InstanceCacheMisses";
+    case EngineCounter::kInstanceCacheInvalidations: return "InstanceCacheInvalidations";
+    case EngineCounter::kInstanceCacheEvictions: return "InstanceCacheEvictions";
+    case EngineCounter::kResolveWarm: return "ResolveWarm";
+    case EngineCounter::kResolveCold: return "ResolveCold";
     case EngineCounter::kNumEngineCounters: break;
   }
   return "Unknown";

@@ -64,6 +64,14 @@ enum class EngineCounter : std::uint8_t {
   kCancelHits,             ///< ... that found a live registry entry
   kCertified,              ///< kOk results that passed independent certification
   kCertificationFailures,  ///< certification rejections across tier attempts
+  // --- cross-solve instance cache (DESIGN.md §15) -------------------------
+  kInstanceCacheHits,           ///< resolves that found reusable artifacts
+  kInstanceCacheMisses,         ///< resolves with nothing retained to reuse
+  kInstanceCacheInvalidations,  ///< artifacts dropped (structural epoch bump
+                                ///< or a replay that failed re-certification)
+  kInstanceCacheEvictions,      ///< artifacts displaced by the LRU capacity
+  kResolveWarm,                 ///< resolves served warm (replay or warm state)
+  kResolveCold,                 ///< resolves solved cold (incl. warm fallback)
   kNumEngineCounters,
 };
 

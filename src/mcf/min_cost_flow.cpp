@@ -260,6 +260,52 @@ AugmentedLp augment(const Digraph& core, const std::vector<std::int64_t>& b) {
   return out;
 }
 
+/// Validate a cross-solve warm start against the freshly built augmented LP
+/// and, when it passes, overwrite the cold start (x0, y0, mu0) in place.
+/// Acceptance needs (a) matching augmented sizes — a structural change (or a
+/// capacity change that moved the auxiliary-arc set) fails here, (b) strict
+/// interiority after clamping into (0, u), and (c) a near-zero conservation
+/// residual A^T x = b away from the dropped row — a capacity change that
+/// kept the aux structure but moved the walls far enough to force a real
+/// clamp fails here. Rejection is silent: the caller keeps the cold start.
+bool accept_warm_start(const AugmentedLp& aug, const WarmStart& warm, double mu_end, Vec& x0,
+                       Vec& y0, double& mu0) {
+  const std::size_t m = aug.lp.cap.size();
+  const std::size_t n = static_cast<std::size_t>(aug.graph.num_vertices());
+  if (warm.x.size() != m || warm.y.size() != n) return false;
+  constexpr double kWallMargin = 1e-9;
+  Vec x(m);
+  double max_cap = 1.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    const double u = aug.lp.cap[e];
+    if (!(u > 0.0) || !std::isfinite(warm.x[e])) return false;
+    x[e] = std::clamp(warm.x[e], kWallMargin * u, (1.0 - kWallMargin) * u);
+    max_cap = std::max(max_cap, u);
+  }
+  Vec net(n, 0.0);
+  for (graph::EdgeId e = 0; e < aug.graph.num_arcs(); ++e) {
+    const auto& a = aug.graph.arc(e);
+    net[static_cast<std::size_t>(a.to)] += x[static_cast<std::size_t>(e)];
+    net[static_cast<std::size_t>(a.from)] -= x[static_cast<std::size_t>(e)];
+  }
+  const double tol = 1e-6 * max_cap * std::sqrt(static_cast<double>(std::max<std::size_t>(m, 1)));
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == static_cast<std::size_t>(aug.lp.dropped)) continue;
+    if (std::abs(net[v] - aug.lp.b[v]) > tol) return false;
+  }
+  for (const double yv : warm.y)
+    if (!std::isfinite(yv)) return false;
+  // Restart a few octaves above the termination threshold: enough runway for
+  // the damped Newton recentering to absorb the perturbation, a tiny
+  // fraction of the cold mu0 (which scales with the instance's cost mass).
+  const double boost = std::clamp(warm.mu_boost, 1.0, 1e6);
+  mu0 = std::min(mu0, std::max(std::max(warm.mu, mu_end) * boost, mu_end));
+  x0 = std::move(x);
+  y0 = warm.y;
+  par::charge(static_cast<std::uint64_t>(m) + n, par::ceil_log2(std::max<std::size_t>(m, 2)));
+  return true;
+}
+
 /// Run one IPM tier on the augmented LP and round. Returns kOk with an
 /// exactly optimal integral flow, kInfeasible when the rounding imbalance is
 /// unroutable, or a solver-failure status for the cascade to act on.
@@ -272,16 +318,30 @@ MinCostFlowResult solve_core(core::SolverContext& ctx, const Digraph& core,
   MinCostFlowResult res;
   try {
     AugmentedLp aug = augment(core, b);
-    const double mu0 = ipm::initial_mu(aug.lp);
+    double mu0 = ipm::initial_mu(aug.lp);
+    Vec x0 = std::move(aug.x0);
     Vec y0(static_cast<std::size_t>(aug.graph.num_vertices()), 0.0);
 
-    Vec x_final;
+    // Cross-solve warm start (DESIGN.md §15): restart the path following from
+    // the previous solve's final central-path point when it still fits this
+    // augmented LP. Validation failure silently keeps the cold start.
+    Vec warm_tau;
+    if (opts.warm != nullptr && !opts.warm->empty() &&
+        accept_warm_start(aug, *opts.warm, opts.ipm.mu_end, x0, y0, mu0)) {
+      res.stats.warm_started = true;
+      res.stats.warm_source = "central-path";
+      res.stats.warm_mu0 = mu0;
+      warm_tau = opts.warm->tau;  // may be empty; sizes vetted by the IPM
+    }
+
+    Vec x_final, y_final;
+    double mu_final = 0.0;
     if (tier == Method::kRobustIpm) {
       ipm::RobustIpmOptions ropts;
       ropts.mu_end = opts.ipm.mu_end;
       ropts.max_iters = opts.ipm.max_iters;
       ropts.solve = opts.ipm.solve;
-      const auto r = ipm::robust_ipm(ctx, aug.lp, aug.x0, y0, mu0, ropts);
+      const auto r = ipm::robust_ipm(ctx, aug.lp, std::move(x0), std::move(y0), mu0, ropts);
       res.stats.ipm_iterations = r.iterations;
       res.stats.final_mu = r.mu;
       res.stats.final_centrality = r.final_centrality;
@@ -293,8 +353,16 @@ MinCostFlowResult solve_core(core::SolverContext& ctx, const Digraph& core,
         res.failure_detail = r.detail;
       }
       x_final = r.x;
+      y_final = r.y;
+      mu_final = r.mu;
     } else {
-      ipm::IpmResult r = ipm::reference_ipm(ctx, aug.lp, aug.x0, y0, mu0, opts.ipm);
+      ipm::IpmOptions ipo = opts.ipm;
+      // Seed τ from the warm start when one was accepted; even without one,
+      // point tau_io at our local slot when the caller wants the converged
+      // weights captured (reference_ipm ignores a wrong-sized seed).
+      if (ipo.tau_io == nullptr && (!warm_tau.empty() || opts.warm_out != nullptr))
+        ipo.tau_io = &warm_tau;
+      ipm::IpmResult r = ipm::reference_ipm(ctx, aug.lp, std::move(x0), std::move(y0), mu0, ipo);
       res.stats.ipm_iterations = r.iterations;
       res.stats.final_mu = r.mu;
       res.stats.final_centrality = r.final_centrality;
@@ -304,8 +372,21 @@ MinCostFlowResult solve_core(core::SolverContext& ctx, const Digraph& core,
         res.failure_detail = r.detail;
       }
       x_final = std::move(r.x);
+      y_final = std::move(r.y);
+      mu_final = r.mu;
+      if (ipo.tau_io == &warm_tau && res.status != SolveStatus::kOk) warm_tau.clear();
     }
     if (res.status != SolveStatus::kOk && res.status != SolveStatus::kIterationLimit) return res;
+
+    // Capture the central-path point for the caller's cross-solve store
+    // before the auxiliary arcs are dropped. Only a converged run is worth
+    // retaining — a truncated iterate would seed the next solve poorly.
+    if (opts.warm_out != nullptr && res.status == SolveStatus::kOk) {
+      opts.warm_out->x = x_final;
+      opts.warm_out->y = y_final;
+      opts.warm_out->tau = std::move(warm_tau);  // filled by tau_io on success
+      opts.warm_out->mu = mu_final;
+    }
 
     // Drop auxiliary arcs and round on the core problem.
     Vec x_core(x_final.begin(), x_final.begin() + static_cast<std::ptrdiff_t>(aug.num_core));

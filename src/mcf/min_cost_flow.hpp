@@ -32,6 +32,27 @@ enum class Method {
 /// Stable name ("ReferenceIpm", ...), for stats reporting.
 const char* to_string(Method m);
 
+/// Cross-solve central-path warm start (DESIGN.md §15). Captured over the
+/// *augmented* LP (core arcs [+ t->s circulation arc] + auxiliary arcs) at
+/// the end of a successful IPM run, and offered back to a later solve of a
+/// value-perturbed instance with the same structure. The solver validates it
+/// before use — matching sizes, strict interiority after clamping, and a
+/// tiny conservation residual — and silently falls back to the cold start
+/// otherwise, so a stale or mismatched point can degrade speed but never
+/// correctness (round_and_repair + certification close the loop regardless).
+struct WarmStart {
+  linalg::Vec x;    ///< final fractional primal iterate (strictly interior)
+  linalg::Vec y;    ///< final dual iterate
+  linalg::Vec tau;  ///< converged regularized Lewis weights
+  double mu = 0.0;  ///< the mu the iterate was centered at
+  /// mu restart factor: the warm solve starts at
+  /// clamp(max(mu, mu_end) * mu_boost, mu_end, mu0_cold), giving the IPM a
+  /// short recentering runway above its termination threshold.
+  double mu_boost = 4.0;
+
+  [[nodiscard]] bool empty() const { return x.empty(); }
+};
+
 struct SolveOptions {
   Method method = Method::kReferenceIpm;
   ipm::IpmOptions ipm;
@@ -59,6 +80,16 @@ struct SolveOptions {
   /// RecoveryEvent::kCertificationFailure and re-enters the degradation
   /// cascade as a solver failure — a wrong answer never escapes as kOk.
   bool certify = true;
+  /// Cross-solve warm start offered to the IPM tiers (borrowed; must outlive
+  /// the call). Ignored by the combinatorial tier and whenever validation
+  /// rejects it. nullptr — the default everywhere outside Engine::resolve —
+  /// keeps every existing call path bit-identical.
+  const WarmStart* warm = nullptr;
+  /// When non-null, a successful IPM tier writes its final central-path
+  /// point (augmented x/y, converged Lewis weights, final mu) here for the
+  /// caller to retain across solves. Left untouched by the combinatorial
+  /// tier and on failure.
+  WarmStart* warm_out = nullptr;
 };
 
 struct SolveStats {
@@ -105,6 +136,18 @@ struct SolveStats {
   std::uint64_t multi_rhs_solves = 0;     ///< blocked multi-RHS CG calls
   std::uint64_t multi_rhs_columns = 0;    ///< RHS columns across those calls
   std::uint64_t warm_start_hits = 0;      ///< CG solves seeded from a cached iterate
+  // --- cross-solve warm-start provenance (DESIGN.md §15) ------------------
+  /// True when this result was produced with cross-solve warm state (an
+  /// accepted central-path restart, an adopted acceleration cache, or a
+  /// cached-result replay). Always false on a plain cold solve.
+  bool warm_started = false;
+  /// Where the warm state came from: "central-path" (IPM restarted from the
+  /// previous solve's final iterate), "accel-cache" (only the retained
+  /// preconditioner/Laplacian state was reused), "cached-result" (the
+  /// engine replayed and re-certified a stored optimum), "" when cold.
+  std::string warm_source;
+  /// The mu the IPM actually (re)started from; 0 when no IPM tier ran warm.
+  double warm_mu0 = 0.0;
 
   /// Fraction of preconditioner requests served from cache.
   [[nodiscard]] double precond_hit_rate() const {
