@@ -119,6 +119,7 @@ struct Engine::Admission {
   struct AcquireResult {
     Outcome outcome = Outcome::kAcquired;
     bool queued = false;  ///< went through the parked-waiter path
+    std::size_t depth = 0;  ///< queue depth observed at the decision point
   };
 
   Admission(const EngineConfig& cfg, std::atomic<std::size_t>* gauge)
@@ -136,7 +137,7 @@ struct Engine::Admission {
 
   AcquireResult acquire(std::uint32_t tenant_id, std::size_t priority,
                         Clock::time_point wall, const core::CancelToken* t1,
-                        const core::CancelToken* t2, bool reserved_item,
+                        const core::CancelToken* t2, bool reserved_item, bool warm,
                         par::FaultInjector* chaos, EngineMetrics& metrics) {
     std::unique_lock<std::mutex> lock(mu_);
     if (reserved_item && pending_ > 0) --pending_;  // reservation → live waiter
@@ -145,40 +146,46 @@ struct Engine::Admission {
     const std::size_t limit = t != nullptr ? t->limit : default_limit;
     const bool quota_ok = limit == 0 || (t != nullptr ? t->in_flight : 0) < limit;
     const bool slot_free = free_slots_locked() > 0;
+    const std::size_t depth_now = queue_len_ + pending_;
     if (slot_free && quota_ok) {
       Tenant& tt = ensure_tenant(tenant_id);
       ++tt.in_flight;
       ++in_use_;
       publish_gauge();
-      return {Outcome::kAcquired, false};
+      return {Outcome::kAcquired, false, depth_now};
     }
 
     if (!reserved_item) {
       // No free (eligible) slot and this request holds no reservation:
       // shed or queue. Every shed decision here happens before the request
       // touches instance scratch or a solver context — allocation-free.
-      if (max_queue == 0) return {Outcome::kShedNoCapacity, false};
-      if (wall != Clock::time_point::max() && ewma_us_ > 0.0) {
-        // Predict this request's queue wait from the service-time EWMA and
-        // its position; an unmeetable deadline sheds now instead of burning
-        // a slot (or queue residency) on a doomed request.
+      if (max_queue == 0) return {Outcome::kShedNoCapacity, false, depth_now};
+      // Predict this request's queue wait from the service-time EWMA and
+      // its position; an unmeetable deadline sheds now instead of burning
+      // a slot (or queue residency) on a doomed request. Warm resolves are
+      // judged by their own (much cheaper) track so a cold-calibrated
+      // estimate cannot shed them; an empty track borrows the other as a
+      // conservative stand-in.
+      double est_us = ewma_us_[warm ? 1 : 0];
+      if (est_us == 0.0) est_us = ewma_us_[warm ? 0 : 1];
+      if (wall != Clock::time_point::max() && est_us > 0.0) {
         const double ahead = static_cast<double>(queue_len_ + pending_ + 1);
         const double eff_slots = static_cast<double>(
             std::max<std::size_t>(1, slots > reserved_ ? slots - reserved_ : 1));
         const auto expected = std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double, std::micro>(ewma_us_ * ahead / eff_slots));
-        if (Clock::now() + expected > wall) return {Outcome::kShedDeadline, false};
+            std::chrono::duration<double, std::micro>(est_us * ahead / eff_slots));
+        if (Clock::now() + expected > wall) return {Outcome::kShedDeadline, false, depth_now};
       }
       if (queue_len_ + pending_ >= max_queue) {
         // Full queue: a more important arrival bumps the least important
         // (and newest) evictable waiter; otherwise the newcomer sheds.
-        if (!evict_locked(priority)) return {Outcome::kShedQueueFull, false};
+        if (!evict_locked(priority)) return {Outcome::kShedQueueFull, false, depth_now};
       }
       if (slot_free) metrics.count(EngineCounter::kQuotaDeferred);
     }
 
     if (chaos != nullptr && chaos->should_fire(par::FaultKind::kCancelRequest))
-      return {Outcome::kCanceled, false};  // enqueue-point chaos draw
+      return {Outcome::kCanceled, false, depth_now};  // enqueue-point chaos draw
 
     Waiter w;
     w.tenant = tenant_id;
@@ -189,15 +196,16 @@ struct Engine::Admission {
     const bool has_deadline = wall != Clock::time_point::max();
     while (true) {
       if (w.state == Waiter::State::kAdmitted) break;
-      if (w.state == Waiter::State::kEvicted) return {Outcome::kShedEvicted, true};
+      if (w.state == Waiter::State::kEvicted)
+        return {Outcome::kShedEvicted, true, queue_len_ + pending_};
       if ((t1 != nullptr && t1->canceled()) || (t2 != nullptr && t2->canceled())) {
         unlink_locked(&w);
-        return {Outcome::kCanceled, true};
+        return {Outcome::kCanceled, true, queue_len_ + pending_};
       }
       const auto now = Clock::now();
       if (has_deadline && now >= wall) {
         unlink_locked(&w);
-        return {Outcome::kTimeout, true};
+        return {Outcome::kTimeout, true, queue_len_ + pending_};
       }
       const auto tick = now + kQueuePollTick;
       w.cv.wait_until(lock, has_deadline ? std::min(tick, wall) : tick);
@@ -209,20 +217,25 @@ struct Engine::Admission {
       --in_use_;
       publish_gauge();
       dispatch_locked();
-      return {Outcome::kCanceled, true};
+      return {Outcome::kCanceled, true, queue_len_ + pending_};
     }
-    return {Outcome::kAcquired, true};
+    return {Outcome::kAcquired, true, queue_len_ + pending_};
   }
 
-  /// Return a slot; fold the observed service time into the wait predictor
-  /// and hand the slot to the next DRR-eligible waiter under the same lock.
-  void release(std::uint32_t tenant_id, double solve_us) {
+  /// Return a slot; fold the observed service time into the matching wait
+  /// predictor track (warm resolves and cold solves have service times an
+  /// order of magnitude apart — mixing them made the predictor shed cheap
+  /// warm resolves off expensive cold calibration) and hand the slot to the
+  /// next DRR-eligible waiter under the same lock.
+  void release(std::uint32_t tenant_id, double solve_us, bool warm) {
     const std::lock_guard<std::mutex> lock(mu_);
     --tenants_.at(tenant_id).in_flight;
     --in_use_;
     publish_gauge();
-    if (solve_us > 0.0)
-      ewma_us_ = ewma_us_ == 0.0 ? solve_us : 0.2 * solve_us + 0.8 * ewma_us_;
+    if (solve_us > 0.0) {
+      double& ewma = ewma_us_[warm ? 1 : 0];
+      ewma = ewma == 0.0 ? solve_us : 0.2 * solve_us + 0.8 * ewma;
+    }
     dispatch_locked();
   }
 
@@ -406,7 +419,9 @@ struct Engine::Admission {
   std::size_t reserved_ = 0;   ///< slots drained via reserve_capacity
   std::size_t queue_len_ = 0;  ///< parked waiters
   std::size_t pending_ = 0;    ///< latent batch reservations
-  double ewma_us_ = 0.0;       ///< service-time predictor for deadline shed
+  /// Service-time predictors for the deadline shed: [0] cold solves,
+  /// [1] warm resolves (central-path restart offered).
+  double ewma_us_[2] = {0.0, 0.0};
   std::atomic<std::size_t>* gauge_;
   std::unordered_map<std::uint32_t, Tenant> tenants_;
   std::vector<std::uint32_t> rings_[kNumPriorities];
@@ -422,6 +437,19 @@ Engine::Engine(EngineConfig config)
   store_ = std::make_unique<InstanceStore>(config_.instance_cache_capacity);
   if (config_.chaos_cancel_rate > 0.0)
     chaos_.arm(par::FaultKind::kCancelRequest, config_.chaos_cancel_rate, config_.chaos_seed);
+  if (!config_.persist_dir.empty()) {
+    PersistConfig pcfg;
+    pcfg.dir = config_.persist_dir;
+    pcfg.snapshot_every = config_.persist_snapshot_every;
+    pcfg.fsync_data = config_.persist_fsync;
+    persister_ = std::make_unique<StorePersister>(std::move(pcfg), &metrics_);
+    // Recover whatever the last process left behind, then immediately start
+    // a clean generation: the recovered state (minus dropped records) is
+    // re-published as snap-<gen+1>, so the next crash recovers from one
+    // snapshot instead of re-walking the previous life's journals.
+    persister_->recover(*store_);
+    persister_->snapshot(*store_);
+  }
 }
 
 Engine::~Engine() = default;
@@ -551,29 +579,33 @@ EngineSolveResult Engine::admit_and_solve(const Instance& inst, const mcf::Solve
                                           AdmitMode mode, const WarmPlumbing* warm) const {
   const auto arrival = Clock::now();
   const std::size_t priority = clamp_priority(control.priority);
+  // A resolve arriving with a central-path restart is priced on the warm
+  // service-time track; everything else (solve(), cold resolves, the
+  // warm-failure cold retry) on the cold track.
+  const bool warm_request = warm != nullptr && warm->hint != nullptr;
 
   if (admission_ != nullptr && mode != AdmitMode::kPreAcquired) {
     const core::Deadline merged = merge_deadlines(control.deadline, inst.deadline);
     par::FaultInjector* chaos = config_.chaos_cancel_rate > 0.0 ? &chaos_ : nullptr;
     const auto acq = admission_->acquire(control.tenant, priority, merged.wall, control.cancel,
                                          engine_token, mode == AdmitMode::kReservedAcquire,
-                                         chaos, metrics_);
+                                         warm_request, chaos, metrics_);
     switch (acq.outcome) {
       case Admission::Outcome::kAcquired:
         metrics_.count(acq.queued ? EngineCounter::kAdmittedQueued
                                   : EngineCounter::kAdmittedImmediate);
         break;
       case Admission::Outcome::kShedNoCapacity:
-        metrics_.on_shed(priority, EngineCounter::kShedNoCapacity);
+        metrics_.on_shed(priority, EngineCounter::kShedNoCapacity, control.tenant, acq.depth);
         return refusal(SolveStatus::kLoadShed, "no capacity");
       case Admission::Outcome::kShedQueueFull:
-        metrics_.on_shed(priority, EngineCounter::kShedQueueFull);
+        metrics_.on_shed(priority, EngineCounter::kShedQueueFull, control.tenant, acq.depth);
         return refusal(SolveStatus::kLoadShed, "queue full");
       case Admission::Outcome::kShedDeadline:
-        metrics_.on_shed(priority, EngineCounter::kShedDeadline);
+        metrics_.on_shed(priority, EngineCounter::kShedDeadline, control.tenant, acq.depth);
         return refusal(SolveStatus::kLoadShed, "deadline<wait");
       case Admission::Outcome::kShedEvicted:
-        metrics_.on_shed(priority, EngineCounter::kShedEvicted);
+        metrics_.on_shed(priority, EngineCounter::kShedEvicted, control.tenant, acq.depth);
         return refusal(SolveStatus::kLoadShed, "evicted");
       case Admission::Outcome::kTimeout:
         metrics_.count(EngineCounter::kQueueTimeouts);
@@ -609,7 +641,8 @@ EngineSolveResult Engine::admit_and_solve(const Instance& inst, const mcf::Solve
   if (out.result.stats.certified) metrics_.count(EngineCounter::kCertified);
   if (out.result.stats.certification_failures > 0)
     metrics_.count(EngineCounter::kCertificationFailures, out.result.stats.certification_failures);
-  if (admission_ != nullptr) admission_->release(control.tenant, to_us(done - acquired_at));
+  if (admission_ != nullptr)
+    admission_->release(control.tenant, to_us(done - acquired_at), warm_request);
   return out;
 }
 
@@ -651,7 +684,7 @@ std::vector<EngineSolveResult> Engine::solve_batch(const std::vector<Instance>& 
       const EngineCounter kind = config_.max_queue == 0 ? EngineCounter::kShedNoCapacity
                                                         : EngineCounter::kShedQueueFull;
       const char* detail = config_.max_queue == 0 ? "no capacity" : "queue full";
-      metrics_.on_shed(priority, kind, batch.size() - admitted);
+      metrics_.on_shed(priority, kind, control.tenant, queue_depth(), batch.size() - admitted);
       for (std::size_t i = admitted; i < batch.size(); ++i)
         results[i] = refusal(SolveStatus::kLoadShed, detail);
     }
@@ -695,14 +728,48 @@ InstanceHandle Engine::register_instance(const Instance& inst, std::string prese
   std::iota(rec->compact_of.begin(), rec->compact_of.end(), graph::EdgeId{0});
   rec->orig_of = rec->compact_of;
   rec->refresh_fingerprints();
-  return store_->add(std::move(rec));
+  if (persister_ == nullptr) return store_->add(std::move(rec));
+  // Journal the registration under rec->mu so the serialized state can never
+  // interleave with a racing resolve's delta (lock order: rec->mu → store).
+  const std::shared_ptr<InstanceRecord> kept = rec;
+  InstanceHandle h = 0;
+  {
+    const std::lock_guard<std::mutex> rec_lock(kept->mu);
+    h = store_->add(std::move(rec));
+    persister_->append_register(*kept);
+  }
+  persister_->maybe_snapshot(*store_);
+  return h;
 }
 
 bool Engine::deregister_instance(InstanceHandle handle) const {
-  return store_->erase(handle);
+  const bool erased = store_->erase(handle);
+  if (erased && persister_ != nullptr) {
+    persister_->append_deregister(handle);
+    persister_->maybe_snapshot(*store_);
+  }
+  return erased;
 }
 
 std::size_t Engine::num_instances() const { return store_->size(); }
+
+bool Engine::persist_snapshot() const {
+  return persister_ != nullptr && persister_->snapshot(*store_);
+}
+
+RecoveryReport Engine::persist_recovery() const {
+  return persister_ != nullptr ? persister_->last_recovery() : RecoveryReport{};
+}
+
+par::FaultInjector* Engine::persist_faults() const {
+  return persister_ != nullptr ? &persister_->faults() : nullptr;
+}
+
+std::vector<InstanceHandle> Engine::instance_handles() const { return store_->handles(); }
+
+std::shared_ptr<const InstanceRecord> Engine::inspect_instance(InstanceHandle handle) const {
+  return store_->find(handle);
+}
 
 EngineSolveResult Engine::resolve(InstanceHandle handle, const InstanceDelta& delta,
                                   const mcf::SolveOptions& opts,
@@ -716,9 +783,11 @@ EngineSolveResult Engine::resolve(InstanceHandle handle, const InstanceDelta& de
   }
   // Resolves on one handle serialize here; the delta, the classification,
   // and the artifact round-trip below are one atomic step per instance.
-  const std::lock_guard<std::mutex> rec_lock(rec->mu);
+  std::unique_lock<std::mutex> rec_lock(rec->mu);
 
   if (!delta.empty()) {
+    const std::uint64_t pre_epoch = rec->epoch;
+    const std::uint64_t pre_value_hash = rec->value_hash;
     const std::string defect = rec->apply_delta(delta);
     if (!defect.empty()) {
       metrics_.on_outcome(priority, SolveStatus::kInvalidInput);
@@ -727,6 +796,11 @@ EngineSolveResult Engine::resolve(InstanceHandle handle, const InstanceDelta& de
       return out;
     }
     if (delta.structural()) ++rec->epoch;
+    // Journal the applied delta with pre/post guards; a failed append (torn
+    // write, fsync failure) leaves memory authoritative — the next snapshot
+    // repairs the disk image.
+    if (persister_ != nullptr)
+      persister_->append_delta(*rec, delta, pre_epoch, pre_value_hash);
   }
 
   std::unique_ptr<InstanceRecord::Artifacts> arts = store_->take_artifacts(*rec);
@@ -756,6 +830,10 @@ EngineSolveResult Engine::resolve(InstanceHandle handle, const InstanceDelta& de
       out.result.stats.warm_mu0 = 0.0;
       out.result.arc_flow = rec->to_original_ids(std::move(out.result.arc_flow));
       store_->store_artifacts(*rec, std::move(arts));
+      if (persister_ != nullptr) {
+        rec_lock.unlock();  // snapshot takes rec->mu itself
+        persister_->maybe_snapshot(*store_);
+      }
       return out;
     }
     // A cached result that fails its certificate is a bug's footprint —
@@ -813,12 +891,13 @@ EngineSolveResult Engine::resolve(InstanceHandle handle, const InstanceDelta& de
     // The warm attempt (hint and/or adopted cache) failed for solver-side
     // reasons the degradation cascade could not absorb. One cold retry with
     // every piece of cross-solve state dropped — a poisoned cache must never
-    // turn a solvable instance into a failure.
+    // turn a solvable instance into a failure. Counted as a warm *fallback*,
+    // not a planned cold solve, so warm failure rates stay observable.
     fresh->accel.reset();
     plumbing.hint = nullptr;
     captured = mcf::WarmStart{};
     metrics_.on_submitted(priority);
-    metrics_.count(EngineCounter::kResolveCold);
+    metrics_.count(EngineCounter::kResolveWarmFallback);
     const std::uint64_t cold_salt =
         (1ULL << 33) + solve_calls_.fetch_add(1, std::memory_order_relaxed);
     out = admit_and_solve(view, eff, control, cold_salt, engine_token.get(),
@@ -842,6 +921,10 @@ EngineSolveResult Engine::resolve(InstanceHandle handle, const InstanceDelta& de
       if (evicted > 0) metrics_.count(EngineCounter::kInstanceCacheEvictions, evicted);
     }
     out.result.arc_flow = rec->to_original_ids(std::move(out.result.arc_flow));
+  }
+  if (persister_ != nullptr) {
+    rec_lock.unlock();  // snapshot takes rec->mu itself
+    persister_->maybe_snapshot(*store_);
   }
   return out;
 }

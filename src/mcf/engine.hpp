@@ -40,6 +40,7 @@
 #include "mcf/instance_store.hpp"
 #include "mcf/metrics.hpp"
 #include "mcf/min_cost_flow.hpp"
+#include "mcf/store_persist.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/work_depth.hpp"
 
@@ -143,6 +144,21 @@ struct EngineConfig {
   /// restart that proves too aggressive is caught by certification and
   /// retried cold, never served wrong.
   double warm_mu_boost = 4.0;
+  /// Crash-safe instance-store durability (DESIGN.md §16). When non-empty,
+  /// the engine recovers the instance store from this directory at
+  /// construction (newest valid snapshot + journal replay, recovered optima
+  /// re-certified in exact arithmetic) and persists register / deregister /
+  /// delta events to an fsync'd append-only journal with periodic full
+  /// snapshots. Empty (the default) keeps the store process-local and every
+  /// code path bit-identical to a persistence-free engine.
+  std::string persist_dir;
+  /// Journal appends between automatic snapshots (0 = only explicit
+  /// persist_snapshot() calls snapshot).
+  std::size_t persist_snapshot_every = 256;
+  /// fsync each journal append and snapshot publish. Turning this off trades
+  /// the power-loss guarantee for speed; the format stays crash-consistent
+  /// (recovery still truncates torn tails and drops rotten records).
+  bool persist_fsync = true;
 };
 
 /// Opaque ticket for Engine::cancel. Published through SolveControl::handle
@@ -281,6 +297,32 @@ class Engine {
                                           const mcf::SolveOptions& opts = {},
                                           const SolveControl& control = {}) const;
 
+  // --- instance-store durability (DESIGN.md §16) --------------------------
+
+  /// Force a snapshot generation now (rotate the journal, publish
+  /// snap-<gen>). False when persistence is off or the publish failed a
+  /// durability barrier (the journal still rotated; recovery bridges gaps).
+  bool persist_snapshot() const;
+
+  /// What construction-time recovery found (all-defaults when persistence
+  /// is off or nothing was on disk).
+  [[nodiscard]] RecoveryReport persist_recovery() const;
+
+  /// The persister's private fault injector (kPersistTornWrite /
+  /// kPersistBitFlip / kPersistFsyncFail seams); nullptr when persistence
+  /// is off. Seeded arming makes every corruption test deterministic.
+  [[nodiscard]] par::FaultInjector* persist_faults() const;
+
+  /// Handles of every registered instance, ascending (recovery inspection
+  /// and the crash harness's consistency sweep).
+  [[nodiscard]] std::vector<InstanceHandle> instance_handles() const;
+
+  /// Shared read access to a registered record (nullptr when unknown). The
+  /// record's live state may still be mutated by concurrent resolves — the
+  /// crash harness reads it from a quiescent, single-threaded checker.
+  [[nodiscard]] std::shared_ptr<const InstanceRecord> inspect_instance(
+      InstanceHandle handle) const;
+
  private:
   struct Admission;  // bounded queue + tenant DRR + priorities (engine.cpp)
 
@@ -342,6 +384,7 @@ class Engine {
   mutable std::unordered_map<SolveHandle, std::shared_ptr<core::CancelToken>> registry_;
   mutable std::unique_ptr<Admission> admission_;  ///< null when unbounded
   mutable std::unique_ptr<InstanceStore> store_;  ///< cross-solve instance cache
+  mutable std::unique_ptr<StorePersister> persister_;  ///< null: persistence off
   mutable EngineMetrics metrics_;
   mutable par::FaultInjector chaos_;  ///< kCancelRequest at queue points
 };

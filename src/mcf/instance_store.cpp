@@ -138,6 +138,15 @@ InstanceHandle InstanceStore::add(std::shared_ptr<InstanceRecord> rec) {
   return h;
 }
 
+bool InstanceStore::adopt(std::shared_ptr<InstanceRecord> rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const InstanceHandle h = rec->handle;
+  if (h == 0 || records_.count(h) > 0) return false;
+  if (h >= next_handle_) next_handle_ = h + 1;
+  records_.emplace(h, std::move(rec));
+  return true;
+}
+
 std::shared_ptr<InstanceRecord> InstanceStore::find(InstanceHandle h) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(h);
@@ -152,6 +161,32 @@ bool InstanceStore::erase(InstanceHandle h) {
 std::size_t InstanceStore::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return records_.size();
+}
+
+std::vector<InstanceHandle> InstanceStore::handles() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<InstanceHandle> hs;
+  hs.reserve(records_.size());
+  for (const auto& [h, r] : records_) hs.push_back(h);
+  std::sort(hs.begin(), hs.end());
+  return hs;
+}
+
+std::vector<std::shared_ptr<InstanceRecord>> InstanceStore::all() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<InstanceRecord>> recs;
+  recs.reserve(records_.size());
+  for (const auto& [h, r] : records_) recs.push_back(r);
+  std::sort(recs.begin(), recs.end(),
+            [](const auto& a, const auto& b) { return a->handle < b->handle; });
+  return recs;
+}
+
+void InstanceStore::peek_artifacts(
+    const InstanceRecord& rec,
+    const std::function<void(const InstanceRecord::Artifacts*)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fn(rec.artifacts.get());
 }
 
 std::unique_ptr<InstanceRecord::Artifacts> InstanceStore::take_artifacts(InstanceRecord& rec) {

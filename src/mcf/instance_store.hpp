@@ -29,6 +29,7 @@
 // original ids, with removed arcs reporting zero flow.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -173,11 +174,27 @@ class InstanceStore {
 
   /// Register a record; assigns and returns its handle (never 0).
   InstanceHandle add(std::shared_ptr<InstanceRecord> rec);
+  /// Recovery path: insert a record under the handle it already carries
+  /// (from a snapshot / journal) and advance the handle counter past it.
+  /// False (and no insert) when the handle is 0 or already present.
+  bool adopt(std::shared_ptr<InstanceRecord> rec);
   [[nodiscard]] std::shared_ptr<InstanceRecord> find(InstanceHandle h) const;
   /// Drop the registry entry (its artifacts with it, once in-flight resolves
   /// release their reference). False when the handle is unknown.
   bool erase(InstanceHandle h);
   [[nodiscard]] std::size_t size() const;
+  /// All registered handles, ascending. Stable order makes snapshot files
+  /// and recovery walks deterministic.
+  [[nodiscard]] std::vector<InstanceHandle> handles() const;
+  /// Shared references to every registered record, by ascending handle.
+  [[nodiscard]] std::vector<std::shared_ptr<InstanceRecord>> all() const;
+
+  /// Read the record's artifact slot in place under the store lock without
+  /// checking it out. `fn` gets nullptr when nothing is retained; it must not
+  /// re-enter the store. Serialization path for snapshots — unlike
+  /// take_artifacts it cannot lose artifacts if the caller dies mid-write.
+  void peek_artifacts(const InstanceRecord& rec,
+                      const std::function<void(const InstanceRecord::Artifacts*)>& fn) const;
 
   /// Check the record's artifacts out (nullptr when none are retained).
   [[nodiscard]] std::unique_ptr<InstanceRecord::Artifacts> take_artifacts(InstanceRecord& rec);

@@ -1,5 +1,6 @@
 #include "mcf/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pmcf {
@@ -30,6 +31,15 @@ const char* to_string(EngineCounter c) {
     case EngineCounter::kInstanceCacheEvictions: return "InstanceCacheEvictions";
     case EngineCounter::kResolveWarm: return "ResolveWarm";
     case EngineCounter::kResolveCold: return "ResolveCold";
+    case EngineCounter::kResolveWarmFallback: return "ResolveWarmFallback";
+    case EngineCounter::kPersistJournalAppends: return "PersistJournalAppends";
+    case EngineCounter::kPersistWriteFailures: return "PersistWriteFailures";
+    case EngineCounter::kPersistSnapshots: return "PersistSnapshots";
+    case EngineCounter::kPersistSnapshotFallbacks: return "PersistSnapshotFallbacks";
+    case EngineCounter::kPersistRecordsDropped: return "PersistRecordsDropped";
+    case EngineCounter::kPersistJournalTruncations: return "PersistJournalTruncations";
+    case EngineCounter::kPersistRecoveredInstances: return "PersistRecoveredInstances";
+    case EngineCounter::kPersistRecoveredOptima: return "PersistRecoveredOptima";
     case EngineCounter::kNumEngineCounters: break;
   }
   return "Unknown";
@@ -110,6 +120,25 @@ MetricsSnapshot EngineMetrics::snapshot() const {
   snap.solve_time = solve_time.snapshot();
   for (std::size_t i = 0; i < kMaxPresetSlots; ++i)
     snap.preset_counts[i] = preset_counts_[i].load(std::memory_order_relaxed);
+  // Trace ring: collect every cell whose seqlock word is stable across the
+  // payload read (even + unchanged ⇒ the packed word belongs to that seq),
+  // then order by shed ordinal so the export reads oldest → newest.
+  snap.shed_trace.reserve(kShedTraceCapacity);
+  for (const TraceCell& cell : shed_trace_) {
+    const std::uint64_t s1 = cell.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+    const std::uint64_t packed = cell.packed.load(std::memory_order_acquire);
+    if (cell.seq.load(std::memory_order_acquire) != s1) continue;  // torn
+    ShedTraceEntry e;
+    e.seq = s1 / 2;
+    e.reason = static_cast<EngineCounter>(packed & 0xff);
+    e.priority = static_cast<std::uint8_t>((packed >> 8) & 0xff);
+    e.tenant = static_cast<std::uint32_t>((packed >> 16) & 0xffffff);
+    e.queue_depth = static_cast<std::uint32_t>(packed >> 40);
+    snap.shed_trace.push_back(e);
+  }
+  std::sort(snap.shed_trace.begin(), snap.shed_trace.end(),
+            [](const ShedTraceEntry& a, const ShedTraceEntry& b) { return a.seq < b.seq; });
   return snap;
 }
 

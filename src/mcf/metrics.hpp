@@ -71,12 +71,45 @@ enum class EngineCounter : std::uint8_t {
                                 ///< or a replay that failed re-certification)
   kInstanceCacheEvictions,      ///< artifacts displaced by the LRU capacity
   kResolveWarm,                 ///< resolves served warm (replay or warm state)
-  kResolveCold,                 ///< resolves solved cold (incl. warm fallback)
+  kResolveCold,                 ///< resolves planned cold (epoch bump / nothing retained)
+  kResolveWarmFallback,         ///< warm attempts that failed and were retried cold —
+                                ///< warm failure rate is kResolveWarmFallback /
+                                ///< kResolveWarm, not folded into kResolveCold
+  // --- instance-store durability (DESIGN.md §16) --------------------------
+  kPersistJournalAppends,       ///< delta/register/deregister frames made durable
+  kPersistWriteFailures,        ///< frames or snapshots that failed durability
+                                ///< (torn write, fsync failure, I/O error)
+  kPersistSnapshots,            ///< snapshot generations published (tmp + rename)
+  kPersistSnapshotFallbacks,    ///< recovery skipped an unreadable newer snapshot
+  kPersistRecordsDropped,       ///< records dropped in recovery (bad checksum,
+                                ///< failed re-certification, replay-guard mismatch)
+  kPersistJournalTruncations,   ///< torn journal tails cut at the last valid frame
+  kPersistRecoveredInstances,   ///< records restored into the store at startup
+  kPersistRecoveredOptima,      ///< stored optima that passed exact re-certification
   kNumEngineCounters,
 };
 
 /// Stable name (e.g. "SolvedOk", "ShedQueueFull").
 const char* to_string(EngineCounter c);
+
+// ---------------------------------------------------------------------------
+// Shed-decision trace ring: a bounded record of the most recent refusals so a
+// shed storm can be diagnosed after the fact ("who was turned away, and why?")
+// without logging on the hot path. Each cell is a tiny seqlock — writers pack
+// the entry into two u64 payload words between seq increments, readers retry
+// torn cells — so recording stays wait-free-ish and allocation-free (the shed
+// fast path is covered by AllocCountTest).
+
+inline constexpr std::size_t kShedTraceCapacity = 64;
+
+/// One refusal, as exported by MetricsSnapshot::shed_trace (oldest first).
+struct ShedTraceEntry {
+  std::uint64_t seq = 0;        ///< global shed ordinal (1-based, monotone)
+  EngineCounter reason = EngineCounter::kShedNoCapacity;  ///< which kShed* fired
+  std::uint32_t tenant = 0;     ///< SolveControl::tenant of the refused request
+  std::uint8_t priority = 0;    ///< its priority lane
+  std::uint32_t queue_depth = 0;  ///< admission-queue depth at refusal time
+};
 
 // ---------------------------------------------------------------------------
 // Fixed-bucket log-linear latency histogram (HDR-style): 4 sub-buckets per
@@ -165,6 +198,10 @@ struct MetricsSnapshot {
   /// bucket (see kMaxPresetSlots). Filled by Engine::metrics_snapshot.
   std::uint64_t preset_counts[kMaxPresetSlots] = {};
   std::vector<std::string> preset_names;
+  /// The last ≤ kShedTraceCapacity refusals, oldest first. Entries observed
+  /// mid-write during the copy are skipped, so a snapshot taken during a shed
+  /// storm may be slightly shorter than the ring.
+  std::vector<ShedTraceEntry> shed_trace;
 
   /// Solves answered under `name` (0 when the name holds no slot).
   [[nodiscard]] std::uint64_t preset_count(const std::string& name) const {
@@ -206,10 +243,13 @@ class EngineMetrics {
   }
 
   /// A request was refused with kLoadShed; `kind` is one of the kShed*
-  /// counters naming why.
-  void on_shed(std::size_t priority, EngineCounter kind, std::uint64_t n = 1) {
+  /// counters naming why. `tenant` and `queue_depth` feed the trace ring —
+  /// a batch refusal (n > 1) records one trace entry for the whole batch.
+  void on_shed(std::size_t priority, EngineCounter kind, std::uint32_t tenant = 0,
+               std::size_t queue_depth = 0, std::uint64_t n = 1) {
     count(kind, n);
     priorities_[priority].shed.fetch_add(n, std::memory_order_relaxed);
+    trace_shed(priority, kind, tenant, queue_depth);
   }
 
   /// A request that held (or was denied short of) a slot reached a terminal
@@ -252,6 +292,34 @@ class EngineMetrics {
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
+  // One trace-ring cell. `seq` doubles as the seqlock word: 0 = empty, odd =
+  // write in progress, even = published (entry ordinal = seq / 2). Payload
+  // word packs reason | priority | tenant | queue depth.
+  struct TraceCell {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> packed{0};
+  };
+
+  static std::uint64_t pack_shed(EngineCounter kind, std::size_t priority,
+                                 std::uint32_t tenant, std::size_t queue_depth) {
+    const std::uint64_t depth =
+        queue_depth > 0xffffff ? 0xffffff : static_cast<std::uint64_t>(queue_depth);
+    // Field layout: reason[0,8) priority[8,16) tenant[16,40) depth[40,64).
+    return static_cast<std::uint64_t>(kind) | (static_cast<std::uint64_t>(priority & 0xff) << 8) |
+           (static_cast<std::uint64_t>(tenant & 0xffffff) << 16) | (depth << 40);
+  }
+
+  void trace_shed(std::size_t priority, EngineCounter kind, std::uint32_t tenant,
+                  std::size_t queue_depth) {
+    // Ordinal 1, 2, ... → cell (ordinal-1) % capacity; published seq = 2*ordinal.
+    const std::uint64_t ordinal = shed_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    TraceCell& cell = shed_trace_[(ordinal - 1) % kShedTraceCapacity];
+    cell.seq.store(2 * ordinal - 1, std::memory_order_release);  // mark torn
+    cell.packed.store(pack_shed(kind, priority, tenant, queue_depth),
+                      std::memory_order_release);
+    cell.seq.store(2 * ordinal, std::memory_order_release);  // publish
+  }
+
   struct PriorityCells {
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> solved_ok{0};
@@ -265,6 +333,8 @@ class EngineMetrics {
       counters_[static_cast<std::size_t>(EngineCounter::kNumEngineCounters)] = {};
   PriorityCells priorities_[kNumPriorities];
   std::atomic<std::uint64_t> preset_counts_[kMaxPresetSlots] = {};
+  std::atomic<std::uint64_t> shed_seq_{0};
+  TraceCell shed_trace_[kShedTraceCapacity];
 };
 
 }  // namespace pmcf

@@ -13,6 +13,9 @@ const char* to_string(FaultKind k) {
     case FaultKind::kExpanderViolation: return "ExpanderViolation";
     case FaultKind::kTaskException: return "TaskException";
     case FaultKind::kCancelRequest: return "CancelRequest";
+    case FaultKind::kPersistTornWrite: return "PersistTornWrite";
+    case FaultKind::kPersistBitFlip: return "PersistBitFlip";
+    case FaultKind::kPersistFsyncFail: return "PersistFsyncFail";
     case FaultKind::kNumFaultKinds: break;
   }
   return "Unknown";

@@ -28,6 +28,11 @@ enum class FaultKind : std::int8_t {
   kExpanderViolation,   ///< dynamic expander decomposition certificate broken
   kTaskException,       ///< thread-pool worker task throws
   kCancelRequest,       ///< caller cancellation arrives at a lifecycle poll
+  // --- instance-store durability seams (DESIGN.md §16) --------------------
+  kPersistTornWrite,    ///< a persist frame write stops mid-frame (crash model)
+  kPersistBitFlip,      ///< a fully-written persist frame has one bit flipped
+                        ///< after checksumming (bit-rot model)
+  kPersistFsyncFail,    ///< an fsync at a durability barrier reports failure
   kNumFaultKinds,
 };
 

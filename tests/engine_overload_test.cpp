@@ -428,6 +428,120 @@ TEST_F(EngineOverloadTest, UnmeetableDeadlineIsShedBeforeQueueing) {
   engine.restore_capacity(1);
 }
 
+TEST_F(EngineOverloadTest, WarmResolvesAreNotShedByColdCalibratedEstimates) {
+  // Delta-aware admission (DESIGN.md §16): the predictive-shed estimate keeps
+  // separate EWMA tracks for cold solves and warm resolves. A stream of
+  // heavyweight cold solves must not inflate the estimate used to judge a
+  // warm resolve — only requests actually priced on the cold track shed.
+  const Digraph small = make_graph(955);
+  const Digraph big = make_graph(956, 32, 240);
+  const Instance small_inst = Instance::max_flow(small, 0, small.num_vertices() - 1);
+  const Instance big_inst = Instance::max_flow(big, 0, big.num_vertices() - 1);
+  const Engine engine(
+      {.seed = 14, .use_global_pool = false, .max_in_flight = 1, .max_queue = 4});
+
+  // Calibrate the warm track: first resolve is cold, the following ones ride
+  // the captured central-path point and land on the warm track.
+  const InstanceHandle h = engine.register_instance(small_inst);
+  ASSERT_EQ(engine.resolve(h, {}, slow_opts()).result.status, SolveStatus::kOk);
+  double warm_wall_us = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    InstanceDelta d;
+    d.cost_changes.push_back({0, 4 + i});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = engine.resolve(h, d, slow_opts());
+    warm_wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    ASSERT_EQ(res.result.status, SolveStatus::kOk);
+    ASSERT_TRUE(res.result.stats.warm_started);
+  }
+
+  // Inflate the cold track with much larger solves.
+  double big_wall_us = 1e18;
+  for (int i = 0; i < 2; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_EQ(engine.solve(big_inst, slow_opts()).result.status, SolveStatus::kOk);
+    big_wall_us = std::min(big_wall_us, std::chrono::duration<double, std::micro>(
+                                            std::chrono::steady_clock::now() - t0)
+                                            .count());
+  }
+  const double deadline_us = 4.0 * warm_wall_us;
+  if (big_wall_us < 16.0 * warm_wall_us) {
+    GTEST_SKIP() << "no cold/warm separation on this machine: warm "
+                 << warm_wall_us << "us vs big " << big_wall_us << "us";
+  }
+
+  // No free slot: both probes hit the queue path and its predictor.
+  EXPECT_EQ(engine.reserve_capacity(1), 1u);
+
+  // A cold solve with a deadline far below the cold estimate sheds upfront.
+  SolveControl cold_control;
+  cold_control.tenant = 42;
+  cold_control.priority = 2;
+  cold_control.deadline = core::Deadline::in(
+      std::chrono::microseconds(static_cast<std::int64_t>(deadline_us)));
+  const auto cold = engine.solve(small_inst, slow_opts(), cold_control);
+  EXPECT_EQ(cold.result.status, SolveStatus::kLoadShed);
+  EXPECT_EQ(cold.result.failure_detail, "deadline<wait");
+
+  // The same deadline on a warm resolve is judged by the warm track: it is
+  // admitted to the queue (and later expires there, since the slot never
+  // frees) instead of being predictively shed.
+  InstanceDelta d;
+  d.cost_changes.push_back({0, 9});
+  SolveControl warm_control;
+  warm_control.tenant = 42;
+  warm_control.deadline = core::Deadline::in(
+      std::chrono::microseconds(static_cast<std::int64_t>(deadline_us)));
+  const auto warm = engine.resolve(h, d, slow_opts(), warm_control);
+  EXPECT_EQ(warm.result.status, SolveStatus::kDeadlineExceeded);
+  EXPECT_EQ(warm.result.failure_detail, "queue wait");
+  engine.restore_capacity(1);
+
+  const MetricsSnapshot m = engine.metrics_snapshot();
+  EXPECT_EQ(m.of(EngineCounter::kShedDeadline), 1u);  // the cold probe only
+
+  // Satellite ride-along: the refusal landed in the shed-decision trace with
+  // its reason, tenant, priority, and observed queue depth.
+  ASSERT_FALSE(m.shed_trace.empty());
+  const ShedTraceEntry& e = m.shed_trace.back();
+  EXPECT_EQ(e.reason, EngineCounter::kShedDeadline);
+  EXPECT_EQ(e.tenant, 42u);
+  EXPECT_EQ(e.priority, 2u);
+  EXPECT_EQ(e.queue_depth, 0u);  // nothing was parked when it was refused
+}
+
+TEST_F(EngineOverloadTest, ShedTraceRingKeepsNewestDecisionsInOrder) {
+  const Digraph g = make_graph(957);
+  const Instance inst = Instance::max_flow(g, 0, g.num_vertices() - 1);
+  const Engine engine({.seed = 15, .use_global_pool = false, .max_in_flight = 1});
+  EXPECT_EQ(engine.reserve_capacity(1), 1u);
+
+  // Overflow the ring so it wraps: only the newest kShedTraceCapacity
+  // decisions survive, oldest-first, with per-request tenant attribution.
+  const std::size_t total = kShedTraceCapacity + 9;
+  for (std::size_t i = 0; i < total; ++i) {
+    SolveControl control;
+    control.tenant = static_cast<std::uint32_t>(i);
+    control.priority = 1;
+    const auto res = engine.solve(inst, combinatorial_opts(), control);
+    EXPECT_EQ(res.result.status, SolveStatus::kLoadShed);
+  }
+  engine.restore_capacity(1);
+
+  const MetricsSnapshot m = engine.metrics_snapshot();
+  EXPECT_EQ(m.of(EngineCounter::kShedNoCapacity), total);
+  ASSERT_EQ(m.shed_trace.size(), kShedTraceCapacity);
+  for (std::size_t i = 0; i < m.shed_trace.size(); ++i) {
+    const ShedTraceEntry& e = m.shed_trace[i];
+    EXPECT_EQ(e.seq, total - kShedTraceCapacity + i + 1);
+    EXPECT_EQ(e.reason, EngineCounter::kShedNoCapacity);
+    EXPECT_EQ(e.tenant, total - kShedTraceCapacity + i);  // tenant == request index
+    EXPECT_EQ(e.priority, 1u);
+  }
+}
+
 TEST_F(EngineOverloadTest, QueueWaitDeadlineExpiresTyped) {
   const Digraph g = make_graph(951);
   const Instance inst = Instance::max_flow(g, 0, g.num_vertices() - 1);

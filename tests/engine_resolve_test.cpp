@@ -17,10 +17,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
+
+#include "core/solve_status.hpp"
 
 #include "graph/digraph.hpp"
 #include "graph/generators.hpp"
@@ -447,6 +452,123 @@ TEST_F(EngineResolveTest, InterleavedInstancesStayCertifiedAndIndependent) {
       EXPECT_EQ(warm.result.cost, cold.result.cost);
       EXPECT_EQ(warm.result.flow_value, cold.result.flow_value);
     }
+  }
+}
+
+// --- churn races: deregistration and eviction vs in-flight resolves --------
+// These run under TSan in CI (the suite name matches the sanitizer filter);
+// the assertions here pin the semantics, the sanitizer pins the data races.
+
+TEST_F(EngineResolveTest, ConcurrentDeregisterDoesNotDisturbInFlightResolves) {
+  const Digraph g1 = make_graph(930);
+  const Digraph g2 = make_graph(931);
+  const Engine engine({.seed = 930, .use_global_pool = false});
+  mcf::SolveOptions opts;
+  opts.method = mcf::Method::kCombinatorial;
+  const InstanceHandle doomed =
+      engine.register_instance(Instance::max_flow(g1, 0, g1.num_vertices() - 1));
+  const InstanceHandle stable =
+      engine.register_instance(Instance::max_flow(g2, 0, g2.num_vertices() - 1));
+
+  std::atomic<std::size_t> attempts{0};
+  std::atomic<bool> saw_invalid{false};
+  std::atomic<bool> bad_status{false};
+  std::thread churner([&] {
+    // Loop until the deregistration lands (time-capped so a regression that
+    // never surfaces kInvalidInput fails instead of hanging).
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (int i = 0; !saw_invalid.load() && std::chrono::steady_clock::now() < give_up;
+         ++i) {
+      InstanceDelta d;
+      d.cost_changes = {{0, 1 + (i % 7)}};
+      const auto res = engine.resolve(doomed, d, opts);
+      attempts.fetch_add(1);
+      if (res.result.status == SolveStatus::kInvalidInput) {
+        saw_invalid.store(true);  // handle died under us: typed, not a crash
+      } else if (res.result.status != SolveStatus::kOk || !res.result.stats.certified) {
+        bad_status.store(true);
+        break;
+      }
+    }
+  });
+  std::thread bystander([&] {
+    for (int i = 0; i < 40; ++i) {
+      InstanceDelta d;
+      d.cost_changes = {{1, 1 + (i % 5)}};
+      const auto res = engine.resolve(stable, d, opts);
+      if (res.result.status != SolveStatus::kOk) bad_status.store(true);
+    }
+  });
+
+  while (attempts.load() < 8) std::this_thread::yield();
+  EXPECT_TRUE(engine.deregister_instance(doomed));  // races in-flight resolves
+  churner.join();
+  bystander.join();
+  EXPECT_TRUE(saw_invalid.load());
+  EXPECT_FALSE(bad_status.load());
+  // The unrelated handle was untouched by the churn.
+  EXPECT_EQ(engine.resolve(stable, {}, opts).result.status, SolveStatus::kOk);
+  EXPECT_EQ(engine.num_instances(), 1u);
+}
+
+TEST_F(EngineResolveTest, EvictionRacingCheckedOutArtifactsStaysCertified) {
+  // One retained-artifact slot, two instances resolving concurrently: every
+  // store_artifacts on one handle evicts the other's slot, racing the other
+  // thread's take. Results must stay certified-correct throughout; the
+  // eviction counter proves the race actually happened.
+  const Digraph ga = make_graph(932);
+  const Digraph gb = make_graph(933, 10, 36);
+  EngineConfig cfg{.seed = 932, .use_global_pool = false};
+  cfg.instance_cache_capacity = 1;
+  const Engine engine(cfg);
+  const auto opts = fast_opts();
+  const InstanceHandle ha =
+      engine.register_instance(Instance::max_flow(ga, 0, ga.num_vertices() - 1));
+  const InstanceHandle hb =
+      engine.register_instance(Instance::max_flow(gb, 0, gb.num_vertices() - 1));
+
+  std::atomic<bool> bad{false};
+  const auto hammer = [&](InstanceHandle h, std::uint64_t salt) {
+    return std::thread([&, h, salt] {
+      for (int i = 0; i < 10; ++i) {
+        InstanceDelta d;
+        d.cost_changes = {{static_cast<EdgeId>((salt + i) % 8),
+                           static_cast<std::int64_t>(1 + (salt * 3 + i) % 6)}};
+        const auto res = engine.resolve(h, d, opts);
+        if (res.result.status != SolveStatus::kOk || !res.result.stats.certified)
+          bad.store(true);
+      }
+    });
+  };
+  std::thread ta = hammer(ha, 1);
+  std::thread tb = hammer(hb, 2);
+  ta.join();
+  tb.join();
+  EXPECT_FALSE(bad.load());
+  EXPECT_GT(engine.metrics_snapshot().of(EngineCounter::kInstanceCacheEvictions), 0u);
+
+  // Post-churn ground truth: each instance's final state still matches a cold
+  // solve of the same post-delta graph (deltas per handle came from one
+  // thread, so a serial mirror reproduces them).
+  for (const auto& [h, g, salt] : {std::tuple<InstanceHandle, const Digraph&, std::uint64_t>{
+                                       ha, ga, 1},
+                                   {hb, gb, 2}}) {
+    Mirror mirror(g);
+    for (int i = 0; i < 10; ++i) {
+      InstanceDelta d;
+      d.cost_changes = {{static_cast<EdgeId>((salt + i) % 8),
+                         static_cast<std::int64_t>(1 + (salt * 3 + i) % 6)}};
+      mirror.apply(d);
+    }
+    const Digraph live = mirror.live_graph();
+    const Engine cold_engine({.seed = 932, .use_global_pool = false});
+    const auto cold =
+        cold_engine.solve(Instance::max_flow(live, 0, live.num_vertices() - 1), opts);
+    const auto replay = engine.resolve(h, {}, opts);
+    ASSERT_EQ(replay.result.status, SolveStatus::kOk);
+    ASSERT_EQ(cold.result.status, SolveStatus::kOk);
+    EXPECT_EQ(replay.result.cost, cold.result.cost);
+    EXPECT_EQ(replay.result.flow_value, cold.result.flow_value);
   }
 }
 
